@@ -1,0 +1,126 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (experiments E1-E13, F1-F2 of DESIGN.md), then times the library's
+   computational kernels with Bechamel — one Test per experiment's kernel. *)
+
+open Bechamel
+open Toolkit
+module Butterfly = Bfly_networks.Butterfly
+module Wrapped = Bfly_networks.Wrapped
+module Benes = Bfly_networks.Benes
+module Perm = Bfly_graph.Perm
+
+let run_experiments () =
+  print_endline "==============================================================";
+  print_endline " Reproduction tables (per-experiment index in DESIGN.md)";
+  print_endline "==============================================================";
+  List.iter
+    (fun (name, f) ->
+      Printf.printf "\n--- %s ---\n%s%!" name (f ()))
+    Bfly_core.Experiments.all
+
+(* one Bechamel test per experiment kernel *)
+let micro_tests =
+  let rng = Random.State.make [| 0xbe9c4 |] in
+  let b8 = Butterfly.of_inputs 8 in
+  let b256 = Butterfly.of_inputs 256 in
+  let b1024 = Butterfly.of_inputs 1024 in
+  let w256 = Wrapped.of_inputs 256 in
+  let column_cut = Bfly_cuts.Constructions.butterfly_column_cut b256 in
+  let witness = Bfly_expansion.Witness.wn_ee ~dim:4 w256 in
+  let benes = Benes.create ~dim:6 in
+  let benes_perm = Perm.random ~rng (2 * Benes.n benes) in
+  let greedy_paths =
+    Bfly_routing.Workload.greedy_random ~rng (Butterfly.of_inputs 16)
+  in
+  let g16 = Butterfly.graph (Butterfly.of_inputs 16) in
+  let stage = Staged.stage in
+  Test.make_grouped ~name:"bfly"
+    [
+      Test.make ~name:"E10:build-butterfly-256"
+        (stage (fun () -> ignore (Butterfly.of_inputs 256)));
+      Test.make ~name:"E1:cut-capacity-B256"
+        (stage (fun () ->
+             ignore
+               (Bfly_graph.Traverse.boundary_edges (Butterfly.graph b256)
+                  column_cut)));
+      Test.make ~name:"E1:mos-pullback-search-B1024"
+        (stage (fun () -> ignore (Bfly_cuts.Constructions.best_mos_pullback b1024)));
+      Test.make ~name:"E1:exact-bb-B4"
+        (stage (fun () ->
+             ignore
+               (Bfly_cuts.Exact.bisection_width ~upper_bound:4
+                  (Butterfly.graph (Butterfly.of_inputs 4)))));
+      Test.make ~name:"E2:bw-mos-closed-form-j256"
+        (stage (fun () -> ignore (Bfly_mos.Mos_analysis.bw_m2 256)));
+      Test.make ~name:"E3:knn-embedding-congestion-B8"
+        (stage (fun () ->
+             ignore
+               (Bfly_embed.Embedding.congestion
+                  (Bfly_embed.Classic.knn_into_butterfly b8))));
+      Test.make ~name:"E5:credit-scheme-W256"
+        (stage (fun () -> ignore (Bfly_expansion.Credit.wn_edge w256 witness)));
+      Test.make ~name:"E5:exact-EE-W8-k6"
+        (stage (fun () ->
+             ignore
+               (Bfly_expansion.Expansion.ee_exact
+                  (Wrapped.graph (Wrapped.of_inputs 8))
+                  ~k:6)));
+      Test.make ~name:"E11:route-random-B16"
+        (stage (fun () -> ignore (Bfly_routing.Router.run g16 ~paths:greedy_paths)));
+      Test.make ~name:"E12:benes-looping-dim6"
+        (stage (fun () -> ignore (Benes.route_ports benes benes_perm)));
+      Test.make ~name:"Lemma2.3:monotone-path-B1024"
+        (stage (fun () ->
+             ignore (Butterfly.monotone_path b1024 ~input_col:37 ~output_col:901)));
+      Test.make ~name:"E17:rearrange-route-B64"
+        (stage
+           (let b64 = Butterfly.of_inputs 64 in
+            let p = Perm.random ~rng 64 in
+            fun () -> ignore (Bfly_embed.Rearrange.route_ports b64 p)));
+      Test.make ~name:"E15:io-separation-maxflow-B8"
+        (stage (fun () -> ignore (Bfly_cuts.Io_cut.exact b8)));
+      Test.make ~name:"E16:level-bisect-B32"
+        (stage
+           (let b32 = Butterfly.of_inputs 32 in
+            let side = Bfly_cuts.Constructions.butterfly_column_cut b32 in
+            fun () -> ignore (Bfly_cuts.Level_cut.bisect_some_level b32 side)));
+      Test.make ~name:"E14:layout-B256"
+        (stage (fun () -> ignore (Bfly_networks.Layout.butterfly_grid b256)));
+    ]
+
+let run_micro () =
+  print_endline "\n==============================================================";
+  print_endline " Kernel micro-benchmarks (Bechamel, monotonic clock)";
+  print_endline "==============================================================";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort compare rows in
+  Printf.printf "%-42s %16s %8s\n" "kernel" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 68 '-');
+  List.iter
+    (fun (name, est) ->
+      let time =
+        match Analyze.OLS.estimates est with
+        | Some [ ns ] ->
+            if ns >= 1e9 then Printf.sprintf "%10.3f s" (ns /. 1e9)
+            else if ns >= 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
+            else if ns >= 1e3 then Printf.sprintf "%10.3f us" (ns /. 1e3)
+            else Printf.sprintf "%10.1f ns" ns
+        | _ -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square est with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      Printf.printf "%-42s %16s %8s\n" name time r2)
+    rows
+
+let () =
+  run_experiments ();
+  run_micro ()

@@ -1,0 +1,306 @@
+(* Command-line interface to the butterfly-networks library.
+
+   bfly_tool info      <network> <n>       structural summary
+   bfly_tool bisect    <network> <n>       bisection-width bracket
+   bfly_tool expansion <network> <n> -k K  expansion values
+   bfly_tool render    <network> <n>       ASCII / DOT rendering
+   bfly_tool route     <n>                 greedy routing simulation
+   bfly_tool experiments [IDS]             reproduce the paper's tables *)
+
+open Cmdliner
+module G = Bfly_graph.Graph
+module B = Bfly_networks.Butterfly
+module W = Bfly_networks.Wrapped
+module Ccc = Bfly_networks.Ccc
+
+type network = Butterfly | Wrapped | Cube_connected_cycles
+
+let network_conv =
+  let parse = function
+    | "butterfly" | "b" | "bn" -> Ok Butterfly
+    | "wrapped" | "w" | "wn" -> Ok Wrapped
+    | "ccc" -> Ok Cube_connected_cycles
+    | s -> Error (`Msg (Printf.sprintf "unknown network %S (butterfly|wrapped|ccc)" s))
+  in
+  let print ppf = function
+    | Butterfly -> Format.fprintf ppf "butterfly"
+    | Wrapped -> Format.fprintf ppf "wrapped"
+    | Cube_connected_cycles -> Format.fprintf ppf "ccc"
+  in
+  Arg.conv (parse, print)
+
+let log2_exact n =
+  let rec go l v = if v = n then Some l else if v > n then None else go (l + 1) (2 * v) in
+  if n < 1 then None else go 0 1
+
+let graph_of net n =
+  match log2_exact n with
+  | None -> Error "n must be a power of two"
+  | Some log_n -> (
+      match net with
+      | Butterfly -> Ok (B.graph (B.create ~log_n), Printf.sprintf "B_%d" n)
+      | Wrapped ->
+          if log_n < 2 then Error "wrapped butterfly needs n >= 4"
+          else Ok (W.graph (W.create ~log_n), Printf.sprintf "W_%d" n)
+      | Cube_connected_cycles ->
+          if log_n < 2 then Error "CCC needs n >= 4"
+          else Ok (Ccc.graph (Ccc.create ~log_n), Printf.sprintf "CCC_%d" n))
+
+let net_arg =
+  Arg.(required & pos 0 (some network_conv) None & info [] ~docv:"NETWORK")
+
+let n_arg = Arg.(required & pos 1 (some int) None & info [] ~docv:"N")
+
+let handle = function
+  | Ok () -> 0
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+
+(* ---- info ---- *)
+
+let info_run net n =
+  handle
+    (match graph_of net n with
+    | Error e -> Error e
+    | Ok (g, name) ->
+        Printf.printf "%s: %d nodes, %d edges, max degree %d, diameter %d\n"
+          name (G.n_nodes g) (G.n_edges g) (G.max_degree g)
+          (Bfly_graph.Traverse.diameter g);
+        let h = G.degree_histogram g in
+        Array.iteri
+          (fun d c -> if c > 0 then Printf.printf "  degree %d: %d nodes\n" d c)
+          h;
+        Ok ())
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Structural summary of a network")
+    Term.(const info_run $ net_arg $ n_arg)
+
+(* ---- bisect ---- *)
+
+let bisect_run net n dot =
+  handle
+    (match log2_exact n with
+    | None -> Error "n must be a power of two"
+    | Some _ -> (
+        let bracket =
+          match net with
+          | Butterfly -> Ok (Bfly_core.Bw.butterfly ~use_heuristics:(n <= 64) n)
+          | Wrapped -> if n >= 4 then Ok (Bfly_core.Bw.wrapped n) else Error "n >= 4"
+          | Cube_connected_cycles ->
+              if n >= 4 then Ok (Bfly_core.Bw.ccc n) else Error "n >= 4"
+        in
+        match bracket with
+        | Error e -> Error e
+        | Ok br ->
+            Format.printf "%a@." Bfly_core.Bw.pp br;
+            (match dot with
+            | None -> ()
+            | Some file ->
+                let g, _ = Result.get_ok (graph_of net n) in
+                Bfly_graph.Dot.write ~side:br.Bfly_core.Bw.witness file g;
+                Printf.printf "wrote cut rendering to %s\n" file);
+            Ok ()))
+
+let bisect_cmd =
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Write a Graphviz rendering of the witness cut.")
+  in
+  Cmd.v
+    (Cmd.info "bisect" ~doc:"Bisection-width bracket (Theorem 2.20, Lemmas 3.2, 3.3)")
+    Term.(const bisect_run $ net_arg $ n_arg $ dot)
+
+(* ---- expansion ---- *)
+
+let expansion_run net n k exact =
+  handle
+    (match graph_of net n with
+    | Error e -> Error e
+    | Ok (g, name) ->
+        if k < 1 || k >= G.n_nodes g then Error "k out of range"
+        else begin
+          let ee, ne =
+            if exact then
+              ( fst (Bfly_expansion.Expansion.ee_exact g ~k),
+                fst (Bfly_expansion.Expansion.ne_exact g ~k) )
+            else
+              ( fst (Bfly_expansion.Expansion.ee_anneal g ~k),
+                fst (Bfly_expansion.Expansion.ne_anneal g ~k) )
+          in
+          Printf.printf "%s, k=%d: EE %s %d, NE %s %d\n" name k
+            (if exact then "=" else "<=")
+            ee
+            (if exact then "=" else "<=")
+            ne;
+          Ok ()
+        end)
+
+let expansion_cmd =
+  let k = Arg.(required & opt (some int) None & info [ "k" ] ~docv:"K") in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Exact enumeration (small instances only).")
+  in
+  Cmd.v
+    (Cmd.info "expansion" ~doc:"Edge/node expansion (Section 4)")
+    Term.(const expansion_run $ net_arg $ n_arg $ k $ exact)
+
+(* ---- render ---- *)
+
+let render_run n dot =
+  handle
+    (match log2_exact n with
+    | None -> Error "n must be a power of two"
+    | Some log_n ->
+        let b = B.create ~log_n in
+        (match dot with
+        | Some file ->
+            Bfly_graph.Dot.write ~label:(B.label b) file (B.graph b);
+            Printf.printf "wrote %s\n" file
+        | None -> print_string (Bfly_networks.Render.butterfly_ascii b));
+        Ok ())
+
+let render_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Draw a butterfly (Figure 1)")
+    Term.(const render_run $ n $ dot)
+
+(* ---- route ---- *)
+
+let route_run n seed =
+  handle
+    (match log2_exact n with
+    | None -> Error "n must be a power of two"
+    | Some log_n ->
+        let b = B.create ~log_n in
+        let rng = Random.State.make [| seed |] in
+        let paths = Bfly_routing.Workload.greedy_random ~rng b in
+        let stats = Bfly_routing.Router.run (B.graph b) ~paths in
+        Printf.printf
+          "B_%d greedy routing, random destinations: %d packets in %d steps \
+           (%d hops, max queue %d)\n"
+          n stats.Bfly_routing.Router.delivered stats.Bfly_routing.Router.steps
+          stats.Bfly_routing.Router.total_hops
+          stats.Bfly_routing.Router.max_edge_queue;
+        Ok ())
+
+let route_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Greedy store-and-forward routing (Section 1.2)")
+    Term.(const route_run $ n $ seed)
+
+(* ---- mos ---- *)
+
+let mos_run j =
+  if j < 1 then handle (Error "j must be >= 1")
+  else begin
+    let bw, density, ratio = Bfly_mos.Mos_analysis.convergence_row j in
+    Printf.printf
+      "BW(MOS_{%d,%d}, M2) = %d; density %.5f; sqrt(2)-1 = %.5f; ratio %.4f\n"
+      j j bw density Bfly_mos.Mos_analysis.f_min ratio;
+    0
+  end
+
+let mos_cmd =
+  let j = Arg.(required & pos 0 (some int) None & info [] ~docv:"J") in
+  Cmd.v
+    (Cmd.info "mos" ~doc:"Mesh-of-stars M2-bisection width (Lemmas 2.17-2.19)")
+    Term.(const mos_run $ j)
+
+(* ---- iosep ---- *)
+
+let iosep_run n =
+  handle
+    (match log2_exact n with
+    | None -> Error "n must be a power of two"
+    | Some log_n ->
+        let b = B.create ~log_n in
+        let side = Bfly_cuts.Io_cut.column_cut b in
+        let v = Bfly_cuts.Io_cut.directed_crossings b side in
+        Printf.printf "column construction: %d directed crossings (n/2 = %d)\n"
+          v (max 1 (n / 2));
+        if n <= 8 then begin
+          let exact, _ = Bfly_cuts.Io_cut.exact b in
+          Printf.printf "exact (max-flow enumeration): %d\n" exact
+        end;
+        Ok ())
+
+let iosep_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "iosep"
+       ~doc:"Directed input/output separation of B_n (Section 1.2)")
+    Term.(const iosep_run $ n)
+
+(* ---- layout ---- *)
+
+let layout_run n =
+  handle
+    (match log2_exact n with
+    | None -> Error "n must be a power of two"
+    | Some log_n ->
+        let b = B.create ~log_n in
+        let l = Bfly_networks.Layout.butterfly_grid b in
+        let area = Bfly_networks.Layout.area l in
+        let lb = if n >= 2 then Bfly_mos.Mos_analysis.butterfly_lower_bound n else 0 in
+        Printf.printf
+          "B_%d grid layout: %d x %d = %d (%.2f n^2); Thompson bound BW^2 >= \
+           %d\n"
+          n l.Bfly_networks.Layout.width l.Bfly_networks.Layout.height area
+          (float_of_int area /. float_of_int (n * n))
+          (Bfly_networks.Layout.thompson_lower_bound ~bw:lb);
+        Ok ())
+
+let layout_cmd =
+  let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"VLSI grid layout area of B_n (Sections 1.1-1.2)")
+    Term.(const layout_run $ n)
+
+(* ---- experiments ---- *)
+
+let experiments_run ids =
+  let selected =
+    match ids with
+    | [] -> Bfly_core.Experiments.all
+    | ids ->
+        List.filter
+          (fun (name, _) -> List.mem (String.lowercase_ascii name) (List.map String.lowercase_ascii ids))
+          Bfly_core.Experiments.all
+  in
+  if selected = [] then begin
+    Printf.eprintf "no matching experiments; available: %s\n"
+      (String.concat ", " (List.map fst Bfly_core.Experiments.all));
+    1
+  end
+  else begin
+    List.iter
+      (fun (name, f) -> Printf.printf "--- %s ---\n%s\n%!" name (f ()))
+      selected;
+    0
+  end
+
+let experiments_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Reproduce the paper's tables (E1-E13, F1-F2)")
+    Term.(const experiments_run $ ids)
+
+let () =
+  let doc = "bisection width and expansion of butterfly networks" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "bfly_tool" ~version:"1.0.0" ~doc)
+          [
+            info_cmd; bisect_cmd; expansion_cmd; render_cmd; route_cmd;
+            mos_cmd; iosep_cmd; layout_cmd; experiments_cmd;
+          ]))

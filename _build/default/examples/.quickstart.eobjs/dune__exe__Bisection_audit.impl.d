@@ -1,0 +1,1 @@
+examples/bisection_audit.ml: Array Bfly_core Bfly_cuts Bfly_graph Bfly_mos Bfly_networks Format List Printf Sys

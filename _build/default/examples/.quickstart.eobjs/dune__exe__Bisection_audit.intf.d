@@ -1,0 +1,1 @@
+examples/bisection_audit.mli:

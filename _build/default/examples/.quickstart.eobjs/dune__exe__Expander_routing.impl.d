@@ -1,0 +1,1 @@
+examples/expander_routing.ml: Bfly_graph Bfly_networks Hashtbl List Option Printf Random

@@ -1,0 +1,1 @@
+examples/expander_routing.mli:

@@ -1,0 +1,1 @@
+examples/load_balancing.ml: Bfly_expansion Bfly_graph Bfly_networks Printf Random

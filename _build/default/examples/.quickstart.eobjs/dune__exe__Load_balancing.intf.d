@@ -1,0 +1,1 @@
+examples/load_balancing.mli:

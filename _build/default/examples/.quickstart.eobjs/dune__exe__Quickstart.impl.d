@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bfly_core Bfly_networks Format List Printf String

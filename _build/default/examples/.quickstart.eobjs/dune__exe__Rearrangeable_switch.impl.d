@@ -1,0 +1,1 @@
+examples/rearrangeable_switch.ml: Array Bfly_graph Bfly_networks List Printf Random

@@ -1,0 +1,1 @@
+examples/rearrangeable_switch.mli:

@@ -1,0 +1,1 @@
+examples/switch_fabric.ml: Bfly_core Bfly_graph Bfly_networks Bfly_routing List Printf Random

@@ -1,0 +1,1 @@
+examples/switch_fabric.mli:

@@ -1,0 +1,35 @@
+(* Quickstart: build a butterfly, look at it, and ask the paper's headline
+   question — what is its bisection width?
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Butterfly = Bfly_networks.Butterfly
+module Bw = Bfly_core.Bw
+
+let () =
+  (* the 32-node butterfly of the paper's Figure 1 *)
+  let b = Butterfly.of_inputs 8 in
+  print_string (Bfly_networks.Render.figure_1 ());
+  Printf.printf "\nB_8 has %d nodes in %d levels of %d columns.\n"
+    (Butterfly.size b) (Butterfly.levels b) (Butterfly.n b);
+
+  (* the unique monotone input-output path of Lemma 2.3 *)
+  let path = Butterfly.monotone_path b ~input_col:2 ~output_col:5 in
+  Printf.printf "Monotone path from input 010 to output 101: %s\n"
+    (String.concat " -> " (List.map (Butterfly.label b) path));
+
+  (* bisection width: exact for this size *)
+  let br = Bw.butterfly 8 in
+  Format.printf "BW(B_8) = %a@." Bw.pp br;
+
+  (* the folklore value n is correct at n = 8 — but not asymptotically *)
+  let big = Bw.butterfly 4096 in
+  Format.printf
+    "BW(B_4096) bracket: %a@.(folklore says 4096; Theorem 2.20 says it tends \
+     to 2(sqrt 2 - 1) n ~ %.0f)@."
+    Bw.pp big
+    (Bw.butterfly_constant *. 4096.);
+
+  (* wraparound kills the effect: BW(W_n) = n exactly (Lemma 3.2) *)
+  Format.printf "BW(W_64) = %a@." Bw.pp (Bw.wrapped 64);
+  Format.printf "BW(CCC_64) = %a@." Bw.pp (Bw.ccc 64)

@@ -1,0 +1,72 @@
+(* Dimensioning an interconnect: the Section 1.2 workflow.
+
+   A parallel machine or ATM switch designer choosing between a butterfly,
+   a wraparound butterfly and cube-connected cycles cares about three
+   numbers this library computes: the bisection width (communication
+   bottleneck), the routing time N/(4 BW) under all-to-random traffic, and
+   Thompson's VLSI area lower bound A >= BW^2.
+
+   Run with: dune exec examples/switch_fabric.exe *)
+
+module G = Bfly_graph.Graph
+module Butterfly = Bfly_networks.Butterfly
+module Wrapped = Bfly_networks.Wrapped
+module Ccc = Bfly_networks.Ccc
+module Bw = Bfly_core.Bw
+module Report = Bfly_core.Report
+
+let () =
+  let rng = Random.State.make [| 0xfab |] in
+  let rows =
+    List.concat_map
+      (fun log_n ->
+        let n = 1 lsl log_n in
+        let networks =
+          [
+            ( Printf.sprintf "B_%d" n,
+              Butterfly.size (Butterfly.create ~log_n),
+              Bw.butterfly n );
+            ( Printf.sprintf "W_%d" n,
+              Wrapped.size (Wrapped.create ~log_n),
+              Bw.wrapped n );
+            ( Printf.sprintf "CCC_%d" n,
+              Ccc.size (Ccc.create ~log_n),
+              Bw.ccc n );
+          ]
+        in
+        List.map
+          (fun (name, size, br) ->
+            let bw = br.Bw.upper in
+            [
+              name;
+              Report.fint size;
+              Report.fint bw;
+              Report.fint ((size + (4 * bw) - 1) / (4 * bw));
+              Report.fint (bw * bw);
+            ])
+          networks)
+      [ 4; 5; 6 ]
+  in
+  print_string
+    (Report.table
+       ~title:
+         "Interconnect sizing: bisection width, routing-time bound \
+          N/(4 BW), Thompson area bound BW^2"
+       ~header:[ "network"; "N"; "BW"; "T >= N/4BW"; "A >= BW^2" ]
+       rows);
+
+  (* validate the routing-time bound against a simulated run on B_16 *)
+  let b = Butterfly.of_inputs 16 in
+  let paths = Bfly_routing.Workload.all_to_random ~rng b in
+  let stats = Bfly_routing.Router.run (Butterfly.graph b) ~paths in
+  let br = Bw.butterfly 16 in
+  let into, out = Bfly_routing.Router.crossings ~side:br.Bw.witness paths in
+  Printf.printf
+    "\nSimulated all-to-random on B_16: %d messages crossed the minimum \
+     bisection (N/4 = %d per direction), delivered in %d steps (bound: %d).\n"
+    (into + out)
+    (Butterfly.size b / 4)
+    stats.Bfly_routing.Router.steps
+    (Bfly_routing.Router.time_lower_bound
+       ~crossings_one_way:(max into out)
+       ~bw:br.Bw.upper)

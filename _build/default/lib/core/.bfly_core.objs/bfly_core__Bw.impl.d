@@ -1,0 +1,1 @@
+lib/core/bw.ml: Bfly_cuts Bfly_embed Bfly_graph Bfly_mos Bfly_networks Format List

@@ -1,0 +1,1 @@
+lib/core/bw.mli: Bfly_graph Format

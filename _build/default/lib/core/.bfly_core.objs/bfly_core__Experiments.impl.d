@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Bfly_cuts Bfly_embed Bfly_expansion Bfly_graph Bfly_mos Bfly_networks Bfly_routing Buffer Bw Format Fun List Printf Random Report String

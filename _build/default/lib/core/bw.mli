@@ -1,0 +1,36 @@
+(** Best-known bisection-width brackets per network — the library's headline
+    API, aggregating the paper's constructions (upper bounds), embedding and
+    mesh-of-stars reductions (lower bounds), exact solvers (small instances)
+    and heuristics. *)
+
+type bracket = {
+  lower : int;  (** certified lower bound *)
+  upper : int;  (** capacity of a concrete bisection *)
+  lower_method : string;
+  upper_method : string;
+  witness : Bfly_graph.Bitset.t;  (** a bisection achieving [upper] *)
+}
+
+(** [exact br] — the bracket pins the value. *)
+val exact : bracket -> bool
+
+val pp : Format.formatter -> bracket -> unit
+
+(** [butterfly ?use_heuristics ?exact_limit n] brackets [BW(B_n)].
+    Lower bound: Lemma 2.13 via [BW(MOS_{n,n}, M2)] (Theorem 2.20's
+    [> 2(√2−1)n]). Upper: the best of the folklore column cut, the
+    mesh-of-stars pullback construction and (optionally) heuristics.
+    Instances with at most [exact_limit] nodes (default 32) are solved
+    exactly by branch and bound. *)
+val butterfly : ?use_heuristics:bool -> ?exact_limit:int -> int -> bracket
+
+(** [wrapped n] — [BW(W_n) = n] (Lemma 3.2): column cut above, the
+    [K_{n,n}]-embedding argument below (measured for [n <= 64], by the
+    proved congestion value beyond). Always exact. *)
+val wrapped : int -> bracket
+
+(** [ccc n] — [BW(CCC_n) = n/2] (Lemma 3.3). Always exact. *)
+val ccc : int -> bracket
+
+(** The paper's asymptotic constant [2(√2−1)] ≈ 0.8284. *)
+val butterfly_constant : float

@@ -1,0 +1,27 @@
+let table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> width.(i) <- max width.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let render_row r =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (Printf.sprintf "%-*s" (width.(i) + 2) cell))
+      r;
+    Buffer.add_char buf '\n'
+  in
+  render_row header;
+  let rule = List.map (fun h -> String.make (String.length h) '-') header in
+  render_row rule;
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let fint = string_of_int
+let ffloat ?(digits = 3) x = Printf.sprintf "%.*f" digits x
+let fbool b = if b then "yes" else "NO"
+let fopt f = function Some x -> f x | None -> "-"

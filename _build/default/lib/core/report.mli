@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+(** [table ~title ~header rows] renders an aligned monospace table. *)
+val table : title:string -> header:string list -> string list list -> string
+
+(** Format helpers. *)
+val fint : int -> string
+
+val ffloat : ?digits:int -> float -> string
+val fbool : bool -> string
+val fopt : ('a -> string) -> 'a option -> string

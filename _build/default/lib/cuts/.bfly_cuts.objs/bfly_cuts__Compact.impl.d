@@ -1,0 +1,1 @@
+lib/cuts/compact.ml: Array Bfly_graph List

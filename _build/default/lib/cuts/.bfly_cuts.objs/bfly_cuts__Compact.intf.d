@@ -1,0 +1,1 @@
+lib/cuts/compact.mli: Bfly_graph

@@ -1,0 +1,1 @@
+lib/cuts/constructions.ml: Bfly_graph Bfly_networks Format

@@ -1,0 +1,1 @@
+lib/cuts/constructions.mli: Bfly_graph Bfly_networks Format

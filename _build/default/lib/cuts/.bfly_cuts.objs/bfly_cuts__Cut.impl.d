@@ -1,0 +1,1 @@
+lib/cuts/cut.ml: Array Bfly_graph List

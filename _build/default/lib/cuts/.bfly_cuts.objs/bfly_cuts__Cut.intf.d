@@ -1,0 +1,1 @@
+lib/cuts/cut.mli: Bfly_graph

@@ -1,0 +1,1 @@
+lib/cuts/exact.ml: Array Atomic Bfly_graph List Mutex Queue

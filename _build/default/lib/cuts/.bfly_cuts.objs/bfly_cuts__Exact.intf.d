@@ -1,0 +1,1 @@
+lib/cuts/exact.mli: Bfly_graph

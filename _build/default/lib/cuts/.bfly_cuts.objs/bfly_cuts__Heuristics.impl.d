@@ -1,0 +1,1 @@
+lib/cuts/heuristics.ml: Array Bfly_graph Cut Float List Option Random

@@ -1,0 +1,1 @@
+lib/cuts/heuristics.mli: Bfly_graph Random

@@ -1,0 +1,1 @@
+lib/cuts/io_cut.ml: Array Bfly_graph Bfly_networks List

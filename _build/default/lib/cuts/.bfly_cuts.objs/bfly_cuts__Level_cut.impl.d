@@ -1,0 +1,1 @@
+lib/cuts/level_cut.ml: Array Bfly_graph Bfly_networks Exact List Option Seq

@@ -1,0 +1,1 @@
+lib/cuts/level_cut.mli: Bfly_graph Bfly_networks

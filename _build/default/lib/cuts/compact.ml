@@ -1,0 +1,70 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+
+let mask_of_bitset s = Bitset.fold s 0 (fun m i -> m lor (1 lsl i))
+
+let capacity_of_mask edges m =
+  Array.fold_left
+    (fun acc (a, b) ->
+      if (m lsr a) land 1 <> (m lsr b) land 1 then acc + 1 else acc)
+    0 edges
+
+let find_violation g u =
+  let n = G.n_nodes g in
+  if n > 24 then invalid_arg "Compact: graph too large for exhaustive check";
+  let edges = G.edges g in
+  let u_mask = mask_of_bitset u in
+  let violation = ref None in
+  (* complement symmetry: fix node 0's side *)
+  (try
+     for rest = 0 to (1 lsl (n - 1)) - 1 do
+       let m = (rest lsl 1) lor 1 in
+       let c = capacity_of_mask edges m in
+       let with_u = capacity_of_mask edges (m lor u_mask) in
+       let without_u = capacity_of_mask edges (m land lnot u_mask) in
+       if min with_u without_u > c then begin
+         violation := Some m;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !violation
+
+let is_compact g u = find_violation g u = None
+
+let counterexample g u =
+  match find_violation g u with
+  | None -> None
+  | Some m ->
+      let n = G.n_nodes g in
+      let side = Bitset.create n in
+      for i = 0 to n - 1 do
+        if (m lsr i) land 1 = 1 then Bitset.add side i
+      done;
+      Some side
+
+let amenable_check g cut u =
+  let u_list = Bitset.elements u in
+  let k_u = List.length u_list in
+  if k_u > 20 then invalid_arg "Compact.amenable_check: |U| too large";
+  let edges = G.edges g in
+  let base = mask_of_bitset cut in
+  let u_arr = Array.of_list u_list in
+  let u_mask = mask_of_bitset u in
+  let c0 = capacity_of_mask edges base in
+  (* best achievable capacity for each |A' ∩ U| = k *)
+  let best = Array.make (k_u + 1) max_int in
+  for sub = 0 to (1 lsl k_u) - 1 do
+    let m = ref (base land lnot u_mask) in
+    let cnt = ref 0 in
+    Array.iteri
+      (fun i v ->
+        if (sub lsr i) land 1 = 1 then begin
+          m := !m lor (1 lsl v);
+          incr cnt
+        end)
+      u_arr;
+    let c = capacity_of_mask edges !m in
+    if c < best.(!cnt) then best.(!cnt) <- c
+  done;
+  Array.for_all (fun b -> b <= c0) best

@@ -1,0 +1,22 @@
+(** Compact node sets (Section 2): [U] is compact in [G] when any cut can be
+    modified — moving all of [U] to one side, leaving the other nodes in
+    place — without increasing its capacity.
+
+    Because the modified cut must agree with the original outside [U], the
+    only candidates are [A ∪ U] and [A − U]; compactness is therefore
+    decidable by checking [min(C(A∪U), C(A−U)) ≤ C(A)] for every cut [A].
+    The exhaustive check is exponential and intended for the small instances
+    of experiment E13 (Lemmas 2.8 and 2.9 on [B_4]). *)
+
+(** [is_compact g u] checks the definition over all [2^(n-1)] cuts.
+    @raise Invalid_argument when the graph has more than 24 nodes. *)
+val is_compact : Bfly_graph.Graph.t -> Bfly_graph.Bitset.t -> bool
+
+(** [counterexample g u] is a cut witnessing non-compactness, if any. *)
+val counterexample : Bfly_graph.Graph.t -> Bfly_graph.Bitset.t -> Bfly_graph.Bitset.t option
+
+(** [amenable_check g cut u] checks the {e amenable} property of Section 2
+    for the specific cut: for every [k] in [0..|U|] there is a repartition
+    of [U] (others fixed) with [|A' ∩ U| = k] and capacity at most the
+    original. Exhaustive over the [2^|U|] repartitions; [|U| <= 20]. *)
+val amenable_check : Bfly_graph.Graph.t -> Bfly_graph.Bitset.t -> Bfly_graph.Bitset.t -> bool

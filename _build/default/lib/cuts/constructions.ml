@@ -1,0 +1,217 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Butterfly = Bfly_networks.Butterfly
+module Wrapped = Bfly_networks.Wrapped
+module Ccc = Bfly_networks.Ccc
+module Hypercube = Bfly_networks.Hypercube
+
+type mos_params = { t1 : int; t3 : int; r1 : int; r3 : int }
+
+let pp_mos_params ppf p =
+  Format.fprintf ppf "{t1=%d; t3=%d; r1=%d; r3=%d}" p.t1 p.t3 p.r1 p.r3
+
+(* ------------------------------------------------------------------ *)
+(* Column cuts                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let butterfly_column_cut b =
+  let side = Bitset.create (Butterfly.size b) in
+  let top = Butterfly.n b / 2 in
+  for idx = 0 to Butterfly.size b - 1 do
+    if Butterfly.col_of b idx < top then Bitset.add side idx
+  done;
+  side
+
+let wrapped_column_cut w =
+  let side = Bitset.create (Wrapped.size w) in
+  let top = Wrapped.n w / 2 in
+  for idx = 0 to Wrapped.size w - 1 do
+    if Wrapped.col_of w idx < top then Bitset.add side idx
+  done;
+  side
+
+let ccc_dimension_cut c =
+  let side = Bitset.create (Ccc.size c) in
+  let top = Ccc.n c / 2 in
+  for idx = 0 to Ccc.size c - 1 do
+    if Ccc.cycle_of c idx < top then Bitset.add side idx
+  done;
+  side
+
+let hypercube_cut h =
+  let side = Bitset.create (Hypercube.size h) in
+  for w = 0 to (Hypercube.size h / 2) - 1 do
+    Bitset.add side w
+  done;
+  side
+
+(* ------------------------------------------------------------------ *)
+(* MOS pullback                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Geometry shared by prediction and materialization. *)
+type geometry = {
+  ell : int; (* log n *)
+  n : int;
+  jj : int; (* 2^t3 input classes, indexed by the low t3 column bits *)
+  kk : int; (* 2^t1 output classes, indexed by the high t1 column bits *)
+  bc : int; (* columns per middle block: n / 2^(t1+t3) *)
+  bs : int; (* nodes per middle block *)
+  unit_edges : int; (* butterfly edges per mesh-of-stars edge: 2·bc *)
+  m1s : int; (* nodes per input class part *)
+  m3s : int;
+  target : int; (* |S| aimed for: ⌊N/2⌋ *)
+}
+
+let geometry b { t1; t3; _ } =
+  let ell = Butterfly.log_n b in
+  if t1 < 1 || t3 < 1 || t1 + t3 > ell then
+    invalid_arg "Constructions.mos: need 1 <= t1, 1 <= t3, t1+t3 <= log n";
+  let n = Butterfly.n b in
+  let jj = 1 lsl t3 and kk = 1 lsl t1 in
+  let bc = n / (jj * kk) in
+  let levels_mid = ell - t1 - t3 + 1 in
+  {
+    ell;
+    n;
+    jj;
+    kk;
+    bc;
+    bs = levels_mid * bc;
+    unit_edges = 2 * bc;
+    m1s = t1 * n / jj;
+    m3s = t3 * n / kk;
+    target = Butterfly.size b / 2;
+  }
+
+(* Decide block contents: given the need (nodes still required in S after
+   placing the class parts and the always-in-S AA blocks), distribute over
+   mixed blocks first (cost already paid), then convert AA or OO blocks at
+   2 units apiece. Returns (amount drawn from mixed, amount removed from AA,
+   amount added from OO, conversion-unit cost), or None when infeasible. *)
+let plan geo ~n_aa ~n_mix ~n_oo ~need =
+  let ceil_div a b = (a + b - 1) / b in
+  if need >= 0 && need <= n_mix * geo.bs then Some (need, 0, 0, 0)
+  else if need < 0 then begin
+    let deficit = -need in
+    if deficit > n_aa * geo.bs then None
+    else Some (0, deficit, 0, 2 * ceil_div deficit geo.bs)
+  end
+  else begin
+    let excess = need - (n_mix * geo.bs) in
+    if excess > n_oo * geo.bs then None
+    else Some (n_mix * geo.bs, 0, excess, 2 * ceil_div excess geo.bs)
+  end
+
+let counts geo { r1; r3; _ } =
+  if r1 < 0 || r1 > geo.jj || r3 < 0 || r3 > geo.kk then
+    invalid_arg "Constructions.mos: class counts out of range";
+  let n_aa = r1 * r3 in
+  let n_mix = (r1 * (geo.kk - r3)) + ((geo.jj - r1) * r3) in
+  let n_oo = (geo.jj - r1) * (geo.kk - r3) in
+  let base = (r1 * geo.m1s) + (r3 * geo.m3s) + (n_aa * geo.bs) in
+  (n_aa, n_mix, n_oo, geo.target - base)
+
+let mos_predicted_cost b params =
+  let geo = geometry b params in
+  let n_aa, n_mix, n_oo, need = counts geo params in
+  match plan geo ~n_aa ~n_mix ~n_oo ~need with
+  | None -> None
+  | Some (_, _, _, conv) -> Some (geo.unit_edges * (n_mix + conv))
+
+let mos_pullback_cut b params =
+  let geo = geometry b params in
+  let { t1; t3; r1; r3 } = params in
+  let n_aa, n_mix, n_oo, need = counts geo params in
+  match plan geo ~n_aa ~n_mix ~n_oo ~need with
+  | None -> invalid_arg "Constructions.mos_pullback_cut: infeasible balance"
+  | Some (from_mix, from_aa, from_oo, _) ->
+      let side = Bitset.create (Butterfly.size b) in
+      (* class parts *)
+      for w = 0 to geo.n - 1 do
+        if w land (geo.jj - 1) < r1 then
+          for level = 0 to t1 - 1 do
+            Bitset.add side (Butterfly.node b ~col:w ~level)
+          done;
+        if w lsr (geo.ell - t1) < r3 then
+          for level = geo.ell - t3 + 1 to geo.ell do
+            Bitset.add side (Butterfly.node b ~col:w ~level)
+          done
+      done;
+      (* middle blocks: iterate and fill the decided amount of each.
+         [from_top = true] puts the S portion at the low levels (used when
+         the block's M1-side class is in S, and for OO conversions). *)
+      let fill_block ~h ~a ~amount ~from_top =
+        if amount > 0 then begin
+          let levels_mid = geo.ell - t1 - t3 + 1 in
+          let col mid = (h lsl (geo.ell - t1)) lor (mid lsl t3) lor a in
+          let remaining = ref amount in
+          for step = 0 to levels_mid - 1 do
+            let level =
+              if from_top then t1 + step else geo.ell - t3 - step
+            in
+            for mid = 0 to geo.bc - 1 do
+              if !remaining > 0 then begin
+                Bitset.add side (Butterfly.node b ~col:(col mid) ~level);
+                decr remaining
+              end
+            done
+          done
+        end
+      in
+      (* mutable budgets *)
+      let mix_left = ref from_mix in
+      let aa_removed_left = ref from_aa in
+      let oo_left = ref from_oo in
+      for h = 0 to geo.kk - 1 do
+        for a = 0 to geo.jj - 1 do
+          let m1_in = a < r1 and m3_in = h < r3 in
+          match (m1_in, m3_in) with
+          | true, true ->
+              (* AA: full unless part of the removal budget *)
+              let removed = min geo.bs !aa_removed_left in
+              aa_removed_left := !aa_removed_left - removed;
+              (* keep the S portion adjacent to the M1 side (top) *)
+              fill_block ~h ~a ~amount:(geo.bs - removed) ~from_top:true
+          | false, false ->
+              let amount = min geo.bs !oo_left in
+              oo_left := !oo_left - amount;
+              fill_block ~h ~a ~amount ~from_top:true
+          | true, false ->
+              let amount = min geo.bs !mix_left in
+              mix_left := !mix_left - amount;
+              fill_block ~h ~a ~amount ~from_top:true
+          | false, true ->
+              let amount = min geo.bs !mix_left in
+              mix_left := !mix_left - amount;
+              fill_block ~h ~a ~amount ~from_top:false
+        done
+      done;
+      assert (!mix_left = 0 && !aa_removed_left = 0 && !oo_left = 0);
+      assert (Bitset.cardinal side = geo.target);
+      side
+
+let best_mos_pullback ?(max_classes = 256) b =
+  let ell = Butterfly.log_n b in
+  if ell < 2 then invalid_arg "Constructions.best_mos_pullback: log n < 2";
+  let best = ref None in
+  for t1 = 1 to ell - 1 do
+    for t3 = 1 to ell - t1 do
+      if 1 lsl t1 <= max_classes && 1 lsl t3 <= max_classes then begin
+        for r1 = 0 to 1 lsl t3 do
+          for r3 = 0 to 1 lsl t1 do
+            let params = { t1; t3; r1; r3 } in
+            match mos_predicted_cost b params with
+            | None -> ()
+            | Some cost -> (
+                match !best with
+                | Some (_, c) when c <= cost -> ()
+                | _ -> best := Some (params, cost))
+          done
+        done
+      end
+    done
+  done;
+  match !best with
+  | None -> invalid_arg "Constructions.best_mos_pullback: no feasible parameters"
+  | Some (params, cost) -> (params, cost, mos_pullback_cut b params)

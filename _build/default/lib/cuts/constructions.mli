@@ -1,0 +1,58 @@
+(** Explicit cuts from the paper.
+
+    {2 Folklore column cuts}
+
+    Splitting the columns by their leading bit bisects [B_n], [W_n] and
+    [CCC_n] with capacities [n], [n] and [n/2] (Sections 1.4 and 3) — the
+    upper bounds that are tight for [W_n] and [CCC_n] but {e not} for
+    [B_n].
+
+    {2 The mesh-of-stars pullback (Theorem 2.20)}
+
+    The sub-[n] bisection of [B_n] follows Lemmas 2.11–2.16: quotient [B_n]
+    onto a mesh of stars, cut the mesh optimally (Lemma 2.17), pull the cut
+    back, and restore exact balance by sliding node thresholds inside
+    {e amenable} middle blocks (Lemma 2.15) — which never changes the
+    capacity. Parameters: the first [t1] levels form the M1 part (classed
+    by the low [t3] column bits into [2^t3] classes), the last [t3] levels
+    the M3 part (classed by the high [t1] bits into [2^t1] classes), and
+    levels [t1..log n − t3] form [2^(t1+t3)] middle blocks. [r1] input
+    classes and [r3] output classes are placed in [S]; middle blocks follow
+    Lemma 2.17's optimal placement. The capacity is computed in closed form
+    ({!mos_predicted_cost}) and realized exactly by {!mos_pullback_cut}. *)
+
+type mos_params = { t1 : int; t3 : int; r1 : int; r3 : int }
+
+val pp_mos_params : Format.formatter -> mos_params -> unit
+
+(** Side = columns whose number starts with 0, all levels. Capacity [n]. *)
+val butterfly_column_cut : Bfly_networks.Butterfly.t -> Bfly_graph.Bitset.t
+
+(** Same for [W_n]. Capacity [n]. *)
+val wrapped_column_cut : Bfly_networks.Wrapped.t -> Bfly_graph.Bitset.t
+
+(** Side = cycles whose label starts with 0. Capacity [n/2] (Lemma 3.3). *)
+val ccc_dimension_cut : Bfly_networks.Ccc.t -> Bfly_graph.Bitset.t
+
+(** Split on the top address bit. Capacity [2^(d-1)]. *)
+val hypercube_cut : Bfly_networks.Hypercube.t -> Bfly_graph.Bitset.t
+
+(** Closed-form capacity of the pullback cut for the given parameters, or
+    [None] when the parameters cannot be balanced (converting every middle
+    block still leaves the sides uneven). Exact: {!mos_pullback_cut}
+    realizes exactly this capacity. *)
+val mos_predicted_cost : Bfly_networks.Butterfly.t -> mos_params -> int option
+
+(** Materialize the cut. The result is an exact bisection of [B_n].
+    @raise Invalid_argument when {!mos_predicted_cost} is [None] or the
+    parameters are out of range ([1 <= t1], [1 <= t3], [t1+t3 <= log n],
+    [0 <= r1 <= 2^t3], [0 <= r3 <= 2^t1]). *)
+val mos_pullback_cut : Bfly_networks.Butterfly.t -> mos_params -> Bfly_graph.Bitset.t
+
+(** Search all parameters (class counts capped at [max_classes], default
+    256) by predicted cost and return the best parameters with their cut.
+    @raise Invalid_argument when [log n < 2] (no valid parameters). *)
+val best_mos_pullback :
+  ?max_classes:int ->
+  Bfly_networks.Butterfly.t ->
+  mos_params * int * Bfly_graph.Bitset.t

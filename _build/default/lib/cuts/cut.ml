@@ -1,0 +1,81 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+
+type t = { graph : G.t; side : Bitset.t }
+
+let make graph side =
+  if Bitset.capacity side <> G.n_nodes graph then
+    invalid_arg "Cut.make: side set capacity must match node count";
+  { graph; side }
+
+let graph c = c.graph
+let side c = c.side
+let capacity c = Bfly_graph.Traverse.boundary_edges c.graph c.side
+let side_size c = Bitset.cardinal c.side
+
+let is_bisection c =
+  let n = G.n_nodes c.graph in
+  let s = side_size c in
+  let half = (n + 1) / 2 in
+  s <= half && n - s <= half
+
+let bisects c u =
+  let total = Bitset.cardinal u in
+  let a = Bitset.cardinal (Bitset.inter c.side u) in
+  let b = total - a in
+  abs (a - b) <= 1
+
+let cut_edges c =
+  let acc = ref [] in
+  G.iter_edges c.graph (fun u v ->
+      if Bitset.mem c.side u <> Bitset.mem c.side v then acc := (u, v) :: !acc);
+  List.rev !acc
+
+module State = struct
+  type state = {
+    g : G.t;
+    in_a : Bitset.t;
+    gains : int array;
+    mutable cap : int;
+    mutable size_a : int;
+  }
+
+  let create g side =
+    if Bitset.capacity side <> G.n_nodes g then
+      invalid_arg "Cut.State.create: side set capacity must match node count";
+    let in_a = Bitset.copy side in
+    let n = G.n_nodes g in
+    let gains = Array.make n 0 in
+    let cap = ref 0 in
+    for v = 0 to n - 1 do
+      let mv = Bitset.mem in_a v in
+      G.iter_neighbors g v (fun w ->
+          if Bitset.mem in_a w = mv then gains.(v) <- gains.(v) - 1
+          else begin
+            gains.(v) <- gains.(v) + 1;
+            incr cap
+          end)
+    done;
+    { g; in_a; gains; cap = !cap / 2; size_a = Bitset.cardinal in_a }
+
+  let capacity st = st.cap
+  let side_size st = st.size_a
+  let in_side st v = Bitset.mem st.in_a v
+  let gain st v = st.gains.(v)
+
+  let flip st v =
+    let was_a = Bitset.mem st.in_a v in
+    st.cap <- st.cap - st.gains.(v);
+    st.gains.(v) <- -st.gains.(v);
+    Bitset.set st.in_a v (not was_a);
+    st.size_a <- (if was_a then st.size_a - 1 else st.size_a + 1);
+    G.iter_neighbors st.g v (fun w ->
+        if w <> v then begin
+          (* edge v-w: if w was on v's old side the edge becomes external
+             for w (+2 to w's gain... gain counts ext - int) *)
+          if Bitset.mem st.in_a w = was_a then st.gains.(w) <- st.gains.(w) + 2
+          else st.gains.(w) <- st.gains.(w) - 2
+        end)
+
+  let side st = Bitset.copy st.in_a
+end

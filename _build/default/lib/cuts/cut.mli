@@ -1,0 +1,53 @@
+(** Cuts, bisections and U-bisections (Sections 1.2 and 2.1).
+
+    A cut [(S, S̄)] of a graph is represented by the bitset of nodes in [S].
+    Its capacity [C(S,S̄)] is the number of edges with exactly one endpoint
+    in [S], counted with multiplicity. *)
+
+type t
+
+(** [make g side] wraps a side set (capacity of the bitset must equal the
+    node count of [g]). *)
+val make : Bfly_graph.Graph.t -> Bfly_graph.Bitset.t -> t
+
+val graph : t -> Bfly_graph.Graph.t
+
+(** The set [S]. *)
+val side : t -> Bfly_graph.Bitset.t
+
+(** [C(S, S̄)]. *)
+val capacity : t -> int
+
+(** [|S|]. *)
+val side_size : t -> int
+
+(** [is_bisection c]: both sides have at most [⌈N/2⌉] nodes. *)
+val is_bisection : t -> bool
+
+(** [bisects c u]: [|S∩U| ≤ |S̄∩U| ≤ |S∩U| + 1] up to swapping the sides,
+    i.e. the cut splits [U] as evenly as possible (Section 2.1). *)
+val bisects : t -> Bfly_graph.Bitset.t -> bool
+
+(** Cut edges, one pair per crossing edge (with multiplicity). *)
+val cut_edges : t -> (int * int) list
+
+(** Mutable partition state with incremental gain maintenance, shared by the
+    Kernighan–Lin, Fiduccia–Mattheyses and annealing heuristics. The {e gain}
+    of a node is the decrease in capacity obtained by moving it to the other
+    side (external degree minus internal degree). *)
+module State : sig
+  type state
+
+  val create : Bfly_graph.Graph.t -> Bfly_graph.Bitset.t -> state
+  val capacity : state -> int
+  val side_size : state -> int
+  val in_side : state -> int -> bool
+  val gain : state -> int -> int
+
+  (** [flip st v] moves [v] to the other side, updating capacity and the
+      gains of [v] and its neighbors in O(deg v). *)
+  val flip : state -> int -> unit
+
+  (** Snapshot of the current side set. *)
+  val side : state -> Bfly_graph.Bitset.t
+end

@@ -1,0 +1,293 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Traverse = Bfly_graph.Traverse
+module Parallel = Bfly_graph.Parallel
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive enumeration (oracle for tests; n <= ~26)                 *)
+(* ------------------------------------------------------------------ *)
+
+let bisection_width_exhaustive ?u g =
+  let n = G.n_nodes g in
+  if n = 0 then invalid_arg "Exact: empty graph";
+  if n > 62 then invalid_arg "Exact.bisection_width_exhaustive: too many nodes";
+  let u_mask =
+    match u with
+    | None -> (1 lsl n) - 1
+    | Some s -> Bitset.fold s 0 (fun m i -> m lor (1 lsl i))
+  in
+  let u_tot =
+    let rec pop x acc = if x = 0 then acc else pop (x land (x - 1)) (acc + 1) in
+    pop u_mask 0
+  in
+  let lo_bal = u_tot / 2 and hi_bal = (u_tot + 1) / 2 in
+  let edges = G.edges g in
+  let capacity m =
+    Array.fold_left
+      (fun acc (a, b) ->
+        if (m lsr a) land 1 <> (m lsr b) land 1 then acc + 1 else acc)
+      0 edges
+  in
+  (* node 0 is fixed in S; enumerate the other n-1 nodes *)
+  let eval mask_rest =
+    let m = (mask_rest lsl 1) lor 1 in
+    let in_u =
+      let rec pop x acc = if x = 0 then acc else pop (x land (x - 1)) (acc + 1) in
+      pop (m land u_mask) 0
+    in
+    if in_u >= lo_bal && in_u <= hi_bal then Some (capacity m, m) else None
+  in
+  let best =
+    Parallel.reduce_range ~lo:0 ~hi:(1 lsl (n - 1)) ~init:None
+      ~f:(fun acc i ->
+        match (acc, eval i) with
+        | None, x | x, None -> x
+        | (Some (c, _) as a), (Some (c', _) as b) -> if c' < c then b else a)
+      ~combine:(fun a b ->
+        match (a, b) with
+        | None, x | x, None -> x
+        | (Some (c, _) as a), (Some (c', _) as b) -> if c' < c then b else a)
+  in
+  match best with
+  | None -> invalid_arg "Exact: infeasible balance constraint"
+  | Some (c, m) ->
+      let side = Bitset.create n in
+      for i = 0 to n - 1 do
+        if (m lsr i) land 1 = 1 then Bitset.add side i
+      done;
+      (c, side)
+
+(* ------------------------------------------------------------------ *)
+(* Branch and bound                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type bb = {
+  g : G.t;
+  order : int array; (* assignment order (BFS) *)
+  in_u : bool array;
+  u_tot : int;
+  lo_bal : int;
+  hi_bal : int;
+  (* mutable search state *)
+  assigned : int array; (* -1 unassigned, 0 = A, 1 = B *)
+  cnt : int array array; (* cnt.(side).(v): edges from v to assigned side *)
+  mutable cap : int;
+  mutable sum_min : int; (* sum over unassigned of min cntA cntB *)
+  mutable na : int; (* |A| among assigned *)
+  mutable ua : int; (* |A ∩ U| among assigned *)
+  mutable ub : int;
+  best : int Atomic.t;
+  witness : (int * Bitset.t) option ref;
+  witness_lock : Mutex.t;
+}
+
+let bfs_order g =
+  let n = G.n_nodes g in
+  let order = Array.make n 0 in
+  let seen = Array.make n false in
+  let idx = ref 0 in
+  let q = Queue.create () in
+  for s = 0 to n - 1 do
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        order.(!idx) <- v;
+        incr idx;
+        G.iter_neighbors g v (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              Queue.add w q
+            end)
+      done
+    end
+  done;
+  order
+
+let make_bb g u best_init =
+  let n = G.n_nodes g in
+  let in_u =
+    match u with
+    | None -> Array.make n true
+    | Some s -> Array.init n (Bitset.mem s)
+  in
+  let u_tot = Array.fold_left (fun a b -> if b then a + 1 else a) 0 in_u in
+  {
+    g;
+    order = bfs_order g;
+    in_u;
+    u_tot;
+    lo_bal = u_tot / 2;
+    hi_bal = (u_tot + 1) / 2;
+    assigned = Array.make n (-1);
+    cnt = [| Array.make n 0; Array.make n 0 |];
+    cap = 0;
+    sum_min = 0;
+    na = 0;
+    ua = 0;
+    ub = 0;
+    best = Atomic.make best_init;
+    witness = ref None;
+    witness_lock = Mutex.create ();
+  }
+
+(* clone the mutable parts for use in another domain *)
+let clone_bb bb =
+  {
+    bb with
+    assigned = Array.copy bb.assigned;
+    cnt = [| Array.copy bb.cnt.(0); Array.copy bb.cnt.(1) |];
+  }
+
+let assign bb v side =
+  let other = 1 - side in
+  bb.cap <- bb.cap + bb.cnt.(other).(v);
+  bb.sum_min <- bb.sum_min - min bb.cnt.(0).(v) bb.cnt.(1).(v);
+  bb.assigned.(v) <- side;
+  if side = 0 then bb.na <- bb.na + 1;
+  if bb.in_u.(v) then
+    if side = 0 then bb.ua <- bb.ua + 1 else bb.ub <- bb.ub + 1;
+  G.iter_neighbors bb.g v (fun w ->
+      if bb.assigned.(w) < 0 then begin
+        bb.sum_min <- bb.sum_min - min bb.cnt.(0).(w) bb.cnt.(1).(w);
+        bb.cnt.(side).(w) <- bb.cnt.(side).(w) + 1;
+        bb.sum_min <- bb.sum_min + min bb.cnt.(0).(w) bb.cnt.(1).(w)
+      end)
+
+let unassign bb v =
+  let side = bb.assigned.(v) in
+  let other = 1 - side in
+  G.iter_neighbors bb.g v (fun w ->
+      if bb.assigned.(w) < 0 then begin
+        bb.sum_min <- bb.sum_min - min bb.cnt.(0).(w) bb.cnt.(1).(w);
+        bb.cnt.(side).(w) <- bb.cnt.(side).(w) - 1;
+        bb.sum_min <- bb.sum_min + min bb.cnt.(0).(w) bb.cnt.(1).(w)
+      end);
+  bb.assigned.(v) <- -1;
+  if side = 0 then bb.na <- bb.na - 1;
+  if bb.in_u.(v) then
+    if side = 0 then bb.ua <- bb.ua - 1 else bb.ub <- bb.ub - 1;
+  bb.sum_min <- bb.sum_min + min bb.cnt.(0).(v) bb.cnt.(1).(v);
+  bb.cap <- bb.cap - bb.cnt.(other).(v)
+
+let record_if_better bb =
+  let cap = bb.cap in
+  let rec try_update () =
+    let cur = Atomic.get bb.best in
+    if cap < cur then
+      if Atomic.compare_and_set bb.best cur cap then begin
+        let n = G.n_nodes bb.g in
+        let side = Bitset.create n in
+        for v = 0 to n - 1 do
+          if bb.assigned.(v) = 0 then Bitset.add side v
+        done;
+        Mutex.lock bb.witness_lock;
+        (match !(bb.witness) with
+        | Some (c, _) when c <= cap -> ()
+        | _ -> bb.witness := Some (cap, side));
+        Mutex.unlock bb.witness_lock
+      end
+      else try_update ()
+  in
+  try_update ()
+
+let feasible bb depth =
+  let n = G.n_nodes bb.g in
+  let remaining_u =
+    (* U-nodes not yet assigned: u_tot - ua - ub *)
+    bb.u_tot - bb.ua - bb.ub
+  in
+  bb.ua <= bb.hi_bal && bb.ub <= bb.hi_bal
+  && bb.ua + remaining_u >= bb.lo_bal
+  && bb.ub + remaining_u >= bb.u_tot - bb.hi_bal
+  && depth <= n
+
+let rec dfs bb depth =
+  if bb.cap + bb.sum_min >= Atomic.get bb.best then ()
+  else if depth = Array.length bb.order then record_if_better bb
+  else begin
+    let v = bb.order.(depth) in
+    (* try the side with more attraction first *)
+    let first = if bb.cnt.(0).(v) >= bb.cnt.(1).(v) then 0 else 1 in
+    List.iter
+      (fun side ->
+        assign bb v side;
+        if feasible bb (depth + 1) then dfs bb (depth + 1);
+        unassign bb v)
+      [ first; 1 - first ]
+  end
+
+(* sequential DFS with a visit counter; [degree_bound] toggles the
+   sum-of-minima lower bound for ablation *)
+let rec dfs_counted bb ~degree_bound counter depth =
+  incr counter;
+  let bound = bb.cap + if degree_bound then bb.sum_min else 0 in
+  if bound >= Atomic.get bb.best then ()
+  else if depth = Array.length bb.order then record_if_better bb
+  else begin
+    let v = bb.order.(depth) in
+    let first = if bb.cnt.(0).(v) >= bb.cnt.(1).(v) then 0 else 1 in
+    List.iter
+      (fun side ->
+        assign bb v side;
+        if feasible bb (depth + 1) then
+          dfs_counted bb ~degree_bound counter (depth + 1);
+        unassign bb v)
+      [ first; 1 - first ]
+  end
+
+let bisection_width_instrumented ?u ?upper_bound ?(degree_bound = true) g =
+  let n = G.n_nodes g in
+  if n = 0 then invalid_arg "Exact: empty graph";
+  let init = match upper_bound with Some b -> b + 1 | None -> max_int in
+  let bb = make_bb g u init in
+  assign bb bb.order.(0) 0;
+  let counter = ref 0 in
+  dfs_counted bb ~degree_bound counter 1;
+  match !(bb.witness) with
+  | Some (c, side) -> (c, side, !counter)
+  | None -> invalid_arg "Exact.bisection_width_instrumented: infeasible"
+
+let bisection_width ?u ?upper_bound g =
+  let n = G.n_nodes g in
+  if n = 0 then invalid_arg "Exact: empty graph";
+  let init = match upper_bound with Some b -> b + 1 | None -> max_int in
+  let bb = make_bb g u init in
+  (* initialize sum_min: all zero counts -> 0; fix node order.(0) to side A *)
+  assign bb bb.order.(0) 0;
+  (* parallelize over assignments of the next [p] nodes *)
+  let p = min 10 (n - 1) in
+  let prefixes = 1 lsl p in
+  let run ~lo ~hi =
+    let local = clone_bb bb in
+    for code = lo to hi - 1 do
+      (* replay prefix *)
+      let ok = ref true in
+      let d = ref 1 in
+      while !ok && !d <= p do
+        let v = local.order.(!d) in
+        let side = (code lsr (!d - 1)) land 1 in
+        assign local v side;
+        incr d;
+        if not (feasible local !d) then ok := false
+      done;
+      if !ok && local.cap + local.sum_min < Atomic.get local.best then
+        dfs local (p + 1);
+      (* undo prefix *)
+      for dd = !d - 1 downto 1 do
+        unassign local local.order.(dd)
+      done
+    done
+  in
+  ignore (Parallel.run_chunks ~lo:0 ~hi:prefixes (fun ~lo ~hi -> run ~lo ~hi));
+  match !(bb.witness) with
+  | Some (c, side) -> (c, side)
+  | None -> (
+      (* no cut better than the provided upper bound was found; fall back to
+         reporting the bound with an exhaustive witness only if feasible *)
+      match upper_bound with
+      | Some _ ->
+          invalid_arg
+            "Exact.bisection_width: no cut at or below the given upper bound"
+      | None -> invalid_arg "Exact.bisection_width: infeasible constraint")

@@ -1,0 +1,42 @@
+(** Exact minimum-bisection solvers.
+
+    Minimum bisection is NP-hard; these solvers are exact but exponential,
+    practical for graphs of up to roughly 40 nodes (e.g. [B_8] with 32
+    nodes, [W_8] and [CCC_8] with 24). Both enumerate only sides containing
+    node 0 (complement symmetry) and the branch-and-bound solver prunes with
+    a per-node lower bound: an unassigned node will eventually pay
+    [min(edges to S, edges to S̄)].
+
+    All solvers support {e U-bisection} (Section 2.1): minimizing capacity
+    over cuts that split a given node subset [U] evenly, which is how
+    [BW(MOS, M2)] and [BW(B_n, L_i)] (Lemma 2.12) are computed. *)
+
+(** [bisection_width ?u ?upper_bound g] is the minimum capacity and a
+    witness side over all cuts bisecting [u] (default: all nodes, i.e. the
+    ordinary bisection width). [upper_bound] primes the search with a known
+    cut value (exclusive pruning threshold is the bound itself, so the
+    returned value may equal it only if a witness of that capacity exists
+    below it... the witness returned always achieves the returned value).
+    Uses branch and bound, parallelized over the top of the search tree. *)
+val bisection_width :
+  ?u:Bfly_graph.Bitset.t ->
+  ?upper_bound:int ->
+  Bfly_graph.Graph.t ->
+  int * Bfly_graph.Bitset.t
+
+(** [bisection_width_exhaustive ?u g] enumerates every side set of the
+    required balance. Exponential without pruning; only for graphs of at
+    most ~26 nodes. Used in tests as an oracle for {!bisection_width}. *)
+val bisection_width_exhaustive :
+  ?u:Bfly_graph.Bitset.t -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t
+
+(** [bisection_width_instrumented ?u ?upper_bound ?degree_bound g] is
+    {!bisection_width} run {e sequentially} with a search-node counter,
+    for ablating the per-node lower bound ([degree_bound], default
+    [true]): returns [(value, witness, nodes_visited)]. *)
+val bisection_width_instrumented :
+  ?u:Bfly_graph.Bitset.t ->
+  ?upper_bound:int ->
+  ?degree_bound:bool ->
+  Bfly_graph.Graph.t ->
+  int * Bfly_graph.Bitset.t * int

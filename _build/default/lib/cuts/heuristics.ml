@@ -1,0 +1,321 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module State = Cut.State
+
+let default_rng () = Random.State.make [| 0x5eed |]
+
+let random_balanced_side ~rng n =
+  let perm = Bfly_graph.Perm.random ~rng n in
+  let side = Bitset.create n in
+  for i = 0 to (n / 2) - 1 do
+    Bitset.add side (Bfly_graph.Perm.apply perm i)
+  done;
+  side
+
+let edge_multiplicity g a b =
+  G.fold_neighbors g a 0 (fun acc w -> if w = b then acc + 1 else acc)
+
+(* ------------------------------------------------------------------ *)
+(* Kernighan–Lin                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let kl_pass g st =
+  let n = G.n_nodes g in
+  let locked = Array.make n false in
+  let start_cap = State.capacity st in
+  let best_cap = ref start_cap in
+  let best_len = ref 0 in
+  let swaps = ref [] in
+  let n_swaps = n / 2 in
+  (try
+     for step = 1 to n_swaps do
+       (* best unlocked node of A by gain *)
+       let pick in_a exclude =
+         let best = ref (-1) and bg = ref min_int in
+         for v = 0 to n - 1 do
+           if (not locked.(v)) && State.in_side st v = in_a then begin
+             let adj = match exclude with
+               | Some a -> 2 * edge_multiplicity g a v
+               | None -> 0
+             in
+             let gv = State.gain st v - adj in
+             if gv > !bg then begin
+               bg := gv;
+               best := v
+             end
+           end
+         done;
+         !best
+       in
+       let a = pick true None in
+       if a < 0 then raise Exit;
+       let b = pick false (Some a) in
+       if b < 0 then raise Exit;
+       State.flip st a;
+       State.flip st b;
+       locked.(a) <- true;
+       locked.(b) <- true;
+       swaps := (a, b) :: !swaps;
+       if State.capacity st < !best_cap then begin
+         best_cap := State.capacity st;
+         best_len := step
+       end
+     done
+   with Exit -> ());
+  (* roll back to the best prefix *)
+  let total = List.length !swaps in
+  List.iteri
+    (fun i (a, b) ->
+      if total - i > !best_len then begin
+        State.flip st a;
+        State.flip st b
+      end)
+    !swaps;
+  !best_cap < start_cap
+
+let kernighan_lin ?rng ?(restarts = 4) g =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let n = G.n_nodes g in
+  let best = ref None in
+  for _ = 1 to restarts do
+    let st = State.create g (random_balanced_side ~rng n) in
+    let improving = ref true in
+    while !improving do
+      improving := kl_pass g st
+    done;
+    let c = State.capacity st in
+    match !best with
+    | Some (bc, _) when bc <= c -> ()
+    | _ -> best := Some (c, State.side st)
+  done;
+  Option.get !best
+
+(* ------------------------------------------------------------------ *)
+(* Fiduccia–Mattheyses (heap-based single-node moves, tolerance 1)     *)
+(* ------------------------------------------------------------------ *)
+
+module Heap = struct
+  (* max-heap of (key, payload) on int keys *)
+  type 'a t = { mutable a : (int * 'a) array; mutable len : int }
+
+  let create dummy = { a = Array.make 16 (min_int, dummy); len = 0 }
+
+  let push h k v =
+    if h.len = Array.length h.a then begin
+      let a' = Array.make (2 * h.len) h.a.(0) in
+      Array.blit h.a 0 a' 0 h.len;
+      h.a <- a'
+    end;
+    h.a.(h.len) <- (k, v);
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    while !i > 0 && fst h.a.((!i - 1) / 2) < fst h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let t = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- t;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.len && fst h.a.(l) > fst h.a.(!m) then m := l;
+        if r < h.len && fst h.a.(r) > fst h.a.(!m) then m := r;
+        if !m = !i then continue := false
+        else begin
+          let t = h.a.(!m) in
+          h.a.(!m) <- h.a.(!i);
+          h.a.(!i) <- t;
+          i := !m
+        end
+      done;
+      Some top
+    end
+end
+
+let fm_pass g st =
+  let n = G.n_nodes g in
+  let start_cap = State.capacity st in
+  let locked = Array.make n false in
+  let stamp = Array.make n 0 in
+  let heap = Heap.create (0, 0) in
+  let push v = Heap.push heap (State.gain st v) (v, stamp.(v)) in
+  for v = 0 to n - 1 do
+    push v
+  done;
+  let half = n / 2 in
+  let moves = ref [] in
+  let best_cap = ref start_cap in
+  let best_len = ref 0 in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some (_, (v, s)) ->
+        if (not locked.(v)) && s = stamp.(v) then begin
+          (* balance: after moving v, side sizes must stay within one of n/2 *)
+          let sa = State.side_size st in
+          let sa' = if State.in_side st v then sa - 1 else sa + 1 in
+          if abs (sa' - half) <= 1 then begin
+            State.flip st v;
+            locked.(v) <- true;
+            incr steps;
+            moves := v :: !moves;
+            G.iter_neighbors g v (fun w ->
+                if not locked.(w) then begin
+                  stamp.(w) <- stamp.(w) + 1;
+                  push w
+                end);
+            (* only prefixes with bisection sizes (⌊n/2⌋ or ⌈n/2⌉) are
+               candidates for rollback *)
+            if State.capacity st < !best_cap && sa' >= half && sa' <= n - half
+            then begin
+              best_cap := State.capacity st;
+              best_len := !steps
+            end
+          end
+        end
+  done;
+  let total = List.length !moves in
+  List.iteri (fun i v -> if total - i > !best_len then State.flip st v) !moves;
+  !best_cap < start_cap
+
+let fm_descend g st =
+  let improving = ref true in
+  while !improving do
+    improving := fm_pass g st
+  done
+
+let fiduccia_mattheyses ?rng ?(restarts = 4) g =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let n = G.n_nodes g in
+  let best = ref None in
+  for _ = 1 to restarts do
+    let st = State.create g (random_balanced_side ~rng n) in
+    fm_descend g st;
+    let c = State.capacity st in
+    match !best with
+    | Some (bc, _) when bc <= c -> ()
+    | _ -> best := Some (c, State.side st)
+  done;
+  Option.get !best
+
+(* ------------------------------------------------------------------ *)
+(* Spectral                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let spectral g =
+  let n = G.n_nodes g in
+  let c = float_of_int (G.max_degree g + 1) in
+  let v = Array.init n (fun i -> Float.of_int ((i * 2654435761) land 0xffff) -. 32768.) in
+  let tmp = Array.make n 0. in
+  let deflate x =
+    let mean = Array.fold_left ( +. ) 0. x /. float_of_int n in
+    Array.iteri (fun i xi -> x.(i) <- xi -. mean) x
+  in
+  let normalize x =
+    let norm = sqrt (Array.fold_left (fun a xi -> a +. (xi *. xi)) 0. x) in
+    if norm > 0. then Array.iteri (fun i xi -> x.(i) <- xi /. norm) x
+  in
+  deflate v;
+  normalize v;
+  for _ = 1 to 200 + (4 * int_of_float (sqrt (float_of_int n))) do
+    (* tmp <- (cI - L) v = (c - deg) v + sum of neighbors *)
+    for i = 0 to n - 1 do
+      tmp.(i) <- (c -. float_of_int (G.degree g i)) *. v.(i)
+    done;
+    G.iter_edges g (fun a b ->
+        tmp.(a) <- tmp.(a) +. v.(b);
+        tmp.(b) <- tmp.(b) +. v.(a));
+    Array.blit tmp 0 v 0 n;
+    deflate v;
+    normalize v
+  done;
+  (* median split: the n/2 smallest coordinates form side A *)
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare v.(i) v.(j)) idx;
+  let side = Bitset.create n in
+  for r = 0 to (n / 2) - 1 do
+    Bitset.add side idx.(r)
+  done;
+  let st = State.create g side in
+  fm_descend g st;
+  (State.capacity st, State.side st)
+
+(* ------------------------------------------------------------------ *)
+(* Simulated annealing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let annealing ?rng ?steps g =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let n = G.n_nodes g in
+  let steps = match steps with Some s -> s | None -> min 2_000_000 (400 * n) in
+  let side = random_balanced_side ~rng n in
+  let st = State.create g side in
+  let a_nodes = ref [] and b_nodes = ref [] in
+  for v = 0 to n - 1 do
+    if State.in_side st v then a_nodes := v :: !a_nodes else b_nodes := v :: !b_nodes
+  done;
+  let a_arr = Array.of_list !a_nodes and b_arr = Array.of_list !b_nodes in
+  (* a_arr.(i) is some node currently in A; maintained as we swap *)
+  let best_cap = ref (State.capacity st) in
+  let best_side = ref (State.side st) in
+  let t0 = 3.0 and t1 = 0.05 in
+  for step = 0 to steps - 1 do
+    let temp = t0 *. ((t1 /. t0) ** (float_of_int step /. float_of_int steps)) in
+    let ia = Random.State.int rng (Array.length a_arr) in
+    let ib = Random.State.int rng (Array.length b_arr) in
+    let a = a_arr.(ia) and b = b_arr.(ib) in
+    let delta =
+      -(State.gain st a + State.gain st b - (2 * edge_multiplicity g a b))
+    in
+    if delta <= 0 || Random.State.float rng 1.0 < exp (-.float_of_int delta /. temp)
+    then begin
+      State.flip st a;
+      State.flip st b;
+      a_arr.(ia) <- b;
+      b_arr.(ib) <- a;
+      if State.capacity st < !best_cap then begin
+        best_cap := State.capacity st;
+        best_side := State.side st
+      end
+    end
+  done;
+  (!best_cap, !best_side)
+
+let best_of ?rng g =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let n = G.n_nodes g in
+  let candidates =
+    if n <= 2000 then
+      [
+        ("kernighan-lin", fun () -> kernighan_lin ~rng g);
+        ("fiduccia-mattheyses", fun () -> fiduccia_mattheyses ~rng g);
+        ("spectral", fun () -> spectral g);
+        ("annealing", fun () -> annealing ~rng g);
+      ]
+    else
+      [
+        ("fiduccia-mattheyses", fun () -> fiduccia_mattheyses ~rng ~restarts:2 g);
+        ("spectral", fun () -> spectral g);
+      ]
+  in
+  let best = ref None in
+  List.iter
+    (fun (name, run) ->
+      let c, side = run () in
+      match !best with
+      | Some (bc, _, _) when bc <= c -> ()
+      | _ -> best := Some (c, side, name))
+    candidates;
+  Option.get !best

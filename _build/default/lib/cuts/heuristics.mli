@@ -1,0 +1,30 @@
+(** Heuristic minimum-bisection solvers for instances beyond exact reach.
+
+    None of these are part of the paper; they provide independent upper
+    bounds on [BW] that the experiments compare against the paper's
+    constructions and certified lower bounds. All return balanced cuts
+    (side sizes within one of [N/2]). *)
+
+(** [kernighan_lin ?rng ?restarts g] — classic KL swap passes from random
+    balanced starts. O(passes·n²); intended for [n <= ~2000]. *)
+val kernighan_lin :
+  ?rng:Random.State.t -> ?restarts:int -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t
+
+(** [fiduccia_mattheyses ?rng ?restarts g] — FM single-node moves with
+    bucketed gains and balance tolerance 1. O(passes·m); practical to
+    hundreds of thousands of edges. *)
+val fiduccia_mattheyses :
+  ?rng:Random.State.t -> ?restarts:int -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t
+
+(** [spectral g] — Fiedler-vector median split (power iteration on the
+    Laplacian complement, ones-deflated), refined by one FM descent. *)
+val spectral : Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t
+
+(** [annealing ?rng ?steps g] — simulated annealing over balanced-swap
+    moves with geometric cooling. *)
+val annealing :
+  ?rng:Random.State.t -> ?steps:int -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t
+
+(** [best_of ?rng g] runs a portfolio appropriate to the graph's size and
+    returns the best cut found, labeled by the winning method. *)
+val best_of : ?rng:Random.State.t -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t * string

@@ -1,0 +1,88 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Subset = Bfly_graph.Subset
+module Maxflow = Bfly_graph.Maxflow
+module B = Bfly_networks.Butterfly
+
+let directed_crossings b side =
+  let count = ref 0 in
+  G.iter_edges (B.graph b) (fun u v ->
+      (* orient from the lower level to the higher *)
+      let tail, head = if B.level_of b u < B.level_of b v then (u, v) else (v, u) in
+      if Bitset.mem side tail && not (Bitset.mem side head) then incr count);
+  !count
+
+let column_cut b =
+  let side = Bitset.create (B.size b) in
+  let top = max 1 (B.n b / 2) in
+  for idx = 0 to B.size b - 1 do
+    if B.col_of b idx < top then Bitset.add side idx
+  done;
+  side
+
+let satisfies_constraints b side =
+  let half = (B.n b + 1) / 2 in
+  let inputs_in =
+    List.fold_left
+      (fun acc v -> if Bitset.mem side v then acc + 1 else acc)
+      0 (B.inputs b)
+  in
+  let outputs_out =
+    List.fold_left
+      (fun acc v -> if Bitset.mem side v then acc else acc + 1)
+      0 (B.outputs b)
+  in
+  inputs_in >= half && outputs_out >= half
+
+(* Minimum directed cut separating a fixed input set from a fixed output
+   set: unit-capacity max flow with a super source/sink. *)
+let min_cut_for b ~inputs_in_s ~outputs_out =
+  let size = B.size b in
+  let s = size and t_ = size + 1 in
+  let net = Maxflow.create (size + 2) in
+  G.iter_edges (B.graph b) (fun u v ->
+      let tail, head = if B.level_of b u < B.level_of b v then (u, v) else (v, u) in
+      Maxflow.add_edge net ~src:tail ~dst:head ~cap:1);
+  let inf = 4 * B.n b * (B.log_n b + 1) in
+  List.iter
+    (fun col -> Maxflow.add_edge net ~src:s ~dst:(B.node b ~col ~level:0) ~cap:inf)
+    inputs_in_s;
+  List.iter
+    (fun col ->
+      Maxflow.add_edge net ~src:(B.node b ~col ~level:(B.log_n b)) ~dst:t_ ~cap:inf)
+    outputs_out;
+  let value = Maxflow.max_flow net ~s ~t_ in
+  let side_with_terminals = Maxflow.min_cut_side net ~s in
+  let side = Bitset.create size in
+  for v = 0 to size - 1 do
+    if Bitset.mem side_with_terminals v then Bitset.add side v
+  done;
+  (value, side)
+
+let exact b =
+  let n = B.n b in
+  if n > 8 then
+    invalid_arg "Io_cut.exact: enumeration over input/output choices is \
+                 practical only for n <= 8";
+  let half = (n + 1) / 2 in
+  let best = ref None in
+  (* by the column-xor automorphism, the input set may be assumed to
+     contain column 0 *)
+  Subset.iter ~n:(n - 1) ~k:(half - 1) (fun rest_in ->
+      let inputs_in_s = 0 :: List.map (fun c -> c + 1) (Array.to_list rest_in) in
+      Subset.iter ~n ~k:half (fun outs ->
+          let outputs_out = Array.to_list outs in
+          let value, side = min_cut_for b ~inputs_in_s ~outputs_out in
+          match !best with
+          | Some (v, _) when v <= value -> ()
+          | _ -> best := Some (value, side)))
+      ;
+  match !best with
+  | Some (v, side) ->
+      (* fill the side so the witness satisfies the constraints even on
+         nodes the flow left unreached: unreached non-sink-side nodes are
+         already outside; the constraints hold by construction *)
+      assert (satisfies_constraints b side);
+      assert (directed_crossings b side = v);
+      (v, side)
+  | None -> invalid_arg "Io_cut.exact: degenerate butterfly"

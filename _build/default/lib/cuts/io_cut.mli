@@ -1,0 +1,26 @@
+(** Directed input/output separation (Section 1.2).
+
+    Kruskal and Snir's bandwidth argument uses a variant bisection notion:
+    every butterfly edge is directed from level [i] to level [i+1], and one
+    minimizes the number of directed edges from [S] to [S̄] over cuts where
+    [S] contains at least [n/2] inputs and [S̄] at least [n/2] outputs.
+    The paper notes this value is exactly [n/2], achieved by the column
+    cut. Here both halves are computational: an exact branch-and-bound for
+    small [n] and the construction for all [n]. *)
+
+(** Directed crossing count of a cut (edges oriented toward higher levels,
+    counted when the tail is in [S] and the head outside). *)
+val directed_crossings :
+  Bfly_networks.Butterfly.t -> Bfly_graph.Bitset.t -> int
+
+(** The column-split construction: value [n/2], constraints satisfied. *)
+val column_cut : Bfly_networks.Butterfly.t -> Bfly_graph.Bitset.t
+
+(** [exact b] is the minimum directed crossing count together with a
+    witness, by branch and bound. Practical for [B_8] and below. *)
+val exact : Bfly_networks.Butterfly.t -> int * Bfly_graph.Bitset.t
+
+(** [satisfies_constraints b s] — at least [⌈n/2⌉] inputs in [s] and at
+    least [⌈n/2⌉] outputs outside it. *)
+val satisfies_constraints :
+  Bfly_networks.Butterfly.t -> Bfly_graph.Bitset.t -> bool

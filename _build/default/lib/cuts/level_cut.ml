@@ -1,0 +1,103 @@
+module Bitset = Bfly_graph.Bitset
+module B = Bfly_networks.Butterfly
+
+let level_counts b side =
+  Array.init (B.levels b) (fun level ->
+      List.fold_left
+        (fun acc v -> if Bitset.mem side v then acc + 1 else acc)
+        0
+        (B.level_nodes b level))
+
+(* move one node across the cut within the 4-cycles of boundary [i] so that
+   the counts of levels i and i+1 approach n/2; the chosen move never
+   increases the capacity (the two cycle edges pay for the other two). *)
+let balance_step b side i ~increasing =
+  let n = B.n b in
+  let mask = B.cross_mask b i in
+  let moved = ref false in
+  let w = ref 0 in
+  while (not !moved) && !w < n do
+    if !w land mask = 0 then begin
+      let v = B.node b ~col:!w ~level:i in
+      let v' = B.node b ~col:(!w lxor mask) ~level:i in
+      let u = B.node b ~col:!w ~level:(i + 1) in
+      let u' = B.node b ~col:(!w lxor mask) ~level:(i + 1) in
+      let bottom = (if Bitset.mem side v then 1 else 0) + (if Bitset.mem side v' then 1 else 0) in
+      let top = (if Bitset.mem side u then 1 else 0) + (if Bitset.mem side u' then 1 else 0) in
+      if increasing && bottom < top then begin
+        (* counts rise across the boundary: either add a bottom node (when
+           both tops are in A) or remove a top node (when no bottom is) *)
+        if top = 2 then begin
+          Bitset.add side (if Bitset.mem side v then v' else v);
+          moved := true
+        end
+        else begin
+          assert (bottom = 0);
+          Bitset.remove side (if Bitset.mem side u then u else u');
+          moved := true
+        end
+      end
+      else if (not increasing) && bottom > top then begin
+        (* mirrored: either add a top node (both bottoms in A, so its two
+           up-edges stop being cut) or remove a bottom node (no top in A,
+           so its two down-edges stop being cut) *)
+        if bottom = 2 then begin
+          Bitset.add side (if Bitset.mem side u then u' else u);
+          moved := true
+        end
+        else begin
+          assert (top = 0);
+          Bitset.remove side (if Bitset.mem side v then v else v');
+          moved := true
+        end
+      end
+    end;
+    incr w
+  done;
+  assert !moved
+
+let bisect_some_level b side0 =
+  if B.log_n b < 1 then
+    invalid_arg "Level_cut.bisect_some_level: need log n >= 1";
+  let g = B.graph b in
+  let size = B.size b in
+  let s0 = Bitset.cardinal side0 in
+  if not (s0 <= (size + 1) / 2 && size - s0 <= (size + 1) / 2) then
+    invalid_arg "Level_cut.bisect_some_level: not a bisection";
+  let side = Bitset.copy side0 in
+  let n = B.n b in
+  let half = n / 2 in
+  let initial_capacity = Bfly_graph.Traverse.boundary_edges g side in
+  let result = ref None in
+  let guard = ref (10 * size * size) in
+  while !result = None do
+    decr guard;
+    if !guard < 0 then failwith "Level_cut: no convergence (internal error)";
+    let counts = level_counts b side in
+    match
+      Array.to_seq counts
+      |> Seq.mapi (fun i c -> (i, c))
+      |> Seq.find (fun (_, c) -> c = half)
+    with
+    | Some (level, _) -> result := Some level
+    | None ->
+        (* find an adjacent crossing pair and push one node across *)
+        let rec find i =
+          if i >= B.log_n b then assert false
+          else if counts.(i) < half && counts.(i + 1) > half then (i, true)
+          else if counts.(i) > half && counts.(i + 1) < half then (i, false)
+          else find (i + 1)
+        in
+        let i, increasing = find 0 in
+        balance_step b side i ~increasing;
+        (* the local move never increases capacity *)
+        assert (Bfly_graph.Traverse.boundary_edges g side <= initial_capacity)
+  done;
+  let level = Option.get !result in
+  assert (Bfly_graph.Traverse.boundary_edges g side <= initial_capacity);
+  (level, side)
+
+let level_bisection_width b ~level ?upper_bound () =
+  let u = Bitset.create (B.size b) in
+  List.iter (Bitset.add u) (B.level_nodes b level);
+  Exact.bisection_width ~u ?upper_bound (B.graph b)

@@ -1,0 +1,25 @@
+(** Constructive Lemma 2.12(1): any bisection of [B_n] can be transformed,
+    without increasing its capacity, into a cut that bisects some level.
+
+    The proof's local move is implemented literally: at a boundary [i] with
+    [|A ∩ L_i| <= n/2 <= |A ∩ L_(i+1)|] and neither level bisected, the
+    edges between the two levels decompose into node-disjoint 4-cycles
+    [v–u–v'–u'] (the eponymous "butterflies"); some 4-cycle has fewer [A]
+    nodes below than above, and moving one node across the cut shrinks the
+    imbalance while the moved node's two cycle edges pay for its at most
+    two other edges. *)
+
+(** [bisect_some_level b side] — [side] must be a bisection of [B_n].
+    Returns [(level, side')] where [side'] bisects level [level] and
+    [C(side') <= C(side)]. The returned cut need no longer be a bisection
+    of the whole node set (the lemma does not need it to be).
+    @raise Invalid_argument if [side] is not a bisection. *)
+val bisect_some_level :
+  Bfly_networks.Butterfly.t -> Bfly_graph.Bitset.t -> int * Bfly_graph.Bitset.t
+
+(** [level_bisection_width b ~level ?upper_bound ()] is [BW(B_n, L_level)]
+    — the minimum capacity over cuts bisecting the given level — by branch
+    and bound (small instances). *)
+val level_bisection_width :
+  Bfly_networks.Butterfly.t -> level:int -> ?upper_bound:int -> unit ->
+  int * Bfly_graph.Bitset.t

@@ -1,0 +1,1 @@
+lib/embed/classic.mli: Bfly_networks Embedding

@@ -1,0 +1,1 @@
+lib/embed/embedding.ml: Array Bfly_graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/embed/embedding.mli: Bfly_graph

@@ -1,0 +1,1 @@
+lib/embed/lower_bounds.ml: Bfly_graph Bfly_networks Classic Embedding

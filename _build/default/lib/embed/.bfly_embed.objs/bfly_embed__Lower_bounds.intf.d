@@ -1,0 +1,1 @@
+lib/embed/lower_bounds.mli: Bfly_networks Embedding

@@ -1,0 +1,1 @@
+lib/embed/rearrange.ml: Array Bfly_graph Bfly_networks Embedding Hashtbl List

@@ -1,0 +1,1 @@
+lib/embed/rearrange.mli: Bfly_graph Bfly_networks Embedding

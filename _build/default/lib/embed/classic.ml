@@ -1,0 +1,229 @@
+module G = Bfly_graph.Graph
+module Butterfly = Bfly_networks.Butterfly
+module Wrapped = Bfly_networks.Wrapped
+module Ccc = Bfly_networks.Ccc
+module Mos = Bfly_networks.Mesh_of_stars
+module Complete = Bfly_networks.Complete
+module Hypercube = Bfly_networks.Hypercube
+
+(* Build edge paths in Graph.edges order; [f u v occ] receives the
+   normalized endpoints and the occurrence index among parallel copies. *)
+let paths_for guest f =
+  let seen = Hashtbl.create 64 in
+  Array.map
+    (fun (u, v) ->
+      let occ = Option.value ~default:0 (Hashtbl.find_opt seen (u, v)) in
+      Hashtbl.replace seen (u, v) (occ + 1);
+      f u v occ)
+    (G.edges guest)
+
+let knn_into_butterfly b =
+  let n = Butterfly.n b in
+  let guest = Complete.k_bipartite n n in
+  let node_map =
+    Array.init (2 * n) (fun u ->
+        if u < n then Butterfly.node b ~col:u ~level:0
+        else Butterfly.node b ~col:(u - n) ~level:(Butterfly.log_n b))
+  in
+  let edge_paths =
+    paths_for guest (fun u v _ ->
+        (* u is a left node, v a right node (normalized order) *)
+        Butterfly.monotone_path b ~input_col:u ~output_col:(v - n))
+  in
+  Embedding.make ~guest ~host:(Butterfly.graph b) ~node_map ~edge_paths
+
+(* three-phase path in W_n from node u to node v *)
+let wrapped_three_phase w u v =
+  let ell = Wrapped.log_n w in
+  let cu = Wrapped.col_of w u and iu = Wrapped.level_of w u in
+  let cv = Wrapped.col_of w v and iv = Wrapped.level_of w v in
+  let up = List.init (iu + 1) (fun s -> Wrapped.node w ~col:cu ~level:(iu - s)) in
+  (* monotone walk of length ell from (cu,0) back to level 0 at column cv *)
+  let monotone =
+    let rec go t col acc =
+      if t > ell then List.rev acc
+      else begin
+        let next_col =
+          if t = ell then col
+          else begin
+            let mask = Wrapped.cross_mask w t in
+            if (cu lxor cv) land mask <> 0 then col lxor mask else col
+          end
+        in
+        go (t + 1) next_col (Wrapped.node w ~col ~level:(t mod ell) :: acc)
+      end
+    in
+    (* skip the first node (cu,0): already the last of [up] *)
+    List.tl (go 0 cu [])
+  in
+  let down =
+    if iv = 0 then []
+    else List.init (ell - iv) (fun s -> Wrapped.node w ~col:cv ~level:(ell - 1 - s))
+  in
+  up @ monotone @ down
+
+let kn_into_wrapped w =
+  let size = Wrapped.size w in
+  let guest = Complete.k_n size in
+  let node_map = Array.init size (fun i -> i) in
+  let edge_paths = paths_for guest (fun u v _ -> wrapped_three_phase w u v) in
+  Embedding.make ~guest ~host:(Wrapped.graph w) ~node_map ~edge_paths
+
+(* three-phase path in B_n: up to level 0, monotone down to level log n in
+   the target column, then up the target column *)
+let butterfly_three_phase b u v =
+  let ell = Butterfly.log_n b in
+  let cu = Butterfly.col_of b u and iu = Butterfly.level_of b u in
+  let cv = Butterfly.col_of b v and iv = Butterfly.level_of b v in
+  let up = List.init (iu + 1) (fun s -> Butterfly.node b ~col:cu ~level:(iu - s)) in
+  let monotone = List.tl (Butterfly.monotone_path b ~input_col:cu ~output_col:cv) in
+  let back =
+    List.init (ell - iv) (fun s -> Butterfly.node b ~col:cv ~level:(ell - 1 - s))
+  in
+  up @ monotone @ back
+
+let kn_into_butterfly b =
+  let size = Butterfly.size b in
+  let guest = Complete.k_n size in
+  let node_map = Array.init size (fun i -> i) in
+  let edge_paths = paths_for guest (fun u v _ -> butterfly_three_phase b u v) in
+  Embedding.make ~guest ~host:(Butterfly.graph b) ~node_map ~edge_paths
+
+let double_kn_into_butterfly b =
+  let size = Butterfly.size b in
+  let guest = Complete.double_k_n size in
+  let node_map = Array.init size (fun i -> i) in
+  let edge_paths =
+    paths_for guest (fun u v occ ->
+        if occ = 0 then butterfly_three_phase b u v
+        else List.rev (butterfly_three_phase b v u))
+  in
+  Embedding.make ~guest ~host:(Butterfly.graph b) ~node_map ~edge_paths
+
+let butterfly_into_butterfly ~i ~j host =
+  let ell = Butterfly.log_n host in
+  if i < 0 || i > ell || j < 0 then
+    invalid_arg "Classic.butterfly_into_butterfly: need 0 <= i <= log n, j >= 0";
+  let guest_log = ell + j in
+  let guest_b = Butterfly.create ~log_n:guest_log in
+  let low_bits = ell - i in
+  let image idx =
+    let w = Butterfly.col_of guest_b idx and l = Butterfly.level_of guest_b idx in
+    let w' =
+      ((w lsr (guest_log - i)) lsl low_bits) lor (w land ((1 lsl low_bits) - 1))
+    in
+    let l' = if l < i then l else if l <= i + j then i else l - j in
+    Butterfly.node host ~col:w' ~level:l'
+  in
+  let node_map = Array.init (Butterfly.size guest_b) image in
+  let edge_paths =
+    paths_for (Butterfly.graph guest_b) (fun u v _ ->
+        let mu = node_map.(u) and mv = node_map.(v) in
+        if mu = mv then [ mu ] else [ mu; mv ])
+  in
+  let e =
+    Embedding.make ~guest:(Butterfly.graph guest_b) ~host:(Butterfly.graph host)
+      ~node_map ~edge_paths
+  in
+  (e, guest_b)
+
+let butterfly_into_mos ~t1 ~t3 b =
+  let ell = Butterfly.log_n b in
+  if t1 < 1 || t3 < 1 || t1 + t3 > ell then
+    invalid_arg "Classic.butterfly_into_mos: need 1 <= t1, t3 and t1+t3 <= log n";
+  let jj = 1 lsl t3 and kk = 1 lsl t1 in
+  let mos = Mos.create ~j:jj ~k:kk in
+  let image idx =
+    let w = Butterfly.col_of b idx and l = Butterfly.level_of b idx in
+    let a = w land (jj - 1) in
+    let h = w lsr (ell - t1) in
+    if l < t1 then Mos.m1_node mos a
+    else if l > ell - t3 then Mos.m3_node mos h
+    else Mos.m2_node mos ~a ~b:h
+  in
+  let node_map = Array.init (Butterfly.size b) image in
+  let edge_paths =
+    paths_for (Butterfly.graph b) (fun u v _ ->
+        let mu = node_map.(u) and mv = node_map.(v) in
+        if mu = mv then [ mu ] else [ mu; mv ])
+  in
+  let e =
+    Embedding.make ~guest:(Butterfly.graph b) ~host:(Mos.graph mos) ~node_map
+      ~edge_paths
+  in
+  (e, mos)
+
+let wrapped_into_ccc w =
+  let ell = Wrapped.log_n w in
+  let ccc = Ccc.create ~log_n:ell in
+  let node_map =
+    Array.init (Wrapped.size w) (fun idx ->
+        Ccc.node ccc ~cycle:(Wrapped.col_of w idx) ~pos:(Wrapped.level_of w idx))
+  in
+  let edge_paths =
+    paths_for (Wrapped.graph w) (fun u v _ ->
+        let cu = Wrapped.col_of w u and iu = Wrapped.level_of w u in
+        let cv = Wrapped.col_of w v and iv = Wrapped.level_of w v in
+        if cu = cv then [ node_map.(u); node_map.(v) ]
+        else begin
+          (* cross edge at boundary [b]: identified by its column mask.
+             Cross within position b first, then take the cycle edge. *)
+          let d = cu lxor cv in
+          let b, c_from, c_to, l_to =
+            if d = Wrapped.cross_mask w iu && (iu + 1) mod ell = iv then
+              (iu, cu, cv, iv)
+            else begin
+              assert (d = Wrapped.cross_mask w iv && (iv + 1) mod ell = iu);
+              (iv, cv, cu, iu)
+            end
+          in
+          [
+            Ccc.node ccc ~cycle:c_from ~pos:b;
+            Ccc.node ccc ~cycle:c_to ~pos:b;
+            Ccc.node ccc ~cycle:c_to ~pos:l_to;
+          ]
+        end)
+  in
+  let e =
+    Embedding.make ~guest:(Wrapped.graph w) ~host:(Ccc.graph ccc) ~node_map
+      ~edge_paths
+  in
+  (e, ccc)
+
+let butterfly_into_hypercube b =
+  let ell = Butterfly.log_n b in
+  let levels = ell + 1 in
+  let level_bits =
+    let rec go bits = if 1 lsl bits >= levels then bits else go (bits + 1) in
+    go 0
+  in
+  let q = Hypercube.create ~dim:(ell + level_bits) in
+  let code ~col ~level = col lor (level lsl ell) in
+  let node_map =
+    Array.init (Butterfly.size b) (fun idx ->
+        code ~col:(Butterfly.col_of b idx) ~level:(Butterfly.level_of b idx))
+  in
+  let edge_paths =
+    paths_for (Butterfly.graph b) (fun u v _ ->
+        let cu = Butterfly.col_of b u and iu = Butterfly.level_of b u in
+        let cv = Butterfly.col_of b v and iv = Butterfly.level_of b v in
+        (* flip the column bit first (if any), then each differing level bit *)
+        let start = code ~col:cu ~level:iu in
+        let after_col = code ~col:cv ~level:iu in
+        let path = ref [ start ] in
+        if after_col <> start then path := after_col :: !path;
+        let cur = ref after_col in
+        for bitpos = 0 to level_bits - 1 do
+          let mask = 1 lsl (ell + bitpos) in
+          if (iu lxor iv) land (1 lsl bitpos) <> 0 then begin
+            cur := !cur lxor mask;
+            path := !cur :: !path
+          end
+        done;
+        List.rev !path)
+  in
+  let e =
+    Embedding.make ~guest:(Butterfly.graph b) ~host:(Hypercube.graph q) ~node_map
+      ~edge_paths
+  in
+  (e, q)

@@ -1,0 +1,53 @@
+(** The embeddings used by the paper's lower-bound arguments. Each builder
+    returns a validated {!Embedding.t}; properties (load, congestion,
+    dilation) are measured, not assumed, and tests compare them against the
+    paper's claims. *)
+
+(** Lemma 3.1: [K_{n,n}] into [B_n]. Left nodes ↦ inputs, right ↦ outputs,
+    each edge ↦ the unique monotone path. Load 1, congestion [n/2],
+    dilation [log n]. *)
+val knn_into_butterfly : Bfly_networks.Butterfly.t -> Embedding.t
+
+(** Theorem 4.3: [K_N] into [W_n] ([N = n·log n]) by three-phase paths
+    (up the source column to level 0, a length-[log n] monotone walk to the
+    target column, down to the target). Congestion [O(N log n)]. *)
+val kn_into_wrapped : Bfly_networks.Wrapped.t -> Embedding.t
+
+(** The analogous [K_N] into [B_n] ([N = n(log n + 1)]) via level-0
+    transit; used for the [Θ(k/log k)] expansion bounds on [B_n]. *)
+val kn_into_butterfly : Bfly_networks.Butterfly.t -> Embedding.t
+
+(** Section 1.4: [2K_N] into [B_n] — each parallel pair routed once in each
+    direction of the three-phase scheme. *)
+val double_kn_into_butterfly : Bfly_networks.Butterfly.t -> Embedding.t
+
+(** Lemma 2.10: [B_k] into [B_n], [k = n·2^j], with dilation 1, uniform
+    congestion [2^j], and the level-collapse around level [i]. *)
+val butterfly_into_butterfly :
+  i:int -> j:int -> Bfly_networks.Butterfly.t -> Embedding.t * Bfly_networks.Butterfly.t
+(** [butterfly_into_butterfly ~i ~j host] builds the guest [B_(n·2^j)]
+    internally and returns it alongside the embedding. *)
+
+(** Lemma 2.11: [B_n] into [MOS_{j,k}] with [t1 = log k] input levels and
+    [t3 = log j] output levels collapsing onto M1/M3. Dilation 1,
+    congestion [2n/(jk)]. *)
+val butterfly_into_mos :
+  t1:int -> t3:int -> Bfly_networks.Butterfly.t -> Embedding.t * Bfly_networks.Mesh_of_stars.t
+
+(** Lemma 3.3: [W_n] into [CCC_n] with congestion 2 (cross edges take the
+    two-step detour through the target position). *)
+val wrapped_into_ccc : Bfly_networks.Wrapped.t -> Embedding.t * Bfly_networks.Ccc.t
+
+(** The three-phase walk in [B_n] from one node to another (up the source
+    column to level 0, monotone to the target column's output, up to the
+    target level) used by {!kn_into_butterfly}; exposed for the routing
+    workloads. *)
+val butterfly_three_phase : Bfly_networks.Butterfly.t -> int -> int -> int list
+
+(** The analogous walk in [W_n] used by {!kn_into_wrapped}. *)
+val wrapped_three_phase : Bfly_networks.Wrapped.t -> int -> int -> int list
+
+(** Section 1.5: [B_n] into the hypercube of dimension
+    [log n + ⌈log(log n + 1)⌉] with constant load/congestion/dilation. *)
+val butterfly_into_hypercube :
+  Bfly_networks.Butterfly.t -> Embedding.t * Bfly_networks.Hypercube.t

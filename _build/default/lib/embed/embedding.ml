@@ -1,0 +1,116 @@
+module G = Bfly_graph.Graph
+
+type t = {
+  guest : G.t;
+  host : G.t;
+  node_map : int array;
+  edge_paths : int list array;
+  multiplicity : (int * int, int) Hashtbl.t; (* host pair -> #parallel edges *)
+}
+
+let host_multiplicity host =
+  let tbl = Hashtbl.create (G.n_edges host) in
+  G.iter_edges host (fun u v ->
+      let key = (min u v, max u v) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)));
+  tbl
+
+let make ~guest ~host ~node_map ~edge_paths =
+  if Array.length node_map <> G.n_nodes guest then
+    invalid_arg "Embedding.make: node_map size mismatch";
+  Array.iter
+    (fun h ->
+      if h < 0 || h >= G.n_nodes host then
+        invalid_arg "Embedding.make: node_map out of host range")
+    node_map;
+  let guest_edges = G.edges guest in
+  if Array.length edge_paths <> Array.length guest_edges then
+    invalid_arg "Embedding.make: edge_paths size mismatch";
+  Array.iteri
+    (fun i path ->
+      let u, v = guest_edges.(i) in
+      let mu = node_map.(u) and mv = node_map.(v) in
+      (match path with
+      | [] -> invalid_arg "Embedding.make: empty path"
+      | first :: _ ->
+          let last = List.nth path (List.length path - 1) in
+          let endpoints_ok =
+            (first = mu && last = mv) || (first = mv && last = mu)
+          in
+          if not endpoints_ok then
+            invalid_arg "Embedding.make: path endpoints mismatch");
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            if not (G.mem_edge host a b) then
+              invalid_arg "Embedding.make: path uses a non-edge";
+            check rest
+        | [ _ ] | [] -> ()
+      in
+      check path)
+    edge_paths;
+  { guest; host; node_map; edge_paths; multiplicity = host_multiplicity host }
+
+let guest e = e.guest
+let host e = e.host
+let node_map e = Array.copy e.node_map
+let edge_paths e = Array.copy e.edge_paths
+
+let load e =
+  let counts = Array.make (G.n_nodes e.host) 0 in
+  Array.iter (fun h -> counts.(h) <- counts.(h) + 1) e.node_map;
+  Array.fold_left max 0 counts
+
+let uniform_load e =
+  let counts = Array.make (G.n_nodes e.host) 0 in
+  Array.iter (fun h -> counts.(h) <- counts.(h) + 1) e.node_map;
+  let loads =
+    Array.to_list counts |> List.filter (fun c -> c > 0) |> List.sort_uniq compare
+  in
+  match loads with [ l ] -> Some l | _ -> None
+
+let edge_usage e =
+  let usage = Hashtbl.create 1024 in
+  Array.iter
+    (fun path ->
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+            let key = (min a b, max a b) in
+            Hashtbl.replace usage key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt usage key));
+            walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk path)
+    e.edge_paths;
+  usage
+
+let congestion e =
+  let usage = edge_usage e in
+  Hashtbl.fold
+    (fun key count acc ->
+      let mult = Option.value ~default:1 (Hashtbl.find_opt e.multiplicity key) in
+      max acc ((count + mult - 1) / mult))
+    usage 0
+
+let congestion_stats e =
+  let usage = edge_usage e in
+  let per_edge =
+    Hashtbl.fold
+      (fun key count acc ->
+        let mult = Option.value ~default:1 (Hashtbl.find_opt e.multiplicity key) in
+        ((count + mult - 1) / mult) :: acc)
+      usage []
+  in
+  (* host edges never used count as zero *)
+  let unused = Hashtbl.length e.multiplicity - List.length per_edge in
+  let all = List.rev_append (List.init (max 0 unused) (fun _ -> 0)) per_edge in
+  match all with
+  | [] -> (0, 0, 0.)
+  | _ ->
+      let mn = List.fold_left min max_int all in
+      let mx = List.fold_left max 0 all in
+      let sum = List.fold_left ( + ) 0 all in
+      (mn, mx, float_of_int sum /. float_of_int (List.length all))
+
+let dilation e =
+  Array.fold_left (fun acc p -> max acc (List.length p - 1)) 0 e.edge_paths

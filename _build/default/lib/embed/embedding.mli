@@ -1,0 +1,44 @@
+(** Embeddings of a guest network into a host network (Section 1.4): a map
+    of guest nodes to host nodes and of guest edges to host paths.
+
+    [edge_paths] is indexed like [Graph.edges guest] (normalized order).
+    Paths are node sequences in the host; a path may have length 0 (a
+    single node) when both endpoints of a guest edge share a host image —
+    this occurs in the Lemma 2.10 butterfly-into-butterfly embedding.
+
+    The quality measures are those of the paper: {e load} (guest nodes per
+    host node), {e congestion} (guest paths per host edge) and {e dilation}
+    (longest path, in edges). On multigraph hosts a path occupies one of
+    the parallel edges, so congestion divides per-pair usage by the
+    multiplicity (rounding up). *)
+
+type t
+
+(** [make ~guest ~host ~node_map ~edge_paths] validates and wraps:
+    each path must start at the image of one endpoint and end at the
+    other's, and consecutive path nodes must be host edges.
+    @raise Invalid_argument on any violation. *)
+val make :
+  guest:Bfly_graph.Graph.t ->
+  host:Bfly_graph.Graph.t ->
+  node_map:int array ->
+  edge_paths:int list array ->
+  t
+
+val guest : t -> Bfly_graph.Graph.t
+val host : t -> Bfly_graph.Graph.t
+val node_map : t -> int array
+val edge_paths : t -> int list array
+val load : t -> int
+val congestion : t -> int
+val dilation : t -> int
+
+(** [uniform_load e] is [Some l] when every host node carries exactly [l]
+    guest nodes... every host node in the image; [None] when loads differ.
+    Restricted to host nodes that carry at least one guest node. *)
+val uniform_load : t -> int option
+
+(** Edge congestion histogram: for each host edge (per unordered pair,
+    multiplicity-adjusted) the number of paths using it; returns
+    [(min, max, mean)] over host edges. *)
+val congestion_stats : t -> int * int * float

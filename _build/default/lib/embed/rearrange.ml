@@ -1,0 +1,172 @@
+module G = Bfly_graph.Graph
+module Perm = Bfly_graph.Perm
+module B = Bfly_networks.Butterfly
+module Benes = Bfly_networks.Benes
+
+(* Image of Beneš node (col u, level ℓ) in B_n; d' = Benes dimension. *)
+let node_image b ~d' ~u ~level =
+  if level <= d' then B.node b ~col:(2 * u) ~level
+  else B.node b ~col:((2 * u) + 1) ~level:((2 * d') - level)
+
+(* Image of the Beneš edge from (u, ℓ) to (u', ℓ+1), as a B_n walk from the
+   image of the first to the image of the second. Junction edges (ℓ = d')
+   expand to three hops through level d = log n. *)
+let edge_image b ~d' ~u ~level ~u' =
+  let d = B.log_n b in
+  let a = node_image b ~d' ~u ~level in
+  let c = node_image b ~d' ~u:u' ~level:(level + 1) in
+  if level <> d' then [ a; c ]
+  else begin
+    (* a = (2u, d-1); c = (2u'+1, d-2) with u' in {u, u lxor 1} *)
+    let even = 2 * u and odd = (2 * u) + 1 in
+    if u' = u then
+      [ a; B.node b ~col:even ~level:d; B.node b ~col:odd ~level:(d - 1); c ]
+    else
+      [ a; B.node b ~col:odd ~level:d; B.node b ~col:odd ~level:(d - 1); c ]
+  end
+
+let check_dim b =
+  if B.log_n b < 2 then
+    invalid_arg "Rearrange: requires log n >= 2"
+
+let benes_into_butterfly b =
+  check_dim b;
+  let d' = B.log_n b - 1 in
+  let benes = Benes.create ~dim:d' in
+  let node_map =
+    Array.init (Benes.size benes) (fun idx ->
+        node_image b ~d' ~u:(Benes.col_of benes idx) ~level:(Benes.level_of benes idx))
+  in
+  let edge_paths =
+    Array.map
+      (fun (x, y) ->
+        let x, y =
+          if Benes.level_of benes x <= Benes.level_of benes y then (x, y)
+          else (y, x)
+        in
+        edge_image b ~d' ~u:(Benes.col_of benes x)
+          ~level:(Benes.level_of benes x) ~u':(Benes.col_of benes y))
+      (G.edges (Benes.graph benes))
+  in
+  let e =
+    Embedding.make ~guest:(Benes.graph benes) ~host:(B.graph b) ~node_map
+      ~edge_paths
+  in
+  (e, benes)
+
+let io_partition b =
+  List.partition (fun v -> B.col_of b v mod 2 = 0) (B.inputs b)
+
+let route_ports b perm =
+  check_dim b;
+  let d' = B.log_n b - 1 in
+  if Perm.size perm <> B.n b then
+    invalid_arg "Rearrange.route_ports: permutation must act on n ports";
+  let benes = Benes.create ~dim:d' in
+  let benes_paths = Benes.route_ports benes perm in
+  Array.map
+    (fun path ->
+      (* expand a Beneš walk edge by edge *)
+      let rec expand = function
+        | x :: (y :: _ as rest) ->
+            let x', y' =
+              if Benes.level_of benes x <= Benes.level_of benes y then (x, y)
+              else (y, x)
+            in
+            let img =
+              edge_image b ~d' ~u:(Benes.col_of benes x')
+                ~level:(Benes.level_of benes x') ~u':(Benes.col_of benes y')
+            in
+            (* orient the image to follow the walk *)
+            let img = if x' = x then img else List.rev img in
+            (* drop the leading node: it is the previous segment's tail *)
+            List.tl img @ expand rest
+        | [ _ ] | [] -> []
+      in
+      match path with
+      | [] -> []
+      | first :: _ ->
+          node_image b ~d' ~u:(Benes.col_of benes first)
+            ~level:(Benes.level_of benes first)
+          :: expand path)
+    benes_paths
+
+let input_cut_certificate b side =
+  check_dim b;
+  let module Bitset = Bfly_graph.Bitset in
+  let n = B.n b in
+  (* orient so that the minority of level 0 lies in [minor] *)
+  let in_minor v = not (Bitset.mem side v) in
+  let l0_in_side =
+    List.fold_left
+      (fun acc v -> if Bitset.mem side v then acc + 1 else acc)
+      0 (B.inputs b)
+  in
+  let in_minor = if 2 * l0_in_side <= n then Bitset.mem side else in_minor in
+  (* ports: input port q belongs to column 2(q/2); output port p to column
+     2(p/2)+1. Classify by the side of the owning level-0 node. *)
+  let input_node q = B.node b ~col:(2 * (q / 2)) ~level:0 in
+  let output_node p = B.node b ~col:((2 * (p / 2)) + 1) ~level:0 in
+  let in_ports_minor = ref [] and in_ports_major = ref [] in
+  let out_ports_minor = ref [] and out_ports_major = ref [] in
+  for q = n - 1 downto 0 do
+    if in_minor (input_node q) then in_ports_minor := q :: !in_ports_minor
+    else in_ports_major := q :: !in_ports_major;
+    if in_minor (output_node q) then out_ports_minor := q :: !out_ports_minor
+    else out_ports_major := q :: !out_ports_major
+  done;
+  (* Lemma 2.8's counting guarantees the majority side can absorb the
+     minority's ports on the opposite end *)
+  assert (List.length !in_ports_minor <= List.length !out_ports_major);
+  assert (List.length !out_ports_minor <= List.length !in_ports_major);
+  let perm = Array.make n (-1) in
+  let take lst k =
+    let rec go acc rest k =
+      if k = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> assert false
+        | x :: tl -> go (x :: acc) tl (k - 1)
+    in
+    go [] lst k
+  in
+  let minor_out_targets, rest_major_out =
+    take !out_ports_major (List.length !in_ports_minor)
+  in
+  List.iter2 (fun q p -> perm.(q) <- p) !in_ports_minor minor_out_targets;
+  let major_in_for_minor_out, rest_major_in =
+    take !in_ports_major (List.length !out_ports_minor)
+  in
+  List.iter2 (fun q p -> perm.(q) <- p) major_in_for_minor_out !out_ports_minor;
+  List.iter2 (fun q p -> perm.(q) <- p) rest_major_in rest_major_out;
+  let perm = Perm.of_array perm in
+  let paths = route_ports b perm in
+  (* keep exactly the crossing paths: one endpoint each side *)
+  let crossing =
+    Array.to_list paths
+    |> List.filteri (fun q _ ->
+           in_minor (input_node q) <> in_minor (output_node (Perm.apply perm q)))
+    |> Array.of_list
+  in
+  (Array.length crossing, crossing)
+
+let paths_edge_disjoint b paths =
+  let used = Hashtbl.create 1024 in
+  let g = B.graph b in
+  let ok = ref true in
+  Array.iter
+    (fun path ->
+      let rec walk = function
+        | a :: (c :: _ as rest) ->
+            if not (G.mem_edge g a c) then ok := false
+            else begin
+              let key = (min a c, max a c) in
+              if Hashtbl.mem used key then ok := false
+              else Hashtbl.replace used key ()
+            end;
+            walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk path)
+    paths;
+  !ok

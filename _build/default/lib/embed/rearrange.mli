@@ -1,0 +1,47 @@
+(** Lemma 2.5, executable: the butterfly is rearrangeable from level 0.
+
+    A (log n − 1)-dimensional Beneš network embeds into [B_n] with load 1,
+    congestion 1 and dilation 3: the forward half folds onto the even
+    columns ([(u,ℓ) ↦ (2u,ℓ)]), the backward half onto the odd columns
+    ([(u, 2d'−t) ↦ (2u+1, t)] where [d' = log n − 1]), and each middle
+    junction edge expands to a three-hop path through level [log n].
+    The Beneš I and O nodes both land on level 0 — the even columns are
+    Lemma 2.5's input set [I], the odd columns its output set [O].
+
+    Composing the embedding with the looping algorithm
+    ({!Bfly_networks.Benes.route_ports}) realizes any bijection of the [n]
+    input ports (two per even column) onto the [n] output ports (two per
+    odd column) by [n] pairwise edge-disjoint paths inside [B_n] — the
+    rearrangeability property that powers the compactness Lemma 2.8. *)
+
+(** [benes_into_butterfly b] — the embedding and its Beneš guest.
+    Requires [log n >= 2]. Measured load 1, congestion 1, dilation 3. *)
+val benes_into_butterfly :
+  Bfly_networks.Butterfly.t -> Embedding.t * Bfly_networks.Benes.t
+
+(** Lemma 2.5's partition of level 0: [(I, O)] = (even-column node indices,
+    odd-column node indices). *)
+val io_partition : Bfly_networks.Butterfly.t -> int list * int list
+
+(** [route_ports b p] routes the port bijection [p] (a permutation of
+    [0..n−1]; input port [q] belongs to [I]-column [2(q/2)], output port
+    [p(q)] to [O]-column [2(p(q)/2)+1]). Returns [n] pairwise edge-disjoint
+    walks in [B_n] from the input node to the output node.
+    Requires [log n >= 2]. *)
+val route_ports :
+  Bfly_networks.Butterfly.t -> Bfly_graph.Perm.t -> int list array
+
+(** Validity check: every walk uses existing edges and no edge twice. *)
+val paths_edge_disjoint :
+  Bfly_networks.Butterfly.t -> int list array -> bool
+
+(** Lemma 2.8's quantitative core, executable: for any cut side [a] of
+    [B_n], produce a port bijection that pairs every level-0 node of the
+    minority side with majority-side partners, route it, and return the
+    certified bound together with the witness paths — every returned path
+    has its endpoints on opposite sides of the cut, and the paths are
+    pairwise edge-disjoint, so
+    [C(A, Ā) >= 2 · min(|A ∩ L0|, |Ā ∩ L0|)].
+    Requires [log n >= 2]. *)
+val input_cut_certificate :
+  Bfly_networks.Butterfly.t -> Bfly_graph.Bitset.t -> int * int list array

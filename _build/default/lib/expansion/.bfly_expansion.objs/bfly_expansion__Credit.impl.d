@@ -1,0 +1,1 @@
+lib/expansion/credit.ml: Bfly_graph Bfly_networks Float Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/expansion/credit.mli: Bfly_graph Bfly_networks Format

@@ -1,0 +1,1 @@
+lib/expansion/expansion.ml: Array Bfly_graph Hashtbl List Random

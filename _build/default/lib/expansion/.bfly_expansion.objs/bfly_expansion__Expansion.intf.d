@@ -1,0 +1,1 @@
+lib/expansion/expansion.mli: Bfly_graph Random

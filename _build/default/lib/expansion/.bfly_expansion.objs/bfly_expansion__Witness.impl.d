@@ -1,0 +1,1 @@
+lib/expansion/witness.ml: Bfly_graph Bfly_networks List

@@ -1,0 +1,1 @@
+lib/expansion/witness.mli: Bfly_graph Bfly_networks

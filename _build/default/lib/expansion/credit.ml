@@ -1,0 +1,185 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Butterfly = Bfly_networks.Butterfly
+module Wrapped = Bfly_networks.Wrapped
+
+type result = {
+  set_size : int;
+  retained : float;
+  leaked : float;
+  max_retained : float;
+  cap : float;
+  certified : int;
+  actual : int;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "{k=%d; retained=%.4f; leaked=%.4f; max=%.4f; cap=%.3f; certified=%d; actual=%d}"
+    r.set_size r.retained r.leaked r.max_retained r.cap r.certified r.actual
+
+let log2_floor k =
+  assert (k >= 1);
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 k
+
+type mode = Edge_scheme | Node_scheme
+
+(* One flow from root [w, level] with initial credit [credit], taking
+   [steps] halving steps. [child_cols ~level col] lists the two columns one
+   step onward together with the next level; [member] tests A-membership by
+   node index; [node] builds indices. Retention is accumulated into
+   [acc_edge]/[acc_node]; leaf credit inside A into [leak]. *)
+let flow ~mode ~node ~member ~child ~steps ~root_col ~root_level ~credit ~acc
+    ~leak =
+  let frontier = Hashtbl.create 16 in
+  Hashtbl.replace frontier root_col credit;
+  let level = ref root_level in
+  for depth = 0 to steps - 1 do
+    let next = Hashtbl.create (2 * Hashtbl.length frontier) in
+    let next_level = ref !level in
+    Hashtbl.iter
+      (fun col c ->
+        let parent = node ~col ~level:!level in
+        let half = c /. 2.0 in
+        List.iter
+          (fun (ycol, ylevel) ->
+            next_level := ylevel;
+            let y = node ~col:ycol ~level:ylevel in
+            let is_last = depth = steps - 1 in
+            match mode with
+            | Edge_scheme ->
+                if member parent <> member y then begin
+                  let key = (min parent y, max parent y) in
+                  Hashtbl.replace acc key
+                    (half +. Option.value ~default:0.0 (Hashtbl.find_opt acc key))
+                end
+                else if is_last then leak := !leak +. half
+                else
+                  Hashtbl.replace next ycol
+                    (half +. Option.value ~default:0.0 (Hashtbl.find_opt next ycol))
+            | Node_scheme ->
+                if not (member y) then
+                  Hashtbl.replace acc (y, y)
+                    (half +. Option.value ~default:0.0 (Hashtbl.find_opt acc (y, y)))
+                else if is_last then leak := !leak +. half
+                else
+                  Hashtbl.replace next ycol
+                    (half +. Option.value ~default:0.0 (Hashtbl.find_opt next ycol)))
+          (child ~level:!level ~col))
+      frontier;
+    Hashtbl.reset frontier;
+    Hashtbl.iter (Hashtbl.replace frontier) next;
+    level := !next_level
+  done
+
+let summarize ~mode ~g ~side ~cap_of_k acc leak =
+  let k = Bitset.cardinal side in
+  let retained = Hashtbl.fold (fun _ c a -> a +. c) acc 0.0 in
+  let max_retained = Hashtbl.fold (fun _ c a -> Float.max a c) acc 0.0 in
+  let cap = cap_of_k k in
+  let certified =
+    if retained <= 0.0 then 0 else int_of_float (ceil ((retained /. cap) -. 1e-9))
+  in
+  let actual =
+    match mode with
+    | Edge_scheme -> Bfly_graph.Traverse.boundary_edges g side
+    | Node_scheme -> Bitset.cardinal (Bfly_graph.Traverse.neighbors_of_set g side)
+  in
+  { set_size = k; retained; leaked = !leak; max_retained; cap; certified; actual }
+
+(* ------------------------------------------------------------------ *)
+(* Wrapped butterfly schemes                                           *)
+(* ------------------------------------------------------------------ *)
+
+let wn_scheme mode w side =
+  let ell = Wrapped.log_n w in
+  assert (Bitset.capacity side = Wrapped.size w);
+  let member = Bitset.mem side in
+  let node ~col ~level = Wrapped.node w ~col ~level in
+  let child_down ~level ~col =
+    let mask = Wrapped.cross_mask w level in
+    let nl = (level + 1) mod ell in
+    [ (col, nl); (col lxor mask, nl) ]
+  in
+  let child_up ~level ~col =
+    let nl = (level - 1 + ell) mod ell in
+    let mask = Wrapped.cross_mask w nl in
+    [ (col, nl); (col lxor mask, nl) ]
+  in
+  let acc = Hashtbl.create 256 in
+  let leak = ref 0.0 in
+  Bitset.iter side (fun u ->
+      let col = Wrapped.col_of w u and level = Wrapped.level_of w u in
+      flow ~mode ~node ~member ~child:child_down ~steps:ell ~root_col:col
+        ~root_level:level ~credit:0.5 ~acc ~leak;
+      flow ~mode ~node ~member ~child:child_up ~steps:ell ~root_col:col
+        ~root_level:level ~credit:0.5 ~acc ~leak);
+  (acc, leak)
+
+let wn_edge w side =
+  let acc, leak = wn_scheme Edge_scheme w side in
+  let cap_of_k k = float_of_int (log2_floor (max 1 k) + 1) /. 4.0 in
+  summarize ~mode:Edge_scheme ~g:(Wrapped.graph w) ~side ~cap_of_k acc leak
+
+let wn_node w side =
+  let acc, leak = wn_scheme Node_scheme w side in
+  let cap_of_k k =
+    if k <= 1 then 1.0 else float_of_int (log2_floor k) |> Float.max 1.0
+  in
+  summarize ~mode:Node_scheme ~g:(Wrapped.graph w) ~side ~cap_of_k acc leak
+
+(* ------------------------------------------------------------------ *)
+(* Plain butterfly schemes                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bn_scheme mode b side =
+  let ell = Butterfly.log_n b in
+  assert (Bitset.capacity side = Butterfly.size b);
+  let member = Bitset.mem side in
+  let node ~col ~level = Butterfly.node b ~col ~level in
+  let child_down ~level ~col =
+    let mask = Butterfly.cross_mask b level in
+    [ (col, level + 1); (col lxor mask, level + 1) ]
+  in
+  let child_up ~level ~col =
+    let mask = Butterfly.cross_mask b (level - 1) in
+    [ (col, level - 1); (col lxor mask, level - 1) ]
+  in
+  let acc = Hashtbl.create 256 in
+  let leak = ref 0.0 in
+  let half_point = (ell + 1) / 2 in
+  Bitset.iter side (fun u ->
+      let col = Butterfly.col_of b u and level = Butterfly.level_of b u in
+      if level < half_point then
+        flow ~mode ~node ~member ~child:child_down ~steps:(ell - level)
+          ~root_col:col ~root_level:level ~credit:1.0 ~acc ~leak
+      else
+        flow ~mode ~node ~member ~child:child_up ~steps:level ~root_col:col
+          ~root_level:level ~credit:1.0 ~acc ~leak);
+  (acc, leak)
+
+let bn_edge b side =
+  let acc, leak = bn_scheme Edge_scheme b side in
+  let cap_of_k k = float_of_int (log2_floor (max 1 k) + 1) /. 2.0 in
+  summarize ~mode:Edge_scheme ~g:(Butterfly.graph b) ~side ~cap_of_k acc leak
+
+let bn_node b side =
+  let acc, leak = bn_scheme Node_scheme b side in
+  let cap_of_k k =
+    if k <= 2 then 1.0 else Float.max 1.0 (2.0 *. float_of_int (log2_floor k))
+  in
+  summarize ~mode:Node_scheme ~g:(Butterfly.graph b) ~side ~cap_of_k acc leak
+
+module Bounds = struct
+  let log2 k = log (float_of_int k) /. log 2.0
+  let guard k f = if k < 2 then 0.0 else f (float_of_int k) (log2 k)
+  let ee_wn_lower k = guard k (fun kf l -> 4.0 *. kf /. l)
+  let ee_wn_upper = ee_wn_lower
+  let ne_wn_lower k = guard k (fun kf l -> kf /. l)
+  let ne_wn_upper k = guard k (fun kf l -> 3.0 *. kf /. l)
+  let ee_bn_lower k = guard k (fun kf l -> 2.0 *. kf /. l)
+  let ee_bn_upper = ee_bn_lower
+  let ne_bn_lower k = guard k (fun kf l -> kf /. (2.0 *. l))
+  let ne_bn_upper k = guard k (fun kf l -> kf /. l)
+end

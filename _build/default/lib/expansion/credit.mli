@@ -1,0 +1,51 @@
+(** Executable credit-distribution schemes (Lemmas 4.2, 4.5, 4.8, 4.11).
+
+    Each node of a set [A] distributes one unit of credit down/up the
+    complete binary trees [T_u], [T'_u] rooted at it; credit halves at each
+    tree level and is retained by the first cut edge (edge schemes) or the
+    first node outside [A] (node schemes) it meets, or by the tree leaves.
+    The paper shows (1) at least [|A|·(1 − o(1))] credit lands on the cut,
+    and (2) no cut edge/outside node retains more than a [Θ(log k)] cap —
+    together a certified lower bound on [EE] or [NE] of the specific set.
+
+    Credits are dyadic rationals with denominator at most [2^(log n + 2)],
+    hence exactly representable in floats for every practical [n]. *)
+
+type result = {
+  set_size : int;  (** [k = |A|] *)
+  retained : float;  (** total credit retained on the cut / on [N(A)] *)
+  leaked : float;  (** credit retained by tree leaves inside [A] *)
+  max_retained : float;  (** largest credit on one cut edge / one node *)
+  cap : float;  (** the paper's per-edge/per-node cap used for certification *)
+  certified : int;  (** [⌈retained / cap⌉] — a true lower bound *)
+  actual : int;  (** the measured [C(A,Ā)] or [|N(A)|] of the set *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** Lemma 4.2: edge scheme on [W_n]; each [u ∈ A] sends ½ down and ½ up;
+    cap [(⌊log k⌋ + 1)/4]. Certifies [EE(W_n, ·) >= certified] for [A]. *)
+val wn_edge : Bfly_networks.Wrapped.t -> Bfly_graph.Bitset.t -> result
+
+(** Lemma 4.5: node scheme on [W_n]; cap [⌊log k⌋] (1 when [k = 1]). *)
+val wn_node : Bfly_networks.Wrapped.t -> Bfly_graph.Bitset.t -> result
+
+(** Lemma 4.8: edge scheme on [B_n]; nodes in the top half send one unit
+    down, others one unit up; cap [(⌊log k⌋ + 1)/2]. *)
+val bn_edge : Bfly_networks.Butterfly.t -> Bfly_graph.Bitset.t -> result
+
+(** Lemma 4.11: node scheme on [B_n]; cap [2⌊log k⌋] (1 when [k <= 2]). *)
+val bn_node : Bfly_networks.Butterfly.t -> Bfly_graph.Bitset.t -> result
+
+(** Closed-form bounds of Section 4.3, for the experiment tables. All take
+    [k] and return the asymptotic main term (no [o(1)] corrections). *)
+module Bounds : sig
+  val ee_wn_lower : int -> float (* 4k/log k *)
+  val ee_wn_upper : int -> float
+  val ne_wn_lower : int -> float (* k/log k *)
+  val ne_wn_upper : int -> float (* 3k/log k *)
+  val ee_bn_lower : int -> float (* 2k/log k *)
+  val ee_bn_upper : int -> float
+  val ne_bn_lower : int -> float (* k/(2 log k) *)
+  val ne_bn_upper : int -> float (* k/log k *)
+end

@@ -1,0 +1,136 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Subset = Bfly_graph.Subset
+module Parallel = Bfly_graph.Parallel
+
+let edge_expansion = Bfly_graph.Traverse.boundary_edges
+
+let node_expansion g s =
+  Bitset.cardinal (Bfly_graph.Traverse.neighbors_of_set g s)
+
+(* Enumerate k-subsets in parallel chunks; [score] evaluates a subset given
+   a membership array and the member list. *)
+let exact_min g ~k score =
+  let n = G.n_nodes g in
+  if k < 0 || k > n then invalid_arg "Expansion: k out of range";
+  let total = Subset.binomial n k in
+  if total > 200_000_000 then
+    invalid_arg "Expansion: subset space too large for exact enumeration";
+  let chunk_best ~lo ~hi =
+    let member = Array.make n false in
+    let best = ref None in
+    Subset.iter_range ~n ~k ~lo ~hi (fun subset ->
+        Array.iter (fun v -> member.(v) <- true) subset;
+        let c = score member subset in
+        (match !best with
+        | Some (bc, _) when bc <= c -> ()
+        | _ -> best := Some (c, Array.copy subset));
+        Array.iter (fun v -> member.(v) <- false) subset);
+    !best
+  in
+  let results = Parallel.run_chunks ~lo:0 ~hi:total (fun ~lo ~hi -> chunk_best ~lo ~hi) in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | None, x | x, None -> x
+        | (Some (c, _) as a), (Some (c', _) as b) -> if c' < c then b else a)
+      None results
+  in
+  match best with
+  | None -> invalid_arg "Expansion: empty subset space"
+  | Some (c, subset) ->
+      let side = Bitset.create n in
+      Array.iter (Bitset.add side) subset;
+      (c, side)
+
+let ee_exact g ~k =
+  exact_min g ~k (fun member subset ->
+      Array.fold_left
+        (fun acc v ->
+          G.fold_neighbors g v acc (fun a w -> if member.(w) then a else a + 1))
+        0 subset)
+
+let ne_exact g ~k =
+  exact_min g ~k (fun member subset ->
+      let seen = Hashtbl.create 16 in
+      Array.iter
+        (fun v ->
+          G.iter_neighbors g v (fun w ->
+              if not member.(w) then Hashtbl.replace seen w ()))
+        subset;
+      Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* Annealing minimizer over fixed-size sets                            *)
+(* ------------------------------------------------------------------ *)
+
+let anneal_min ?rng ?steps g ~k score =
+  let rng = match rng with Some r -> r | None -> Random.State.make [| 0xacc |] in
+  let n = G.n_nodes g in
+  if k <= 0 || k >= n then invalid_arg "Expansion: k out of range for annealing";
+  let steps = match steps with Some s -> s | None -> min 400_000 (2000 * n) in
+  let perm = Bfly_graph.Perm.random ~rng n in
+  let inside = Array.init k (fun i -> Bfly_graph.Perm.apply perm i) in
+  let outside = Array.init (n - k) (fun i -> Bfly_graph.Perm.apply perm (k + i)) in
+  let member = Array.make n false in
+  Array.iter (fun v -> member.(v) <- true) inside;
+  let current = ref (score member) in
+  let best = ref !current in
+  let best_set = ref (Array.copy inside) in
+  let t0 = 3.0 and t1 = 0.02 in
+  for step = 0 to steps - 1 do
+    let temp = t0 *. ((t1 /. t0) ** (float_of_int step /. float_of_int steps)) in
+    let ii = Random.State.int rng k and oi = Random.State.int rng (n - k) in
+    let v_out = inside.(ii) and v_in = outside.(oi) in
+    member.(v_out) <- false;
+    member.(v_in) <- true;
+    let c = score member in
+    let delta = c - !current in
+    if
+      delta <= 0
+      || Random.State.float rng 1.0 < exp (-.float_of_int delta /. temp)
+    then begin
+      inside.(ii) <- v_in;
+      outside.(oi) <- v_out;
+      current := c;
+      if c < !best then begin
+        best := c;
+        best_set := Array.copy inside
+      end
+    end
+    else begin
+      member.(v_out) <- true;
+      member.(v_in) <- false
+    end
+  done;
+  let side = Bitset.create n in
+  Array.iter (Bitset.add side) !best_set;
+  (!best, side)
+
+let ee_anneal ?rng ?steps g ~k =
+  let score member =
+    let c = ref 0 in
+    G.iter_edges g (fun u v -> if member.(u) <> member.(v) then incr c);
+    !c
+  in
+  anneal_min ?rng ?steps g ~k score
+
+let ne_anneal ?rng ?steps g ~k =
+  let n = G.n_nodes g in
+  let seen = Array.make n (-1) in
+  let stamp = ref 0 in
+  let score member =
+    incr stamp;
+    let count = ref 0 in
+    for v = 0 to n - 1 do
+      if member.(v) then
+        G.iter_neighbors g v (fun w ->
+            if (not member.(w)) && seen.(w) <> !stamp then begin
+              seen.(w) <- !stamp;
+              incr count
+            end)
+    done;
+    !count
+  in
+  anneal_min ?rng ?steps g ~k score

@@ -1,0 +1,38 @@
+module Bitset = Bfly_graph.Bitset
+module Butterfly = Bfly_networks.Butterfly
+module Wrapped = Bfly_networks.Wrapped
+
+let single_size ~dim = (dim + 1) * (1 lsl dim)
+let pair_size ~dim = 2 * single_size ~dim
+
+let of_nodes capacity nodes =
+  let s = Bitset.create capacity in
+  List.iter (Bitset.add s) nodes;
+  s
+
+let wn_ee ~dim w =
+  of_nodes (Wrapped.size w) (Wrapped.sub_butterfly_nodes w ~top_level:0 ~dim ~col:0)
+
+let wn_ne ~dim w =
+  (* the enclosing (dim+1)-dimensional sub-butterfly spans levels
+     0..dim+1; its two lower components span levels 1..dim+1 and are
+     separated by the bit crossed at boundary 0 *)
+  assert (dim + 2 < Wrapped.log_n w);
+  let sibling_mask = Wrapped.cross_mask w 0 in
+  let b' = Wrapped.sub_butterfly_nodes w ~top_level:1 ~dim ~col:0 in
+  let b'' = Wrapped.sub_butterfly_nodes w ~top_level:1 ~dim ~col:sibling_mask in
+  of_nodes (Wrapped.size w) (b' @ b'')
+
+let bn_ee ~dim b =
+  of_nodes (Butterfly.size b) (Butterfly.sub_butterfly_nodes b ~top_level:0 ~dim ~col:0)
+
+let bn_ne ~dim b =
+  let ell = Butterfly.log_n b in
+  (* anchor the enclosing (dim+1)-dimensional sub-butterfly so its outputs
+     are the real outputs: levels (log n - dim - 1)..log n; the two lower
+     components span levels (log n - dim)..log n *)
+  let top = ell - dim in
+  let sibling_mask = Butterfly.cross_mask b (top - 1) in
+  let b' = Butterfly.sub_butterfly_nodes b ~top_level:top ~dim ~col:0 in
+  let b'' = Butterfly.sub_butterfly_nodes b ~top_level:top ~dim ~col:sibling_mask in
+  of_nodes (Butterfly.size b) (b' @ b'')

@@ -1,0 +1,36 @@
+(** Witness sets achieving the paper's expansion upper bounds.
+
+    Lemma 4.1: a d-dimensional sub-butterfly of [W_n] has edge expansion
+    exactly [4·2^d] (two cut edges per input and per output).
+    Lemma 4.4: two sibling d-dimensional sub-butterflies inside a common
+    (d+1)-dimensional one have [3·2^(d+1)] neighbors.
+    Lemma 4.7: a sub-butterfly of [B_n] anchored at level 0 has edge
+    expansion [2·2^d] (its inputs are real inputs).
+    Lemma 4.10: two siblings anchored at level [log n] have [2^(d+1)]
+    neighbors (their outputs are real outputs).
+
+    Each witness has [k = (d+1)·2^d] nodes (single sub-butterfly) or
+    [k = 2(d+1)·2^d] (sibling pair). *)
+
+(** [wn_ee ~dim w]: sub-butterfly of [W_n] at levels [0..dim], column 0
+    window. Requires [dim < log n]. *)
+val wn_ee : dim:int -> Bfly_networks.Wrapped.t -> Bfly_graph.Bitset.t
+
+(** [wn_ne ~dim w]: sibling pair inside a (dim+1)-dimensional sub-butterfly
+    of [W_n]. Requires [dim + 2 < log n] — with fewer levels to spare the
+    wraparound identifies the neighbor level below the pair with the
+    neighbor level above it and the count degenerates. *)
+val wn_ne : dim:int -> Bfly_networks.Wrapped.t -> Bfly_graph.Bitset.t
+
+(** [bn_ee ~dim b]: sub-butterfly of [B_n] anchored at level 0.
+    Requires [dim <= log n]. *)
+val bn_ee : dim:int -> Bfly_networks.Butterfly.t -> Bfly_graph.Bitset.t
+
+(** [bn_ne ~dim b]: sibling pair whose outputs lie on level [log n].
+    Requires [dim + 1 <= log n]. *)
+val bn_ne : dim:int -> Bfly_networks.Butterfly.t -> Bfly_graph.Bitset.t
+
+(** Expected set sizes: [(dim+1)·2^dim] and [2(dim+1)·2^dim]. *)
+val single_size : dim:int -> int
+
+val pair_size : dim:int -> int

@@ -1,0 +1,1 @@
+lib/graph/bitset.ml: Array Format List

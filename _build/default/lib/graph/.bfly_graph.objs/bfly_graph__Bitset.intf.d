@@ -1,0 +1,1 @@
+lib/graph/bitset.mli: Format

@@ -1,0 +1,1 @@
+lib/graph/dot.ml: Bitset Buffer Fun Graph Printf

@@ -1,0 +1,1 @@
+lib/graph/dot.mli: Bitset Graph

@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Graph List Random

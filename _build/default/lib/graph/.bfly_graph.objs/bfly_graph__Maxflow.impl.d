@@ -1,0 +1,1 @@
+lib/graph/maxflow.ml: Array Bitset Queue

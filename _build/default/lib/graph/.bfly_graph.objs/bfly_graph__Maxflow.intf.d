@@ -1,0 +1,1 @@
+lib/graph/maxflow.mli: Bitset

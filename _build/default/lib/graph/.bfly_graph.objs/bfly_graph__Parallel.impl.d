@@ -1,0 +1,1 @@
+lib/graph/parallel.ml: Array Domain List Sys

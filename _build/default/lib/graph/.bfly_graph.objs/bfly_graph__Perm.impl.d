@@ -1,0 +1,1 @@
+lib/graph/perm.ml: Array Format List Random

@@ -1,0 +1,1 @@
+lib/graph/perm.mli: Format Random

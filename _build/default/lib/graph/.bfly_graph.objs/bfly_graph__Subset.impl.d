@@ -1,0 +1,1 @@
+lib/graph/subset.ml: Array

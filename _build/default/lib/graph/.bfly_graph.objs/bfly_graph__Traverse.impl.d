@@ -1,0 +1,1 @@
+lib/graph/traverse.ml: Array Bitset Graph List Queue Union_find

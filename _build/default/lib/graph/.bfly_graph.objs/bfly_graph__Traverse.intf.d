@@ -1,0 +1,1 @@
+lib/graph/traverse.mli: Bitset Graph Union_find

@@ -1,0 +1,120 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = 63 (* OCaml native ints: use 63 low bits, portable *)
+
+let create n =
+  assert (n >= 0);
+  { n; words = Array.make ((n + bits_per_word - 1) / bits_per_word + 1) 0 }
+
+let capacity s = s.n
+let index i = (i / bits_per_word, i mod bits_per_word)
+
+let check s i =
+  assert (i >= 0 && i < s.n)
+
+let mem s i =
+  check s i;
+  let w, b = index i in
+  s.words.(w) land (1 lsl b) <> 0
+
+let add s i =
+  check s i;
+  let w, b = index i in
+  s.words.(w) <- s.words.(w) lor (1 lsl b)
+
+let remove s i =
+  check s i;
+  let w, b = index i in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl b)
+
+let set s i b = if b then add s i else remove s i
+
+let flip s i =
+  check s i;
+  let w, b = index i in
+  s.words.(w) <- s.words.(w) lxor (1 lsl b)
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+let copy s = { s with words = Array.copy s.words }
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let fill s =
+  for i = 0 to s.n - 1 do
+    add s i
+  done
+
+let complement s =
+  let c = create s.n in
+  for i = 0 to s.n - 1 do
+    if not (mem s i) then add c i
+  done;
+  c
+
+let zip_words op a b =
+  assert (a.n = b.n);
+  let r = create a.n in
+  Array.iteri (fun i w -> r.words.(i) <- op w b.words.(i)) a.words;
+  r
+
+let union a b = zip_words ( lor ) a b
+let inter a b = zip_words ( land ) a b
+let diff a b = zip_words (fun x y -> x land lnot y) a b
+
+let equal a b =
+  assert (a.n = b.n);
+  a.words = b.words
+
+let subset a b =
+  assert (a.n = b.n);
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.words.(i) <> 0 then ok := false) a.words;
+  !ok
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let iter s f =
+  for w = 0 to Array.length s.words - 1 do
+    let word = ref s.words.(w) in
+    while !word <> 0 do
+      let low = !word land - !word in
+      let b =
+        (* index of the single set bit in [low] *)
+        let rec go b x = if x = 1 then b else go (b + 1) (x lsr 1) in
+        go 0 low
+      in
+      f ((w * bits_per_word) + b);
+      word := !word land lnot low
+    done
+  done
+
+let fold s init f =
+  let acc = ref init in
+  iter s (fun i -> acc := f !acc i);
+  !acc
+
+let elements s = List.rev (fold s [] (fun acc i -> i :: acc))
+
+let of_list n l =
+  let s = create n in
+  List.iter (add s) l;
+  s
+
+let choose s =
+  let r = ref (-1) in
+  (try
+     iter s (fun i ->
+         r := i;
+         raise Exit)
+   with Exit -> ());
+  if !r < 0 then raise Not_found else !r
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,75 @@
+(** Fixed-capacity bitsets over a universe [0, capacity).
+
+    Used throughout the cut and expansion machinery to represent node sets
+    and cut sides. All operations are bounds-checked by assertions. *)
+
+type t
+
+(** [create n] is the empty set over universe [0, n). *)
+val create : int -> t
+
+(** Capacity of the universe (the [n] given to {!create}). *)
+val capacity : t -> int
+
+(** [mem s i] tests membership of [i]. *)
+val mem : t -> int -> bool
+
+(** [add s i] inserts [i] (in place). *)
+val add : t -> int -> unit
+
+(** [remove s i] deletes [i] (in place). *)
+val remove : t -> int -> unit
+
+(** [set s i b] inserts [i] when [b], deletes it otherwise. *)
+val set : t -> int -> bool -> unit
+
+(** [flip s i] toggles membership of [i]. *)
+val flip : t -> int -> unit
+
+(** Number of elements in the set. O(capacity/64). *)
+val cardinal : t -> int
+
+(** [copy s] is an independent copy. *)
+val copy : t -> t
+
+(** [clear s] empties the set in place. *)
+val clear : t -> unit
+
+(** [fill s] makes [s] the full universe, in place. *)
+val fill : t -> unit
+
+(** [complement s] is a new set containing exactly the non-members. *)
+val complement : t -> t
+
+(** [union a b], [inter a b], [diff a b] are new sets; capacities must match. *)
+val union : t -> t -> t
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+(** [equal a b] tests extensional equality (capacities must match). *)
+val equal : t -> t -> bool
+
+(** [subset a b] is [true] when every member of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+(** [is_empty s] is [true] when [s] has no members. *)
+val is_empty : t -> bool
+
+(** [iter s f] applies [f] to members in increasing order. *)
+val iter : t -> (int -> unit) -> unit
+
+(** [fold s init f] folds over members in increasing order. *)
+val fold : t -> 'a -> ('a -> int -> 'a) -> 'a
+
+(** Members in increasing order. *)
+val elements : t -> int list
+
+(** [of_list n l] is the set over [0, n) containing exactly [l]. *)
+val of_list : int -> int list -> t
+
+(** [choose s] is the smallest member. @raise Not_found when empty. *)
+val choose : t -> int
+
+(** Pretty-printer, e.g. [{0, 3, 17}]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+let to_string ?(name = "G") ?label ?side g =
+  let label = match label with Some f -> f | None -> string_of_int in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle, fontsize=10];\n";
+  for u = 0 to Graph.n_nodes g - 1 do
+    let attrs =
+      match side with
+      | Some s when Bitset.mem s u -> ", style=filled, fillcolor=lightblue"
+      | _ -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [label=\"%s\"%s];\n" u (label u) attrs)
+  done;
+  Graph.iter_edges g (fun u v ->
+      let attrs =
+        match side with
+        | Some s when Bitset.mem s u <> Bitset.mem s v -> " [color=red, penwidth=2]"
+        | _ -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d%s;\n" u v attrs));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write ?name ?label ?side file g =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name ?label ?side g))

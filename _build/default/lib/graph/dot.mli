@@ -1,0 +1,11 @@
+(** Graphviz DOT export for visual inspection of networks and cuts. *)
+
+(** [to_string ?name ?label ?side g] renders [g]. [label u] names node [u]
+    (defaults to its index); when [side] is given, nodes inside the set are
+    filled, visualising a cut. *)
+val to_string :
+  ?name:string -> ?label:(int -> string) -> ?side:Bitset.t -> Graph.t -> string
+
+(** [write ?name ?label ?side file g] writes the rendering to [file]. *)
+val write :
+  ?name:string -> ?label:(int -> string) -> ?side:Bitset.t -> string -> Graph.t -> unit

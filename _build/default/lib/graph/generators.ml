@@ -1,0 +1,94 @@
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: n >= 3";
+  Graph.of_edge_list ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path n =
+  if n < 1 then invalid_arg "Generators.path: n >= 1";
+  Graph.of_edge_list ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid: need positive dims";
+  let node r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (node r c, node r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (node r c, node (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edge_list ~n:(rows * cols) !edges
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus: need dims >= 3";
+  let node r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (node r c, node r ((c + 1) mod cols)) :: !edges;
+      edges := (node r c, node ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.of_edge_list ~n:(rows * cols) !edges
+
+let random_regular ~rng ~n ~degree =
+  if n * degree mod 2 <> 0 then
+    invalid_arg "Generators.random_regular: n*degree must be even";
+  if degree >= n then invalid_arg "Generators.random_regular: degree < n required";
+  (* configuration model: shuffle stubs, pair consecutive; re-shuffle a few
+     times to clear self-loops, then patch the stragglers by swapping *)
+  let stubs = Array.concat (List.init degree (fun _ -> Array.init n (fun i -> i))) in
+  let shuffle () =
+    for i = Array.length stubs - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = stubs.(i) in
+      stubs.(i) <- stubs.(j);
+      stubs.(j) <- t
+    done
+  in
+  let m = Array.length stubs / 2 in
+  let has_self_loop () =
+    let rec go i = i < m && (stubs.(2 * i) = stubs.((2 * i) + 1) || go (i + 1)) in
+    go 0
+  in
+  shuffle ();
+  let attempts = ref 0 in
+  while has_self_loop () && !attempts < 50 do
+    shuffle ();
+    incr attempts
+  done;
+  (* patch remaining self-loops by swapping with a random other endpoint *)
+  for i = 0 to m - 1 do
+    if stubs.(2 * i) = stubs.((2 * i) + 1) then begin
+      let rec try_swap () =
+        let j = Random.State.int rng m in
+        if j <> i && stubs.(2 * j) <> stubs.(2 * i) && stubs.((2 * j) + 1) <> stubs.(2 * i)
+        then begin
+          let t = stubs.((2 * i) + 1) in
+          stubs.((2 * i) + 1) <- stubs.(2 * j);
+          stubs.(2 * j) <- t
+        end
+        else try_swap ()
+      in
+      try_swap ()
+    end
+  done;
+  Graph.of_edges ~n (Array.init m (fun i -> (stubs.(2 * i), stubs.((2 * i) + 1))))
+
+let gnp ~rng ~n ~p =
+  if p < 0. || p > 1. then invalid_arg "Generators.gnp: p in [0,1]";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edge_list ~n !edges
+
+let binary_tree depth =
+  if depth < 0 then invalid_arg "Generators.binary_tree: depth >= 0";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (v, (v - 1) / 2) :: !edges
+  done;
+  Graph.of_edge_list ~n !edges

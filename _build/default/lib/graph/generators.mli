@@ -1,0 +1,33 @@
+(** Synthetic graph generators.
+
+    Used as workloads for validating the cut solvers and heuristics on
+    graphs whose bisection widths are known in closed form (grids, cycles,
+    complete bipartite) or statistically characterized (random regular). *)
+
+(** [cycle n] — the n-cycle; bisection width 2 for [n >= 3]. *)
+val cycle : int -> Graph.t
+
+(** [path n] — the n-path; bisection width 1. *)
+val path : int -> Graph.t
+
+(** [grid ~rows ~cols] — the rows×cols mesh; [BW = min rows cols] (for even
+    splits along the shorter side). *)
+val grid : rows:int -> cols:int -> Graph.t
+
+(** [torus ~rows ~cols] — the wraparound mesh; [BW = 2·min rows cols] for
+    even dimensions. Requires [rows, cols >= 3] (smaller wraps degenerate
+    to parallel edges, which are produced faithfully). *)
+val torus : rows:int -> cols:int -> Graph.t
+
+(** [random_regular ~rng ~n ~degree] — a random [degree]-regular multigraph
+    by the configuration model ([n·degree] even). Self-loops are re-drawn;
+    parallel edges may remain (they are legal in {!Graph}). *)
+val random_regular : rng:Random.State.t -> n:int -> degree:int -> Graph.t
+
+(** [gnp ~rng ~n ~p] — Erdős–Rényi G(n,p). *)
+val gnp : rng:Random.State.t -> n:int -> p:float -> Graph.t
+
+(** [binary_tree depth] — complete binary tree with [2^(depth+1) - 1]
+    nodes; bisection width... the tree's bisection width is [O(1)]-ish but
+    not 1; provided as a low-connectivity stress case. *)
+val binary_tree : int -> Graph.t

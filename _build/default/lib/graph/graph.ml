@@ -1,0 +1,109 @@
+type t = {
+  n : int;
+  offsets : int array; (* length n+1 *)
+  adj : int array; (* length 2m; adj.(offsets.(u)..offsets.(u+1)-1) = nbrs of u *)
+  edge_list : (int * int) array; (* normalized u <= v, with multiplicity *)
+}
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative node count";
+  let check (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.of_edges: endpoint out of range";
+    if u = v then invalid_arg "Graph.of_edges: self-loop"
+  in
+  Array.iter check edges;
+  let edge_list = Array.map (fun (u, v) -> if u <= v then (u, v) else (v, u)) edges in
+  Array.sort compare edge_list;
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edge_list;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + deg.(u)
+  done;
+  let adj = Array.make offsets.(n) 0 in
+  let cursor = Array.copy offsets in
+  Array.iter
+    (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    edge_list;
+  { n; offsets; adj; edge_list }
+
+let of_edge_list ~n edges = of_edges ~n (Array.of_list edges)
+let n_nodes g = g.n
+let n_edges g = Array.length g.edge_list
+let degree g u = g.offsets.(u + 1) - g.offsets.(u)
+
+let max_degree g =
+  let m = ref 0 in
+  for u = 0 to g.n - 1 do
+    m := max !m (degree g u)
+  done;
+  !m
+
+let iter_neighbors g u f =
+  for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+    f g.adj.(i)
+  done
+
+let fold_neighbors g u init f =
+  let acc = ref init in
+  iter_neighbors g u (fun v -> acc := f !acc v);
+  !acc
+
+let neighbors g u =
+  Array.sub g.adj g.offsets.(u) (degree g u)
+
+let iter_edges g f = Array.iter (fun (u, v) -> f u v) g.edge_list
+let edges g = Array.copy g.edge_list
+
+let mem_edge g u v =
+  (* adjacency slices are sorted by construction (edge list sorted, then
+     scattered in order), so binary search would be possible; degrees here
+     are tiny (<= 4 for butterflies) so a scan is simpler. *)
+  let found = ref false in
+  iter_neighbors g u (fun w -> if w = v then found := true);
+  !found
+
+let is_simple g =
+  let m = Array.length g.edge_list in
+  let rec go i = i >= m - 1 || (g.edge_list.(i) <> g.edge_list.(i + 1) && go (i + 1)) in
+  go 0
+
+let induced g nodes =
+  let ids = Array.of_list (Bitset.elements nodes) in
+  let new_of_old = Hashtbl.create (Array.length ids) in
+  Array.iteri (fun i id -> Hashtbl.replace new_of_old id i) ids;
+  let edges = ref [] in
+  iter_edges g (fun u v ->
+      match (Hashtbl.find_opt new_of_old u, Hashtbl.find_opt new_of_old v) with
+      | Some u', Some v' -> edges := (u', v') :: !edges
+      | _ -> ());
+  (of_edge_list ~n:(Array.length ids) !edges, ids)
+
+let relabel g p =
+  assert (Perm.size p = g.n);
+  of_edges ~n:g.n
+    (Array.map (fun (u, v) -> (Perm.apply p u, Perm.apply p v)) g.edge_list)
+
+let union_disjoint a b =
+  let shift = a.n in
+  let eb = Array.map (fun (u, v) -> (u + shift, v + shift)) b.edge_list in
+  of_edges ~n:(a.n + b.n) (Array.append a.edge_list eb)
+
+let equal a b = a.n = b.n && a.edge_list = b.edge_list
+
+let degree_histogram g =
+  let h = Array.make (max_degree g + 1) 0 in
+  for u = 0 to g.n - 1 do
+    let d = degree g u in
+    h.(d) <- h.(d) + 1
+  done;
+  h

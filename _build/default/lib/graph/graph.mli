@@ -1,0 +1,71 @@
+(** Immutable undirected multigraphs in compressed sparse row form.
+
+    Nodes are the integers [0, n). Parallel edges are allowed (needed for the
+    [2K_N] multigraph of Section 1.4); self-loops are rejected. The edge list
+    is retained alongside the CSR adjacency so that cut capacities can be
+    computed with correct multiplicity in O(m). *)
+
+type t
+
+(** [of_edges ~n edges] builds the graph. Each pair is one undirected edge;
+    orientation of the pairs is irrelevant. Duplicate pairs create parallel
+    edges. @raise Invalid_argument on out-of-range endpoints or self-loops. *)
+val of_edges : n:int -> (int * int) array -> t
+
+(** [of_edge_list ~n edges] is {!of_edges} on a list. *)
+val of_edge_list : n:int -> (int * int) list -> t
+
+(** Number of nodes. *)
+val n_nodes : t -> int
+
+(** Number of undirected edges, counting multiplicity. *)
+val n_edges : t -> int
+
+(** Degree of a node (parallel edges counted with multiplicity). *)
+val degree : t -> int -> int
+
+(** Largest degree over all nodes (0 for the empty graph). *)
+val max_degree : t -> int
+
+(** [iter_neighbors g u f] applies [f] to each neighbor of [u], with
+    multiplicity, in unspecified order. *)
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** [fold_neighbors g u init f]. *)
+val fold_neighbors : t -> int -> 'a -> ('a -> int -> 'a) -> 'a
+
+(** Neighbors of [u] as a fresh array (with multiplicity). *)
+val neighbors : t -> int -> int array
+
+(** [iter_edges g f] applies [f u v] once per undirected edge (with
+    multiplicity), with [u <= v]. *)
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+(** The edges as a fresh array of normalized pairs [(u, v)], [u <= v]. *)
+val edges : t -> (int * int) array
+
+(** [mem_edge g u v] is [true] when at least one [u]–[v] edge exists. *)
+val mem_edge : t -> int -> int -> bool
+
+(** [true] when the graph has no parallel edges. *)
+val is_simple : t -> bool
+
+(** [induced g nodes] is the subgraph induced by the node set, together with
+    the map from new indices to original node ids. *)
+val induced : t -> Bitset.t -> t * int array
+
+(** [relabel g p] renames node [i] to [Perm.apply p i]. The result is
+    isomorphic to [g]; used to realize automorphisms concretely. *)
+val relabel : t -> Perm.t -> t
+
+(** [union_disjoint a b] is the disjoint union, [b]'s nodes shifted by
+    [n_nodes a]. *)
+val union_disjoint : t -> t -> t
+
+(** Structural equality: same node count and same multiset of normalized
+    edges. *)
+val equal : t -> t -> bool
+
+(** [degree_histogram g] maps degree [d] to the number of nodes of degree
+    [d], as an array of length [max_degree g + 1]. *)
+val degree_histogram : t -> int array

@@ -1,0 +1,100 @@
+type edge = { dst : int; mutable cap : int; rev : int (* index in adj.(dst) *) }
+
+(* minimal growable edge vector *)
+type vec = { mutable arr : edge array; mutable len : int }
+
+type t = { n : int; adj : vec array }
+
+let dummy_edge = { dst = -1; cap = 0; rev = -1 }
+
+let vec_push v e =
+  if v.len = Array.length v.arr then begin
+    let arr' = Array.make (max 4 (2 * v.len)) dummy_edge in
+    Array.blit v.arr 0 arr' 0 v.len;
+    v.arr <- arr'
+  end;
+  v.arr.(v.len) <- e;
+  v.len <- v.len + 1
+
+let create n = { n; adj = Array.init n (fun _ -> { arr = [||]; len = 0 }) }
+
+let add_edge t ~src ~dst ~cap =
+  assert (src >= 0 && src < t.n && dst >= 0 && dst < t.n && cap >= 0);
+  let fwd_index = t.adj.(src).len in
+  let rev_index = t.adj.(dst).len in
+  vec_push t.adj.(src) { dst; cap; rev = rev_index };
+  vec_push t.adj.(dst) { dst = src; cap = 0; rev = fwd_index }
+
+let iter_out t v f =
+  let vec = t.adj.(v) in
+  for i = 0 to vec.len - 1 do
+    f i vec.arr.(i)
+  done
+
+(* BFS for a shortest augmenting path; fills parent pointers (node, edge
+   index). *)
+let bfs t ~s ~t_ parent =
+  Array.fill parent 0 t.n None;
+  let visited = Array.make t.n false in
+  visited.(s) <- true;
+  let q = Queue.create () in
+  Queue.add s q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    iter_out t v (fun i e ->
+        if e.cap > 0 && not visited.(e.dst) then begin
+          visited.(e.dst) <- true;
+          parent.(e.dst) <- Some (v, i);
+          if e.dst = t_ then found := true else Queue.add e.dst q
+        end)
+  done;
+  !found
+
+let max_flow t ~s ~t_ =
+  if s = t_ then invalid_arg "Maxflow.max_flow: s = t";
+  let parent = Array.make t.n None in
+  let flow = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if not (bfs t ~s ~t_ parent) then continue := false
+    else begin
+      let rec bottleneck v acc =
+        match parent.(v) with
+        | None -> acc
+        | Some (u, i) -> bottleneck u (min acc t.adj.(u).arr.(i).cap)
+      in
+      let aug = bottleneck t_ max_int in
+      let rec push v =
+        match parent.(v) with
+        | None -> ()
+        | Some (u, i) ->
+            let e = t.adj.(u).arr.(i) in
+            e.cap <- e.cap - aug;
+            let r = t.adj.(e.dst).arr.(e.rev) in
+            r.cap <- r.cap + aug;
+            push u
+      in
+      push t_;
+      flow := !flow + aug
+    end
+  done;
+  !flow
+
+let min_cut_side t ~s =
+  let side = Bitset.create t.n in
+  let visited = Array.make t.n false in
+  visited.(s) <- true;
+  Bitset.add side s;
+  let q = Queue.create () in
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    iter_out t v (fun _ e ->
+        if e.cap > 0 && not visited.(e.dst) then begin
+          visited.(e.dst) <- true;
+          Bitset.add side e.dst;
+          Queue.add e.dst q
+        end)
+  done;
+  side

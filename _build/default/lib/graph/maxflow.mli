@@ -1,0 +1,22 @@
+(** Maximum flow / minimum cut on directed networks (Edmonds–Karp).
+
+    Used to compute the directed input/output separation of Section 1.2
+    exactly: the minimum number of forward edges separating chosen inputs
+    from chosen outputs equals a unit-capacity max flow. *)
+
+type t
+
+(** [create n] is an empty flow network on nodes [0, n). *)
+val create : int -> t
+
+(** [add_edge t ~src ~dst ~cap] adds a directed edge (a reverse residual
+    edge of capacity 0 is added automatically). Parallel edges allowed. *)
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+
+(** [max_flow t ~s ~t_] is the maximum s→t flow value. Runs Edmonds–Karp
+    (BFS augmenting paths); mutates the network's residual state. *)
+val max_flow : t -> s:int -> t_:int -> int
+
+(** After {!max_flow}, the source side of a minimum cut: nodes reachable
+    from [s] in the residual network. *)
+val min_cut_side : t -> s:int -> Bitset.t

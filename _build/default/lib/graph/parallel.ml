@@ -1,0 +1,63 @@
+let domain_count () =
+  match Sys.getenv_opt "BFLY_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> d
+      | _ -> 1)
+  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let run_chunks ~lo ~hi work =
+  let len = hi - lo in
+  if len <= 0 then []
+  else begin
+    let d = min (domain_count ()) len in
+    if d = 1 then [ work ~lo ~hi ]
+    else begin
+      let chunk = (len + d - 1) / d in
+      let bounds =
+        List.init d (fun i ->
+            let clo = lo + (i * chunk) in
+            let chi = min hi (clo + chunk) in
+            (clo, chi))
+        |> List.filter (fun (clo, chi) -> chi > clo)
+      in
+      match bounds with
+      | [] -> []
+      | (first_lo, first_hi) :: rest ->
+          let domains =
+            List.map
+              (fun (clo, chi) -> Domain.spawn (fun () -> work ~lo:clo ~hi:chi))
+              rest
+          in
+          (* run the first chunk on the current domain *)
+          let first = work ~lo:first_lo ~hi:first_hi in
+          first :: List.map Domain.join domains
+    end
+  end
+
+let map_range ~lo ~hi f =
+  let chunks =
+    run_chunks ~lo ~hi (fun ~lo ~hi -> Array.init (hi - lo) (fun i -> f (lo + i)))
+  in
+  Array.concat chunks
+
+let reduce_range ~lo ~hi ~init ~f ~combine =
+  let chunks =
+    run_chunks ~lo ~hi (fun ~lo ~hi ->
+        let acc = ref init in
+        for i = lo to hi - 1 do
+          acc := f !acc i
+        done;
+        !acc)
+  in
+  List.fold_left combine init chunks
+
+let min_over ~lo ~hi f =
+  let best a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (if compare y x < 0 then y else x)
+  in
+  reduce_range ~lo ~hi ~init:None
+    ~f:(fun acc i -> best acc (Some (f i)))
+    ~combine:best

@@ -1,0 +1,32 @@
+(** Minimal Domain-based data parallelism for OCaml 5.
+
+    The exact bisection and expansion searches are embarrassingly parallel
+    over index ranges; this module spreads such ranges across domains. The
+    environment variable [BFLY_DOMAINS] overrides the domain count (set it to
+    [1] to force sequential execution, e.g. for deterministic profiling). *)
+
+(** Number of worker domains used by the combinators below. At least 1;
+    defaults to [Domain.recommended_domain_count], capped at 8. *)
+val domain_count : unit -> int
+
+(** [map_range ~lo ~hi f] computes [[| f lo; …; f (hi-1) |]] with the range
+    split in contiguous chunks across domains. [f] must be safe to run
+    concurrently. Returns [[||]] when [hi <= lo]. *)
+val map_range : lo:int -> hi:int -> (int -> 'a) -> 'a array
+
+(** [reduce_range ~lo ~hi ~init ~f ~combine] folds [f] over [lo, hi) within
+    each chunk starting from [init], then combines the per-chunk results with
+    [combine] (which must be associative with [init] as identity). *)
+val reduce_range :
+  lo:int -> hi:int -> init:'a -> f:('a -> int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
+
+(** [min_over ~lo ~hi f] is the minimum of [f i] over the range (with respect
+    to [compare]), or [None] for an empty range. *)
+val min_over : lo:int -> hi:int -> (int -> 'a) -> 'a option
+
+(** [run_chunks ~lo ~hi work] splits [lo, hi) into one contiguous chunk per
+    domain and runs [work ~lo:chunk_lo ~hi:chunk_hi] on each, returning the
+    per-chunk results in range order. Lower-level than {!map_range}: the
+    worker sees the whole chunk, enabling e.g. {!Subset.iter_range}-based
+    enumeration without per-index unranking. *)
+val run_chunks : lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list

@@ -1,0 +1,69 @@
+type t = int array
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then
+        invalid_arg "Perm.of_array: not a bijection";
+      seen.(x) <- true)
+    a;
+  Array.copy a
+
+let to_array p = Array.copy p
+let size = Array.length
+let apply p i = p.(i)
+let identity n = Array.init n (fun i -> i)
+
+let inverse p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun i x -> inv.(x) <- i) p;
+  inv
+
+let compose p q = Array.map (fun x -> p.(x)) q
+
+let random ~rng n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let is_identity p =
+  let ok = ref true in
+  Array.iteri (fun i x -> if i <> x then ok := false) p;
+  !ok
+
+let equal (p : t) (q : t) = p = q
+
+let cycles p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    if not seen.(i) then begin
+      let rec walk j acc =
+        if seen.(j) then List.rev acc
+        else begin
+          seen.(j) <- true;
+          walk p.(j) (j :: acc)
+        end
+      in
+      out := walk i [] :: !out
+    end
+  done;
+  List.rev !out
+
+let pp ppf p =
+  let pp_cycle ppf c =
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+         Format.pp_print_int)
+      c
+  in
+  Format.pp_print_list ~pp_sep:(fun _ () -> ()) pp_cycle ppf (cycles p)

@@ -1,0 +1,42 @@
+(** Permutations of [0, n), used for network automorphisms (Lemmas 2.1, 2.2),
+    Beneš permutation routing, and random workloads. *)
+
+type t
+
+(** [of_array a] validates that [a] is a bijection of [0, length a) and wraps
+    it. @raise Invalid_argument otherwise. *)
+val of_array : int array -> t
+
+(** Underlying array (a copy; mutating it does not affect the permutation). *)
+val to_array : t -> int array
+
+(** Domain size. *)
+val size : t -> int
+
+(** [apply p i] is the image of [i]. *)
+val apply : t -> int -> int
+
+(** Identity permutation on [0, n). *)
+val identity : int -> t
+
+(** Functional inverse. *)
+val inverse : t -> t
+
+(** [compose p q] maps [i] to [p (q i)]. *)
+val compose : t -> t -> t
+
+(** [random ~rng n] is a uniform permutation (Fisher–Yates) drawn from [rng]. *)
+val random : rng:Random.State.t -> int -> t
+
+(** [is_identity p]. *)
+val is_identity : t -> bool
+
+(** [equal p q]. *)
+val equal : t -> t -> bool
+
+(** Cycle decomposition, each cycle starting at its smallest element,
+    cycles ordered by smallest element; fixed points included as
+    singletons. *)
+val cycles : t -> int list list
+
+val pp : Format.formatter -> t -> unit

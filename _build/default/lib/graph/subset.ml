@@ -1,0 +1,101 @@
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let rec go i acc =
+      if i > k then acc
+      else
+        let next = acc * (n - k + i) in
+        if next < 0 || next / (n - k + i) <> acc then max_int (* overflowed *)
+        else go (i + 1) (next / i)
+    in
+    go 1 1
+  end
+
+let iter ~n ~k f =
+  if k = 0 then f [||]
+  else if k <= n then begin
+    let a = Array.init k (fun i -> i) in
+    let continue = ref true in
+    while !continue do
+      f a;
+      (* advance to the next k-subset in lexicographic order *)
+      let i = ref (k - 1) in
+      while !i >= 0 && a.(!i) = n - k + !i do
+        decr i
+      done;
+      if !i < 0 then continue := false
+      else begin
+        a.(!i) <- a.(!i) + 1;
+        for j = !i + 1 to k - 1 do
+          a.(j) <- a.(j - 1) + 1
+        done
+      end
+    done
+  end
+
+(* Colexicographic unranking: the subset {c_1 < c_2 < ... < c_k} has rank
+   sum_i binomial(c_i, i). *)
+let unrank ~n ~k r =
+  let total = binomial n k in
+  if r < 0 || r >= total then invalid_arg "Subset.unrank: rank out of range";
+  let a = Array.make k 0 in
+  let r = ref r in
+  for i = k downto 1 do
+    (* largest c with binomial(c, i) <= r *)
+    let c = ref (i - 1) in
+    while binomial (!c + 1) i <= !r do
+      incr c
+    done;
+    a.(i - 1) <- !c;
+    r := !r - binomial !c i
+  done;
+  a
+
+let rank ~n:_ subset =
+  let r = ref 0 in
+  Array.iteri (fun i c -> r := !r + binomial c (i + 1)) subset;
+  !r
+
+(* Advance a sorted subset to its colex successor. Returns false at the end. *)
+let colex_next ~n a =
+  let k = Array.length a in
+  let rec go i =
+    if i = k - 1 then
+      if a.(i) + 1 < n then begin
+        a.(i) <- a.(i) + 1;
+        true
+      end
+      else false
+    else if a.(i) + 1 < a.(i + 1) then begin
+      a.(i) <- a.(i) + 1;
+      true
+    end
+    else begin
+      a.(i) <- i;
+      go (i + 1)
+    end
+  in
+  if k = 0 then false else go 0
+
+let iter_range ~n ~k ~lo ~hi f =
+  if hi > lo then begin
+    if k = 0 then f [||]
+    else begin
+      let a = unrank ~n ~k lo in
+      let count = ref (hi - lo) in
+      let continue = ref true in
+      while !continue && !count > 0 do
+        f a;
+        decr count;
+        if !count > 0 then continue := colex_next ~n a
+      done
+    end
+  end
+
+let iter_masks ~n f =
+  assert (n >= 0 && n <= 62);
+  let limit = 1 lsl n in
+  for m = 0 to limit - 1 do
+    f m
+  done

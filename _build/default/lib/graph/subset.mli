@@ -1,0 +1,31 @@
+(** Enumeration of k-element subsets of [0, n), used by the exact expansion
+    and bisection minimizers.
+
+    Enumeration order is colexicographic on the sorted member arrays, which
+    allows the range of subsets to be split evenly across domains (see
+    {!Parallel}): subsets are indexed by their combinatorial rank. *)
+
+(** [binomial n k] is [n choose k] as an [int]. Saturates at [max_int] on
+    overflow (sufficient for guarding enumeration sizes). *)
+val binomial : int -> int -> int
+
+(** [iter ~n ~k f] applies [f] to each sorted k-subset of [0, n), in
+    lexicographic order. The array passed to [f] is reused between calls;
+    copy it to retain it. *)
+val iter : n:int -> k:int -> (int array -> unit) -> unit
+
+(** [unrank ~n ~k r] is the k-subset of [0, n) with colexicographic rank [r]
+    (0-based), as a sorted array. @raise Invalid_argument if [r] is out of
+    range. *)
+val unrank : n:int -> k:int -> int -> int array
+
+(** [rank ~n subset] is the colexicographic rank of the sorted [subset]. *)
+val rank : n:int -> int array -> int
+
+(** [iter_range ~n ~k ~lo ~hi f] applies [f] to subsets with colex ranks in
+    [lo, hi), in rank order. The array is reused; copy to retain. *)
+val iter_range : n:int -> k:int -> lo:int -> hi:int -> (int array -> unit) -> unit
+
+(** [iter_masks ~n f] applies [f] to every subset of [0, n) encoded as a bit
+    mask, for [n <= 62], in increasing mask order. *)
+val iter_masks : n:int -> (int -> unit) -> unit

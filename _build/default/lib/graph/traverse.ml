@@ -1,0 +1,105 @@
+let bfs_multi g srcs =
+  let n = Graph.n_nodes g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    srcs;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let bfs_distances g src = bfs_multi g [ src ]
+
+let shortest_path g u v =
+  let n = Graph.n_nodes g in
+  let parent = Array.make n (-1) in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(u) <- 0;
+  Queue.add u queue;
+  while (not (Queue.is_empty queue)) && dist.(v) < 0 do
+    let x = Queue.pop queue in
+    Graph.iter_neighbors g x (fun y ->
+        if dist.(y) < 0 then begin
+          dist.(y) <- dist.(x) + 1;
+          parent.(y) <- x;
+          Queue.add y queue
+        end)
+  done;
+  if dist.(v) < 0 then None
+  else begin
+    let rec build node acc =
+      if node = u then u :: acc else build parent.(node) (node :: acc)
+    in
+    Some (build v [])
+  end
+
+let components g =
+  let uf = Union_find.create (Graph.n_nodes g) in
+  Graph.iter_edges g (fun u v -> ignore (Union_find.union uf u v));
+  uf
+
+let component_count g = Union_find.count (components g)
+let is_connected g = Graph.n_nodes g = 0 || component_count g = 1
+
+let eccentricity g u =
+  Array.fold_left max 0 (bfs_distances g u)
+
+let diameter g =
+  if Graph.n_nodes g = 0 then invalid_arg "Traverse.diameter: empty graph";
+  if not (is_connected g) then invalid_arg "Traverse.diameter: disconnected";
+  let d = ref 0 in
+  for u = 0 to Graph.n_nodes g - 1 do
+    d := max !d (eccentricity g u)
+  done;
+  !d
+
+let all_pairs_distances g =
+  Array.init (Graph.n_nodes g) (fun v -> bfs_distances g v)
+
+let average_distance g =
+  let n = Graph.n_nodes g in
+  if n < 2 then invalid_arg "Traverse.average_distance: need two nodes";
+  let sum = ref 0 and pairs = ref 0 in
+  for v = 0 to n - 1 do
+    Array.iteri
+      (fun w d ->
+        if w <> v && d > 0 then begin
+          sum := !sum + d;
+          incr pairs
+        end)
+      (bfs_distances g v)
+  done;
+  if !pairs = 0 then 0. else float_of_int !sum /. float_of_int !pairs
+
+let radius g =
+  if Graph.n_nodes g = 0 then invalid_arg "Traverse.radius: empty graph";
+  if not (is_connected g) then invalid_arg "Traverse.radius: disconnected";
+  let r = ref max_int in
+  for v = 0 to Graph.n_nodes g - 1 do
+    r := min !r (eccentricity g v)
+  done;
+  !r
+
+let neighbors_of_set g s =
+  let out = Bitset.create (Graph.n_nodes g) in
+  Bitset.iter s (fun u ->
+      Graph.iter_neighbors g u (fun v -> if not (Bitset.mem s v) then Bitset.add out v));
+  out
+
+let boundary_edges g s =
+  let c = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      if Bitset.mem s u <> Bitset.mem s v then incr c);
+  !c

@@ -1,0 +1,49 @@
+type t = { parent : int array; rank : int array; mutable count : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then false
+  else begin
+    let ri, rj = if t.rank.(ri) < t.rank.(rj) then (rj, ri) else (ri, rj) in
+    t.parent.(rj) <- ri;
+    if t.rank.(ri) = t.rank.(rj) then t.rank.(ri) <- t.rank.(ri) + 1;
+    t.count <- t.count - 1;
+    true
+  end
+
+let same t i j = find t i = find t j
+let count t = t.count
+
+let labels t =
+  let n = Array.length t.parent in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    let r = find t i in
+    if label.(r) < 0 then begin
+      label.(r) <- !next;
+      incr next
+    end
+  done;
+  Array.init n (fun i -> label.(find t i))
+
+let classes t =
+  let n = Array.length t.parent in
+  let lab = labels t in
+  let buckets = Array.make t.count [] in
+  for i = n - 1 downto 0 do
+    buckets.(lab.(i)) <- i :: buckets.(lab.(i))
+  done;
+  Array.to_list buckets

@@ -1,0 +1,30 @@
+(** Disjoint-set forests with union by rank and path compression.
+
+    Used to compute connected components of sub-butterflies (Lemma 2.4) and
+    to validate the mesh-of-stars quotient construction (Lemma 2.11). *)
+
+type t
+
+(** [create n] is [n] singleton classes [{0}, …, {n−1}]. *)
+val create : int -> t
+
+(** Representative of the class of [i] (with path compression). *)
+val find : t -> int -> int
+
+(** [union t i j] merges the classes of [i] and [j]; returns [true] when the
+    classes were previously distinct. *)
+val union : t -> int -> int -> bool
+
+(** [same t i j] tests whether [i] and [j] share a class. *)
+val same : t -> int -> int -> bool
+
+(** Number of distinct classes. *)
+val count : t -> int
+
+(** [classes t] lists each class as a sorted list of members, ordered by
+    smallest member. *)
+val classes : t -> int list list
+
+(** [labels t] assigns each node the dense index (in [0, count t)) of its
+    class, classes numbered by smallest member. *)
+val labels : t -> int array

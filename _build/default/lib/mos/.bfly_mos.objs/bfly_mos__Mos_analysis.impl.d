@@ -1,0 +1,1 @@
+lib/mos/mos_analysis.ml: Bfly_cuts Bfly_networks Float List

@@ -1,0 +1,1 @@
+lib/mos/mos_analysis.mli:

@@ -1,0 +1,43 @@
+(** Analysis of the mesh-of-stars M2-bisection width (Section 2.2).
+
+    Lemma 2.17 reduces [BW(MOS_{j,j}, M2)] to minimizing
+    [f(x,y) = x + y − min(1, 2xy)] over the grid [x = a/j], [y = b/j];
+    Lemma 2.18 locates the continuous minimum [√2 − 1] at [x = y = √½];
+    Lemma 2.19 concludes [BW(MOS_{j,j}, M2)/j² → √2 − 1] from above. *)
+
+(** [f x y = x + y − min(1, 2xy)], Lemma 2.17's capacity density. *)
+val f : float -> float -> float
+
+(** The continuous minimum value [√2 − 1] (Lemma 2.18). *)
+val f_min : float
+
+(** The minimizer coordinate [√½]. *)
+val f_argmin : float
+
+(** [capacity_at ~j ~a ~b ~m2_in_a] is the minimum capacity of a cut of
+    [MOS_{j,j}] with [a = |S∩M1|], [b = |S∩M3|] and exactly [m2_in_a]
+    middle nodes in [S], in closed form (exact, integer). *)
+val capacity_at : j:int -> a:int -> b:int -> m2_in_a:int -> int
+
+(** [bw_m2 j] is the exact [BW(MOS_{j,j}, M2)]: the minimum of
+    {!capacity_at} over all [(a, b)] and both balanced middle counts. *)
+val bw_m2 : int -> int
+
+(** [bw_m2_brute j] computes the same by exhaustive search over all cuts of
+    the 2j + j² nodes (only for [j <= 4]); test oracle. *)
+val bw_m2_brute : int -> int
+
+(** [lemma_2_17_value j a b] is [f(a/j, b/j) · j²] rounded to nearest — the
+    value Lemma 2.17 assigns when [j] is even and [(a/j, b/j)] lies in the
+    domain [D = {x+y >= 1}]. Used in tests against {!capacity_at} with the
+    balanced middle count. *)
+val lemma_2_17_value : int -> int -> int -> int
+
+(** [butterfly_lower_bound n] is the certified lower bound on [BW(B_n)]
+    from Lemma 2.13: [BW(B_n) >= 2·BW(MOS_{n,n}, M2)/n], rounded up.
+    [n] must be a power of two, [n >= 2]. *)
+val butterfly_lower_bound : int -> int
+
+(** [convergence_row j] is [(bw_m2 j, bw_m2 j /. j², ratio to √2−1)] for
+    the E2 table. *)
+val convergence_row : int -> int * float * float

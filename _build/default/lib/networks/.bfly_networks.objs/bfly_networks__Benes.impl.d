@@ -1,0 +1,1 @@
+lib/networks/benes.ml: Array Bfly_graph Hashtbl

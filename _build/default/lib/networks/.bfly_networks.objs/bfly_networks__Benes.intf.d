@@ -1,0 +1,1 @@
+lib/networks/benes.mli: Bfly_graph

@@ -1,0 +1,1 @@
+lib/networks/butterfly.ml: Array Bfly_graph List Printf String

@@ -1,0 +1,1 @@
+lib/networks/butterfly.mli: Bfly_graph

@@ -1,0 +1,1 @@
+lib/networks/ccc.ml: Bfly_graph Printf String

@@ -1,0 +1,1 @@
+lib/networks/ccc.mli: Bfly_graph

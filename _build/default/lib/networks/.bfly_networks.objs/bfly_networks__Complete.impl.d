@@ -1,0 +1,1 @@
+lib/networks/complete.ml: Bfly_graph

@@ -1,0 +1,1 @@
+lib/networks/complete.mli: Bfly_graph

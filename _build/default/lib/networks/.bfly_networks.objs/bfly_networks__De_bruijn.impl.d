@@ -1,0 +1,1 @@
+lib/networks/de_bruijn.ml: Array Bfly_graph

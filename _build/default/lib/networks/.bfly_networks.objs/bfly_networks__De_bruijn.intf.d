@@ -1,0 +1,1 @@
+lib/networks/de_bruijn.mli: Bfly_graph

@@ -1,0 +1,1 @@
+lib/networks/hypercube.ml: Bfly_graph

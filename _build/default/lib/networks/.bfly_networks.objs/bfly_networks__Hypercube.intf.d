@@ -1,0 +1,1 @@
+lib/networks/hypercube.mli: Bfly_graph

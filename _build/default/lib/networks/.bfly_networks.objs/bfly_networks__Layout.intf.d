@@ -1,0 +1,1 @@
+lib/networks/layout.mli: Butterfly

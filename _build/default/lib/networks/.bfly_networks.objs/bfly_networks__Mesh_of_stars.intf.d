@@ -1,0 +1,1 @@
+lib/networks/mesh_of_stars.mli: Bfly_graph

@@ -1,0 +1,1 @@
+lib/networks/multibutterfly.ml: Array Bfly_graph List Random

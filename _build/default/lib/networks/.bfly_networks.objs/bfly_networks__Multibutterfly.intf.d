@@ -1,0 +1,1 @@
+lib/networks/multibutterfly.mli: Bfly_graph Random

@@ -1,0 +1,1 @@
+lib/networks/render.ml: Bfly_graph Buffer Butterfly Bytes String

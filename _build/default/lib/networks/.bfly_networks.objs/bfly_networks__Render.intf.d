@@ -1,0 +1,1 @@
+lib/networks/render.mli: Bfly_graph Butterfly

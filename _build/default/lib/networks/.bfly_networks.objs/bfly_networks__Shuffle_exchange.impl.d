@@ -1,0 +1,1 @@
+lib/networks/shuffle_exchange.ml: Bfly_graph

@@ -1,0 +1,1 @@
+lib/networks/shuffle_exchange.mli: Bfly_graph

@@ -1,0 +1,1 @@
+lib/networks/variants.ml: Array Bfly_graph Butterfly List

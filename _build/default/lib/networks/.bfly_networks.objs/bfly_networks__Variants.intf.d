@@ -1,0 +1,1 @@
+lib/networks/variants.mli: Bfly_graph Butterfly

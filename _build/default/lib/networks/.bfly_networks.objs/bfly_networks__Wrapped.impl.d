@@ -1,0 +1,1 @@
+lib/networks/wrapped.ml: Array Bfly_graph Butterfly List Printf String

@@ -1,0 +1,1 @@
+lib/networks/wrapped.mli: Bfly_graph Butterfly

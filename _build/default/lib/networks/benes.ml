@@ -1,0 +1,131 @@
+module G = Bfly_graph.Graph
+module Perm = Bfly_graph.Perm
+
+type t = { dim : int; n : int; graph : G.t }
+
+(* Boundary ℓ (levels ℓ to ℓ+1) flips column bit dim-1-ℓ in the forward half
+   and bit ℓ-dim in the mirrored half. *)
+let boundary_mask dim level =
+  if level < dim then 1 lsl (dim - 1 - level) else 1 lsl (level - dim)
+
+let build_graph dim =
+  let n = 1 lsl dim in
+  let node ~col ~level = (level * n) + col in
+  let edges = ref [] in
+  for level = 0 to (2 * dim) - 1 do
+    let mask = boundary_mask dim level in
+    for w = 0 to n - 1 do
+      edges := (node ~col:w ~level, node ~col:w ~level:(level + 1)) :: !edges;
+      edges :=
+        (node ~col:w ~level, node ~col:(w lxor mask) ~level:(level + 1)) :: !edges
+    done
+  done;
+  G.of_edge_list ~n:(n * ((2 * dim) + 1)) !edges
+
+let create ~dim =
+  if dim < 0 then invalid_arg "Benes.create: negative dimension";
+  { dim; n = 1 lsl dim; graph = build_graph dim }
+
+let dim t = t.dim
+let n t = t.n
+let levels t = (2 * t.dim) + 1
+let size t = t.n * levels t
+let graph t = t.graph
+
+let node t ~col ~level =
+  assert (col >= 0 && col < t.n && level >= 0 && level <= 2 * t.dim);
+  (level * t.n) + col
+
+let col_of t idx = idx mod t.n
+let level_of t idx = idx / t.n
+
+(* Looping algorithm. [hi] is the fixed top column bits of the current
+   sub-network, [r] its first level, [dcur] its dimension; [perm] the port
+   permutation of size 2·2^dcur. Returns one node-list path per port. *)
+let rec route_rec t hi r dcur (perm : int array) =
+  let m = 1 lsl dcur in
+  assert (Array.length perm = 2 * m);
+  if dcur = 0 then begin
+    let single = [ node t ~col:hi ~level:t.dim ] in
+    [| single; single |]
+  end
+  else begin
+    let half = m / 2 in
+    let inv = Array.make (2 * m) 0 in
+    Array.iteri (fun p q -> inv.(q) <- p) perm;
+    (* 2-color ports so that the two ports of each input column and the two
+       ports arriving at each output column get different colors. The
+       constraint graph (in-partner [p lxor 1], out-partner below) is a union
+       of even alternating cycles; walk each one, alternating colors. *)
+    let color = Array.make (2 * m) (-1) in
+    let out_partner p = inv.(perm.(p) lxor 1) in
+    for p0 = 0 to (2 * m) - 1 do
+      if color.(p0) < 0 then begin
+        let p = ref p0 and c = ref 0 in
+        let continue = ref true in
+        while !continue do
+          color.(!p) <- !c;
+          let q = !p lxor 1 in
+          color.(q) <- 1 - !c;
+          let next = out_partner q in
+          if color.(next) >= 0 then begin
+            assert (color.(next) = !c);
+            continue := false
+          end
+          else p := next (* its color must differ from q's, i.e. equal !c *)
+        done
+      end
+    done;
+    (* build the two sub-permutations *)
+    let sub_perm = [| Array.make m (-1); Array.make m (-1) |] in
+    let sub_port col = (2 * (col land (half - 1))) lor (col lsr (dcur - 1)) in
+    for p = 0 to (2 * m) - 1 do
+      let s = color.(p) in
+      let c_in = p / 2 and c_out = perm.(p) / 2 in
+      sub_perm.(s).(sub_port c_in) <- sub_port c_out
+    done;
+    let sub_paths =
+      Array.init 2 (fun s ->
+          route_rec t ((hi lsl 1) lor s) (r + 1) (dcur - 1) sub_perm.(s))
+    in
+    Array.init (2 * m) (fun p ->
+        let s = color.(p) in
+        let c_in = p / 2 and c_out = perm.(p) / 2 in
+        let entry = node t ~col:((hi lsl dcur) lor c_in) ~level:r in
+        let exit = node t ~col:((hi lsl dcur) lor c_out) ~level:((2 * t.dim) - r) in
+        let middle = sub_paths.(s).(sub_port c_in) in
+        (entry :: middle) @ [ exit ])
+  end
+
+let route_ports t perm =
+  if Perm.size perm <> 2 * t.n then
+    invalid_arg "Benes.route_ports: permutation must act on 2n ports";
+  route_rec t 0 0 t.dim (Perm.to_array perm)
+
+let route_columns t perm =
+  if Perm.size perm <> t.n then
+    invalid_arg "Benes.route_columns: permutation must act on n columns";
+  let ports =
+    Array.init (2 * t.n) (fun q -> (2 * Perm.apply perm (q / 2)) + (q mod 2))
+  in
+  route_rec t 0 0 t.dim ports
+
+let paths_edge_disjoint t paths =
+  let used = Hashtbl.create 1024 in
+  let ok = ref true in
+  Array.iter
+    (fun path ->
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+            if not (G.mem_edge t.graph a b) then ok := false
+            else begin
+              let key = (min a b, max a b) in
+              if Hashtbl.mem used key then ok := false
+              else Hashtbl.replace used key ();
+              walk rest
+            end
+        | [ _ ] | [] -> ()
+      in
+      walk path)
+    paths;
+  !ok

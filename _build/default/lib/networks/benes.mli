@@ -1,0 +1,44 @@
+(** The d-dimensional Beneš network (Section 1.5): two back-to-back
+    d-dimensional butterflies sharing their level-d nodes. Levels [0..2d],
+    [n = 2^d] columns, [n(2d+1)] nodes; node index of [⟨w,ℓ⟩] is [ℓ·n + w].
+
+    Each input column (level 0) carries two {e ports}, as does each output
+    column (level 2d). The network is {e rearrangeable}: for any bijection
+    of the [2n] input ports onto the [2n] output ports there are [2n]
+    pairwise edge-disjoint paths linking each input port to its image
+    ({!route_ports} implements the classic looping algorithm). *)
+
+type t
+
+val create : dim:int -> t
+val dim : t -> int
+
+(** Columns per level, [n = 2^dim]. *)
+val n : t -> int
+
+(** Number of levels, [2·dim + 1]. *)
+val levels : t -> int
+
+(** Total node count [n·(2 dim + 1)]. *)
+val size : t -> int
+
+val graph : t -> Bfly_graph.Graph.t
+val node : t -> col:int -> level:int -> int
+val col_of : t -> int -> int
+val level_of : t -> int -> int
+
+(** [route_ports t p] routes the port permutation [p] (a permutation of
+    [0 .. 2n−1]; input port [q] lives at input column [q/2], output port
+    [p(q)] at output column [p(q)/2]). Returns one path per input port, as a
+    node list from level 0 to level [2·dim]. The paths are pairwise
+    edge-disjoint and each node carries at most two of them. *)
+val route_ports : t -> Bfly_graph.Perm.t -> int list array
+
+(** [route_columns t p] routes a permutation of the [n] columns by sending
+    both ports of column [c] to the ports of column [p(c)]; returns the
+    [2n] port paths. *)
+val route_columns : t -> Bfly_graph.Perm.t -> int list array
+
+(** [paths_edge_disjoint t paths] checks that every path is a valid walk in
+    the graph and that no undirected edge is used by two paths. *)
+val paths_edge_disjoint : t -> int list array -> bool

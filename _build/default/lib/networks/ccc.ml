@@ -1,0 +1,43 @@
+module G = Bfly_graph.Graph
+
+type t = { log_n : int; n : int; graph : G.t }
+
+let build_graph log_n =
+  let n = 1 lsl log_n in
+  let node ~cycle ~pos = (pos * n) + cycle in
+  let edges = ref [] in
+  for i = 0 to log_n - 1 do
+    let mask = 1 lsl (log_n - i - 1) in
+    let next = (i + 1) mod log_n in
+    for w = 0 to n - 1 do
+      edges := (node ~cycle:w ~pos:i, node ~cycle:w ~pos:next) :: !edges;
+      (* one cross edge per unordered pair: emit from the smaller endpoint *)
+      if w land mask = 0 then
+        edges := (node ~cycle:w ~pos:i, node ~cycle:(w lxor mask) ~pos:i) :: !edges
+    done
+  done;
+  G.of_edge_list ~n:(n * log_n) !edges
+
+let create ~log_n =
+  if log_n < 2 then invalid_arg "Ccc.create: log_n must be >= 2";
+  { log_n; n = 1 lsl log_n; graph = build_graph log_n }
+
+let log_n t = t.log_n
+let n t = t.n
+let size t = t.n * t.log_n
+let graph t = t.graph
+
+let node t ~cycle ~pos =
+  assert (cycle >= 0 && cycle < t.n && pos >= 0 && pos < t.log_n);
+  (pos * t.n) + cycle
+
+let cycle_of t idx = idx mod t.n
+let pos_of t idx = idx / t.n
+let cross_mask t i = 1 lsl (t.log_n - i - 1)
+
+let label t idx =
+  let w = cycle_of t idx and i = pos_of t idx in
+  let bits = String.init t.log_n (fun b ->
+      if w land (1 lsl (t.log_n - 1 - b)) <> 0 then '1' else '0')
+  in
+  Printf.sprintf "<%s,%d>" bits i

@@ -1,0 +1,29 @@
+(** The (log n)-dimensional cube-connected cycles [CCC_n] (Section 1.1):
+    [n = 2^log n] cycles of [log n] nodes each. Node [⟨w, i⟩] (cycle label
+    [w], position [i], 0-based here vs. 1-based in the paper) has cycle edges
+    to [⟨w, i±1 mod log n⟩] and a cross edge to [⟨w', i⟩] where [w'] differs
+    from [w] exactly in bit position [i+1] (paper numbering).
+
+    For [log n = 2] the two cycle edges between positions 0 and 1 are
+    parallel edges. Node index of [⟨w,i⟩] is [i·n + w]. *)
+
+type t
+
+(** [create ~log_n] requires [log_n >= 2]. *)
+val create : log_n:int -> t
+
+val log_n : t -> int
+val n : t -> int
+
+(** Total node count [n · log n]. *)
+val size : t -> int
+
+val graph : t -> Bfly_graph.Graph.t
+val node : t -> cycle:int -> pos:int -> int
+val cycle_of : t -> int -> int
+val pos_of : t -> int -> int
+
+(** Mask of the hypercube dimension crossed at position [i]. *)
+val cross_mask : t -> int -> int
+
+val label : t -> int -> string

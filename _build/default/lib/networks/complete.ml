@@ -1,0 +1,25 @@
+module G = Bfly_graph.Graph
+
+let pairs n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  !edges
+
+let k_n n = G.of_edge_list ~n (pairs n)
+let double_k_n n = G.of_edge_list ~n (pairs n @ pairs n)
+
+let k_bipartite j k =
+  let edges = ref [] in
+  for u = 0 to j - 1 do
+    for v = j to j + k - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  G.of_edge_list ~n:(j + k) !edges
+
+let bw_k_n n = n / 2 * ((n + 1) / 2)
+let ee_k_n n k = k * (n - k)

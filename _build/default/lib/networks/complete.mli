@@ -1,0 +1,21 @@
+(** Complete graphs and their variants used as embedding guests
+    (Sections 1.4 and 3): the complete graph [K_N], the doubled complete
+    graph [2K_N] (two parallel edges between every pair), and the complete
+    bipartite graph [K_{j,k}]. *)
+
+(** [k_n n] is the complete graph on [n] nodes. *)
+val k_n : int -> Bfly_graph.Graph.t
+
+(** [double_k_n n] is [2K_n]: every pair joined by two parallel edges. *)
+val double_k_n : int -> Bfly_graph.Graph.t
+
+(** [k_bipartite j k] is [K_{j,k}]: left nodes [0..j-1], right nodes
+    [j..j+k-1]. *)
+val k_bipartite : int -> int -> Bfly_graph.Graph.t
+
+(** [bw_k_n n] is the bisection width [⌊n/2⌋·⌈n/2⌉] of [K_n] (the paper
+    states [N²/4] for even [N]). *)
+val bw_k_n : int -> int
+
+(** [ee_k_n n k] is the edge expansion [k(n−k)] of a k-set in [K_n]. *)
+val ee_k_n : int -> int -> int

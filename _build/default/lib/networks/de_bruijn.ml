@@ -1,0 +1,18 @@
+module G = Bfly_graph.Graph
+
+type t = { dim : int; graph : G.t }
+
+let create ~dim =
+  if dim < 1 then invalid_arg "De_bruijn.create: dim must be >= 1";
+  let n = 1 lsl dim in
+  let edges = ref [] in
+  for w = 0 to n - 1 do
+    let s0 = 2 * w mod n and s1 = ((2 * w) + 1) mod n in
+    if s0 <> w then edges := (w, s0) :: !edges;
+    if s1 <> w then edges := (w, s1) :: !edges
+  done;
+  { dim; graph = G.of_edges ~n (Array.of_list !edges) }
+
+let dim t = t.dim
+let size t = 1 lsl t.dim
+let graph t = t.graph

@@ -1,0 +1,11 @@
+(** The d-dimensional de Bruijn network (Section 1.5): nodes are d-bit
+    words; [w] is joined to [2w mod 2^d] and [2w+1 mod 2^d] (self-loops at
+    the all-0 and all-1 words are omitted; the parallel pair between
+    [01…] and [10…] is kept, matching the digraph's undirected shadow). *)
+
+type t
+
+val create : dim:int -> t
+val dim : t -> int
+val size : t -> int
+val graph : t -> Bfly_graph.Graph.t

@@ -1,0 +1,19 @@
+module G = Bfly_graph.Graph
+
+type t = { dim : int; graph : G.t }
+
+let create ~dim =
+  if dim < 0 then invalid_arg "Hypercube.create: negative dimension";
+  let n = 1 lsl dim in
+  let edges = ref [] in
+  for w = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      if w land (1 lsl b) = 0 then edges := (w, w lxor (1 lsl b)) :: !edges
+    done
+  done;
+  { dim; graph = G.of_edge_list ~n !edges }
+
+let dim t = t.dim
+let size t = 1 lsl t.dim
+let graph t = t.graph
+let theoretical_bw t = if t.dim = 0 then 0 else 1 lsl (t.dim - 1)

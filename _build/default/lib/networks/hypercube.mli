@@ -1,0 +1,12 @@
+(** The d-dimensional hypercube [Q_d] (Section 1.5), with nodes [0..2^d−1]
+    and edges between words at Hamming distance 1. *)
+
+type t
+
+val create : dim:int -> t
+val dim : t -> int
+val size : t -> int
+val graph : t -> Bfly_graph.Graph.t
+
+(** Bisection width [2^(d−1)] (split on the top bit). *)
+val theoretical_bw : t -> int

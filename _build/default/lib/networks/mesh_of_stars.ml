@@ -1,0 +1,60 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+
+type t = { j : int; k : int; graph : G.t }
+type level = M1 | M2 | M3
+
+let create ~j ~k =
+  if j < 1 || k < 1 then invalid_arg "Mesh_of_stars.create: need j, k >= 1";
+  let m1 a = a in
+  let m2 a b = j + (a * k) + b in
+  let m3 b = j + (j * k) + b in
+  let edges = ref [] in
+  for a = 0 to j - 1 do
+    for b = 0 to k - 1 do
+      edges := (m1 a, m2 a b) :: (m2 a b, m3 b) :: !edges
+    done
+  done;
+  { j; k; graph = G.of_edge_list ~n:(j + (j * k) + k) !edges }
+
+let j t = t.j
+let k t = t.k
+let size t = t.j + (t.j * t.k) + t.k
+let graph t = t.graph
+
+let m1_node t a =
+  assert (a >= 0 && a < t.j);
+  a
+
+let m2_node t ~a ~b =
+  assert (a >= 0 && a < t.j && b >= 0 && b < t.k);
+  t.j + (a * t.k) + b
+
+let m3_node t b =
+  assert (b >= 0 && b < t.k);
+  t.j + (t.j * t.k) + b
+
+let level_of t idx =
+  if idx < t.j then M1 else if idx < t.j + (t.j * t.k) then M2 else M3
+
+let m2_coords t idx =
+  assert (level_of t idx = M2);
+  let r = idx - t.j in
+  (r / t.k, r mod t.k)
+
+let m1_nodes t = List.init t.j (fun a -> m1_node t a)
+let m2_nodes t = List.init (t.j * t.k) (fun r -> t.j + r)
+let m3_nodes t = List.init t.k (fun b -> m3_node t b)
+
+let m2_set t =
+  let s = Bitset.create (size t) in
+  List.iter (Bitset.add s) (m2_nodes t);
+  s
+
+let label t idx =
+  match level_of t idx with
+  | M1 -> Printf.sprintf "M1:%d" idx
+  | M2 ->
+      let a, b = m2_coords t idx in
+      Printf.sprintf "M2:(%d,%d)" a b
+  | M3 -> Printf.sprintf "M3:%d" (idx - t.j - (t.j * t.k))

@@ -1,0 +1,37 @@
+(** The mesh of stars [MOS_{j,k}] (Section 2.1): the complete bipartite graph
+    [K_{j,k}] with every edge subdivided by a middle node.
+
+    Three levels: [M1] with [j] nodes, [M2] with [j·k] middle nodes, [M3]
+    with [k] nodes. Node indexing: [M1] node [a] is [a]; [M2] node [(a,b)]
+    is [j + a·k + b]; [M3] node [b] is [j + j·k + b]. *)
+
+type t
+
+val create : j:int -> k:int -> t
+val j : t -> int
+val k : t -> int
+
+(** Total node count [j + jk + k]. *)
+val size : t -> int
+
+val graph : t -> Bfly_graph.Graph.t
+val m1_node : t -> int -> int
+val m2_node : t -> a:int -> b:int -> int
+val m3_node : t -> int -> int
+
+type level = M1 | M2 | M3
+
+val level_of : t -> int -> level
+
+(** For an M2 node, its [(a, b)] coordinates. *)
+val m2_coords : t -> int -> int * int
+
+val m1_nodes : t -> int list
+val m2_nodes : t -> int list
+val m3_nodes : t -> int list
+
+(** The M2 nodes as a bitset over the graph's nodes (the set whose bisection
+    defines [BW(MOS, M2)]). *)
+val m2_set : t -> Bfly_graph.Bitset.t
+
+val label : t -> int -> string

@@ -1,0 +1,97 @@
+module G = Bfly_graph.Graph
+
+type t = { log_n : int; n : int; d : int; graph : G.t }
+
+(* sample [count] distinct values from [0, m) *)
+let sample_without_replacement rng m count =
+  let count = min count m in
+  let chosen = Array.init m (fun i -> i) in
+  for i = 0 to count - 1 do
+    let j = i + Random.State.int rng (m - i) in
+    let tmp = chosen.(i) in
+    chosen.(i) <- chosen.(j);
+    chosen.(j) <- tmp
+  done;
+  Array.sub chosen 0 count
+
+let create ?rng ~log_n ~d () =
+  if log_n < 0 then invalid_arg "Multibutterfly.create: negative dimension";
+  if d < 1 then invalid_arg "Multibutterfly.create: d >= 1";
+  let rng = match rng with Some r -> r | None -> Random.State.make [| 0x3b1f |] in
+  let n = 1 lsl log_n in
+  let node ~col ~level = (level * n) + col in
+  let edges = ref [] in
+  for i = 0 to log_n - 1 do
+    let half_mask = 1 lsl (log_n - i - 1) in
+    let cluster_cols = n lsr i in
+    let half_cols = cluster_cols / 2 in
+    for w = 0 to n - 1 do
+      (* the two halves of w's cluster at level i+1: columns agreeing with w
+         above bit position i+1, with that bit forced to 0 or 1 *)
+      let cluster_base = w land lnot (cluster_cols - 1) in
+      List.iter
+        (fun half_bit ->
+          let base = cluster_base lor (if half_bit = 1 then half_mask else 0) in
+          let targets = sample_without_replacement rng half_cols d in
+          Array.iter
+            (fun t ->
+              edges :=
+                (node ~col:w ~level:i, node ~col:(base lor t) ~level:(i + 1))
+                :: !edges)
+            targets)
+        [ 0; 1 ]
+    done
+  done;
+  { log_n; n; d; graph = G.of_edge_list ~n:(n * (log_n + 1)) !edges }
+
+let log_n t = t.log_n
+let n t = t.n
+let d t = t.d
+let size t = t.n * (t.log_n + 1)
+let graph t = t.graph
+
+let node t ~col ~level =
+  assert (col >= 0 && col < t.n && level >= 0 && level <= t.log_n);
+  (level * t.n) + col
+
+let inputs t = List.init t.n (fun w -> node t ~col:w ~level:0)
+
+let splitter_expansion g ~log_n ~boundary ~cluster_top ~max_k =
+  let n = 1 lsl log_n in
+  let cluster_cols = n lsr boundary in
+  assert (cluster_top >= 0 && cluster_top < 1 lsl boundary);
+  let cluster_base = cluster_top lsl (log_n - boundary) in
+  let half_mask = 1 lsl (log_n - boundary - 1) in
+  let members =
+    Array.init cluster_cols (fun c -> (boundary * n) + (cluster_base lor c))
+  in
+  let worst = ref infinity in
+  let total_nodes = G.n_nodes g in
+  let stamp = Array.make total_nodes (-1) in
+  let round = ref 0 in
+  List.iter
+    (fun half_bit ->
+      let in_half v =
+        v / n = boundary + 1
+        &&
+        let col = v mod n in
+        col land lnot (cluster_cols - 1) = cluster_base
+        && (col land half_mask <> 0) = (half_bit = 1)
+      in
+      for k = 1 to min max_k cluster_cols do
+        Bfly_graph.Subset.iter ~n:cluster_cols ~k (fun subset ->
+            incr round;
+            let count = ref 0 in
+            Array.iter
+              (fun idx ->
+                G.iter_neighbors g members.(idx) (fun w ->
+                    if in_half w && stamp.(w) <> !round then begin
+                      stamp.(w) <- !round;
+                      incr count
+                    end))
+              subset;
+            let ratio = float_of_int !count /. float_of_int k in
+            if ratio < !worst then worst := ratio)
+      done)
+    [ 0; 1 ];
+  !worst

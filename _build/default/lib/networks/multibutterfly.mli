@@ -1,0 +1,43 @@
+(** Multibutterflies (Section 1.3, after Leighton–Maggs [17] and
+    Maggs–Vöcking [19]).
+
+    The paper observes that the only bounded-degree networks known to route
+    and sort deterministically in [O(log N)] time build {e expansion} into
+    their structure. A multibutterfly has the butterfly's level/cluster
+    skeleton, but each node sends [d] edges into {e each} half-cluster of
+    the next level, wired at random — so small input sets of every splitter
+    expand by a factor [> 1], where the butterfly's fixed wiring only
+    achieves [1/2] (two inputs share each upper neighbor).
+
+    [d = 1] with deterministic wiring degenerates to [B_n] (not produced
+    here; use {!Butterfly}). Node indexing matches {!Butterfly}:
+    [⟨w,i⟩ = i·n + w]. *)
+
+type t
+
+(** [create ?rng ~log_n ~d ()] — [d >= 1] edges from each node into each
+    half-cluster below it (capped by the half-cluster size; sampling
+    without replacement). *)
+val create : ?rng:Random.State.t -> log_n:int -> d:int -> unit -> t
+
+val log_n : t -> int
+val n : t -> int
+val d : t -> int
+val size : t -> int
+val graph : t -> Bfly_graph.Graph.t
+val node : t -> col:int -> level:int -> int
+val inputs : t -> int list
+
+(** [splitter_expansion g ~boundary ~cluster_top ~max_k] measures, for the
+    splitter at the given boundary whose cluster is identified by its top
+    [boundary] column bits, the worst ratio [|N(S) ∩ half| / |S|] over all
+    nonempty input sets [S] of at most [max_k] nodes and both halves —
+    exhaustively. Works for any network with the butterfly skeleton
+    (pass [Butterfly.graph] to compare). *)
+val splitter_expansion :
+  Bfly_graph.Graph.t ->
+  log_n:int ->
+  boundary:int ->
+  cluster_top:int ->
+  max_k:int ->
+  float

@@ -1,0 +1,68 @@
+module Bitset = Bfly_graph.Bitset
+
+let node_char side idx =
+  match side with
+  | Some s when Bitset.mem s idx -> '#'
+  | Some _ -> 'o'
+  | None -> 'o'
+
+(* Column x-positions are spaced so that cross-edge diagonals of every
+   block size can be drawn with one character per row of slack. *)
+let butterfly_ascii ?side b =
+  let n = Butterfly.n b in
+  let log_n = Butterfly.log_n b in
+  let spacing = 4 in
+  let xpos w = 2 + (w * spacing) in
+  let width = xpos (n - 1) + 2 in
+  let buf = Buffer.create 1024 in
+  let line () = Bytes.make width ' ' in
+  let add_line l = Buffer.add_string buf (Bytes.to_string l); Buffer.add_char buf '\n' in
+  (* column headers: binary column labels, one bit row per dimension *)
+  for bit = 0 to log_n - 1 do
+    let l = line () in
+    for w = 0 to n - 1 do
+      let c = if w land (1 lsl (log_n - 1 - bit)) <> 0 then '1' else '0' in
+      Bytes.set l (xpos w) c
+    done;
+    add_line l
+  done;
+  for level = 0 to log_n do
+    (* node row *)
+    let l = line () in
+    for w = 0 to n - 1 do
+      Bytes.set l (xpos w) (node_char side (Butterfly.node b ~col:w ~level))
+    done;
+    Bytes.blit_string (string_of_int level) 0 l 0
+      (String.length (string_of_int level));
+    add_line l;
+    (* edge rows between this level and the next *)
+    if level < log_n then begin
+      let mask = Butterfly.cross_mask b level in
+      let rows = max 1 (mask * spacing / 2) in
+      for r = 1 to rows do
+        let l = line () in
+        for w = 0 to n - 1 do
+          (* straight edge *)
+          Bytes.set l (xpos w) '|';
+          (* cross edge from w toward w lxor mask: a diagonal *)
+          let target = w lxor mask in
+          let dir = if target > w then 1 else -1 in
+          let x = xpos w + (dir * r * (xpos target - xpos w) * dir / rows) in
+          let x = max 0 (min (width - 1) x) in
+          if Bytes.get l x = ' ' then
+            Bytes.set l x (if dir > 0 then '\\' else '/')
+        done;
+        add_line l
+      done
+    end
+  done;
+  Buffer.contents buf
+
+let butterfly_dot ?side b =
+  Bfly_graph.Dot.to_string ~name:"butterfly" ~label:(Butterfly.label b) ?side
+    (Butterfly.graph b)
+
+let figure_1 () =
+  let b = Butterfly.of_inputs 8 in
+  "The 32-node butterfly network B_8 (Figure 1):\n"
+  ^ butterfly_ascii b

@@ -1,0 +1,15 @@
+(** Text renderings of butterfly networks, reproducing Figure 1 of the
+    paper (the 32-node butterfly [B_8]) and optionally overlaying a cut. *)
+
+(** [butterfly_ascii ?side b] draws [B_n] level by level, columns across.
+    Straight edges are drawn as [|]; cross edges as [\ /] diagonals within
+    each 4-cycle block. When [side] is given, nodes in the set are shown as
+    [#] and the others as [o]. Practical up to [log n = 4] or so. *)
+val butterfly_ascii : ?side:Bfly_graph.Bitset.t -> Butterfly.t -> string
+
+(** [butterfly_dot ?side b] is a Graphviz rendering with columns/levels in
+    the node labels. *)
+val butterfly_dot : ?side:Bfly_graph.Bitset.t -> Butterfly.t -> string
+
+(** [figure_1 ()] is the paper's Figure 1: [B_8] with [N = 32], [n = 8]. *)
+val figure_1 : unit -> string

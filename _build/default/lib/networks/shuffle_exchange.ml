@@ -1,0 +1,23 @@
+module G = Bfly_graph.Graph
+
+type t = { dim : int; graph : G.t }
+
+let rotate_left dim w =
+  let top = (w lsr (dim - 1)) land 1 in
+  ((w lsl 1) land ((1 lsl dim) - 1)) lor top
+
+let create ~dim =
+  if dim < 1 then invalid_arg "Shuffle_exchange.create: dim must be >= 1";
+  let n = 1 lsl dim in
+  let edges = ref [] in
+  for w = 0 to n - 1 do
+    if w land 1 = 0 then edges := (w, w lxor 1) :: !edges;
+    let s = rotate_left dim w in
+    (* one edge per unordered pair, skipping fixed points of the rotation *)
+    if s > w then edges := (w, s) :: !edges
+  done;
+  { dim; graph = G.of_edge_list ~n !edges }
+
+let dim t = t.dim
+let size t = 1 lsl t.dim
+let graph t = t.graph

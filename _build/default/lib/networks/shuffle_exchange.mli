@@ -1,0 +1,11 @@
+(** The d-dimensional shuffle-exchange network (Section 1.5): nodes are
+    d-bit words; exchange edges join [w] and [w xor 1]; shuffle edges join
+    [w] and its one-bit left rotation (self-loops at the all-0 and all-1
+    words are omitted). *)
+
+type t
+
+val create : dim:int -> t
+val dim : t -> int
+val size : t -> int
+val graph : t -> Bfly_graph.Graph.t

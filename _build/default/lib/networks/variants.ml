@@ -1,0 +1,55 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+
+type t = {
+  butterfly : Butterfly.t;
+  graph : G.t;
+  real_nodes : int;
+  ports_per_input : int;
+  ports_per_output : int;
+}
+
+let augment butterfly ~ports_per_input ~ports_per_output =
+  let real = Butterfly.size butterfly in
+  let edges = ref (Array.to_list (G.edges (Butterfly.graph butterfly))) in
+  let next = ref real in
+  let attach node count =
+    for _ = 1 to count do
+      edges := (node, !next) :: !edges;
+      incr next
+    done
+  in
+  List.iter (fun u -> attach u ports_per_input) (Butterfly.inputs butterfly);
+  List.iter (fun u -> attach u ports_per_output) (Butterfly.outputs butterfly);
+  {
+    butterfly;
+    graph = G.of_edge_list ~n:!next !edges;
+    real_nodes = real;
+    ports_per_input;
+    ports_per_output;
+  }
+
+let omega n =
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "Variants.omega: n must be a power of two >= 2";
+  augment (Butterfly.of_inputs (n / 2)) ~ports_per_input:2 ~ports_per_output:2
+
+let fft n =
+  augment (Butterfly.of_inputs n) ~ports_per_input:1 ~ports_per_output:1
+
+let port_expansion t s =
+  assert (Bitset.capacity s = G.n_nodes t.graph || Bitset.capacity s = t.real_nodes);
+  let full =
+    if Bitset.capacity s = G.n_nodes t.graph then s
+    else begin
+      let f = Bitset.create (G.n_nodes t.graph) in
+      Bitset.iter s (Bitset.add f);
+      f
+    end
+  in
+  Bfly_graph.Traverse.boundary_edges t.graph full
+
+let snir_inequality_holds t s =
+  let c = float_of_int (port_expansion t s) in
+  let k = float_of_int (Bitset.cardinal s) in
+  if k = 0. then true else c *. (log c /. log 2.) >= (4. *. k) -. 1e-9

@@ -1,0 +1,34 @@
+(** Port-augmented butterfly variants used by prior work (Section 1.6).
+
+    Snir's [Ω_n] is [B_{n/2}] with two input ports on each input node and
+    two output ports on each output node; Hong and Kung's [FFT_n] is [B_n]
+    with one input port per input and one output port per output. Ports are
+    not edges of the underlying butterfly, but they count toward the edge
+    expansion function. We model each port as a pendant node attached to
+    its input/output, so that [C(S,S̄)] in the augmented graph equals the
+    paper's port-counting expansion when [S] contains only real nodes. *)
+
+type t = {
+  butterfly : Butterfly.t;
+  graph : Bfly_graph.Graph.t;  (** butterfly plus pendant port nodes *)
+  real_nodes : int;  (** indices < real_nodes are butterfly nodes *)
+  ports_per_input : int;
+  ports_per_output : int;
+}
+
+(** [omega n] is Snir's [Ω_n], built from [B_{n/2}]; [n >= 2] a power of
+    two. *)
+val omega : int -> t
+
+(** [fft n] is Hong and Kung's [FFT_n], built from [B_n]. *)
+val fft : int -> t
+
+(** [port_expansion t s] is [C(S,S̄)] in the augmented graph for a set [s]
+    of {e real} node indices — i.e. cut edges of the butterfly plus the
+    ports incident to members of [s] (the definition of [EE(Ω_n, k)] in
+    Section 1.6). *)
+val port_expansion : t -> Bfly_graph.Bitset.t -> int
+
+(** Snir's inequality [C log₂ C >= 4k] where [C = port_expansion] and
+    [k = |S|]; returns [true] when the bound holds for this set. *)
+val snir_inequality_holds : t -> Bfly_graph.Bitset.t -> bool

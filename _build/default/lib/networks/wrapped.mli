@@ -1,0 +1,62 @@
+(** The butterfly with wraparound [W_n] (Section 1.1): levels 0 and log n of
+    [B_n] are identified, giving [n·log n] nodes in levels [0..log n − 1].
+
+    For [log n = 2] the identification creates parallel straight edges
+    (both boundaries connect the same column pair); [W_n] is then a
+    multigraph, which the underlying {!Bfly_graph.Graph} supports.
+    Node index of [⟨w,i⟩] is [i·n + w]. *)
+
+type t
+
+(** [create ~log_n] requires [log_n >= 2] (smaller wraparound butterflies
+    degenerate to self-loops). *)
+val create : log_n:int -> t
+
+(** @raise Invalid_argument unless [n] is a power of two with [log n >= 2]. *)
+val of_inputs : int -> t
+
+val log_n : t -> int
+val n : t -> int
+
+(** Total node count [N = n·log n]. *)
+val size : t -> int
+
+(** Number of levels, [log n]. *)
+val levels : t -> int
+
+val graph : t -> Bfly_graph.Graph.t
+val node : t -> col:int -> level:int -> int
+val col_of : t -> int -> int
+val level_of : t -> int -> int
+
+(** Mask flipped by cross edges between level [i] and [(i+1) mod log n]. *)
+val cross_mask : t -> int -> int
+
+val level_nodes : t -> int -> int list
+val column_nodes : t -> int -> int list
+
+(** The level-rotation automorphism: [⟨w, i⟩ ↦ ⟨ror w, (i+1) mod log n⟩]
+    where [ror] rotates the (log n)-bit column word right by one. Composing
+    it [log n] times yields the identity. *)
+val rotation_automorphism : t -> Bfly_graph.Perm.t
+
+(** Column-translation automorphism [⟨w,i⟩ ↦ ⟨w xor c, i⟩]. *)
+val column_xor_automorphism : t -> int -> Bfly_graph.Perm.t
+
+(** Theoretical diameter [⌊3 log n / 2⌋] (Section 1.1). *)
+val theoretical_diameter : t -> int
+
+(** [sub_butterfly_nodes t ~top_level ~dim ~col]: nodes of a [dim]-dimensional
+    sub-butterfly spanning levels [top_level .. top_level+dim] (mod log n),
+    [dim < log n], whose columns agree with [col] outside the window. It has
+    [(dim+1)·2^dim] nodes. Used for expansion witnesses (Section 4.1). *)
+val sub_butterfly_nodes : t -> top_level:int -> dim:int -> col:int -> int list
+
+(** [unfold_to_butterfly t] is the standard transmutation of [W_n] into
+    [B_n] used in Lemma 3.2: level-0 nodes are split in two. Returns the
+    butterfly together with the map sending each [W_n] node to its [B_n]
+    node (level-0 nodes map to the level-0 copy; the level-(log n) copy is
+    [B_n]'s output in the same column). *)
+val unfold_to_butterfly : t -> Butterfly.t * int array
+
+val label : t -> int -> string

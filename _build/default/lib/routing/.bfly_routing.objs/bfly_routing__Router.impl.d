@@ -1,0 +1,1 @@
+lib/routing/router.ml: Array Bfly_graph Hashtbl List Option Queue

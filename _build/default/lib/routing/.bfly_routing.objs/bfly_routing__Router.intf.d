@@ -1,0 +1,1 @@
+lib/routing/router.mli: Bfly_graph

@@ -1,0 +1,1 @@
+lib/routing/workload.ml: Array Bfly_embed Bfly_graph Bfly_networks Random

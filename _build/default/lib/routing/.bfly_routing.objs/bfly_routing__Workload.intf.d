@@ -1,0 +1,1 @@
+lib/routing/workload.mli: Bfly_graph Bfly_networks Random

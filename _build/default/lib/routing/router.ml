@@ -1,0 +1,105 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+
+type stats = {
+  steps : int;
+  delivered : int;
+  total_hops : int;
+  max_edge_queue : int;
+}
+
+let run g ~paths =
+  (* validate and set up per-packet cursors *)
+  let n_packets = Array.length paths in
+  let path_arr = Array.map Array.of_list paths in
+  Array.iter
+    (fun p ->
+      if Array.length p = 0 then invalid_arg "Router.run: empty path";
+      for i = 0 to Array.length p - 2 do
+        if not (G.mem_edge g p.(i) p.(i + 1)) then
+          invalid_arg "Router.run: path uses a non-edge"
+      done)
+    path_arr;
+  (* capacity per directed pair = number of parallel edges *)
+  let capacity = Hashtbl.create (G.n_edges g) in
+  G.iter_edges g (fun u v ->
+      List.iter
+        (fun key ->
+          Hashtbl.replace capacity key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt capacity key)))
+        [ (u, v); (v, u) ]);
+  (* queues keyed by directed edge *)
+  let queues : (int * int, int Queue.t) Hashtbl.t = Hashtbl.create 1024 in
+  let enqueue key pkt =
+    let q =
+      match Hashtbl.find_opt queues key with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.replace queues key q;
+          q
+    in
+    Queue.add pkt q
+  in
+  let cursor = Array.make n_packets 0 in
+  let delivered = ref 0 in
+  let total_hops = ref 0 in
+  let max_edge_queue = ref 0 in
+  Array.iteri
+    (fun pkt p ->
+      if Array.length p = 1 then incr delivered
+      else enqueue (p.(0), p.(1)) pkt)
+    path_arr;
+  let steps = ref 0 in
+  while !delivered < n_packets do
+    incr steps;
+    if !steps > 100 * n_packets * (1 + G.n_nodes g) then
+      failwith "Router.run: no progress (internal error)";
+    (* phase 1: each directed edge releases up to its capacity, FIFO *)
+    let moved = ref [] in
+    Hashtbl.iter
+      (fun key q ->
+        max_edge_queue := max !max_edge_queue (Queue.length q);
+        let cap = Option.value ~default:1 (Hashtbl.find_opt capacity key) in
+        for _ = 1 to min cap (Queue.length q) do
+          moved := Queue.pop q :: !moved
+        done)
+      queues;
+    (* phase 2: advance the released packets *)
+    List.iter
+      (fun pkt ->
+        incr total_hops;
+        cursor.(pkt) <- cursor.(pkt) + 1;
+        let p = path_arr.(pkt) in
+        let i = cursor.(pkt) in
+        if i = Array.length p - 1 then incr delivered
+        else enqueue (p.(i), p.(i + 1)) pkt)
+      !moved
+  done;
+  {
+    steps = !steps;
+    delivered = !delivered;
+    total_hops = !total_hops;
+    max_edge_queue = !max_edge_queue;
+  }
+
+let crossings ~side paths =
+  let into = ref 0 and out = ref 0 in
+  Array.iter
+    (fun path ->
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+            (match (Bitset.mem side a, Bitset.mem side b) with
+            | false, true -> incr into
+            | true, false -> incr out
+            | _ -> ());
+            walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk path)
+    paths;
+  (!into, !out)
+
+let time_lower_bound ~crossings_one_way ~bw =
+  if bw <= 0 then invalid_arg "Router.time_lower_bound: bw must be positive";
+  (crossings_one_way + bw - 1) / bw

@@ -1,0 +1,27 @@
+(** Synchronous store-and-forward packet routing (Section 1.2).
+
+    Each undirected edge transmits at most one packet per direction per
+    time step (parallel edges add capacity). Packets follow fixed,
+    precomputed paths; contended edges serve packets in FIFO arrival
+    order. *)
+
+type stats = {
+  steps : int;  (** time to deliver every packet *)
+  delivered : int;
+  total_hops : int;
+  max_edge_queue : int;  (** worst backlog on a directed edge *)
+}
+
+(** [run g ~paths] routes one packet per path. Paths must be walks in [g]
+    (length 0 allowed — delivered at time 0).
+    @raise Invalid_argument on malformed paths. *)
+val run : Bfly_graph.Graph.t -> paths:int list array -> stats
+
+(** [crossings ~side paths] counts hops that cross the cut, in each
+    direction: [(into side, out of side)]. *)
+val crossings : side:Bfly_graph.Bitset.t -> int list array -> int * int
+
+(** The paper's routing-time lower bound: with [c] crossings in one
+    direction and bisection width [bw], delivery needs at least
+    [⌈c / bw⌉] steps. *)
+val time_lower_bound : crossings_one_way:int -> bw:int -> int

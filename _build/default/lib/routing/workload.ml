@@ -1,0 +1,26 @@
+module Butterfly = Bfly_networks.Butterfly
+module Wrapped = Bfly_networks.Wrapped
+module Perm = Bfly_graph.Perm
+
+let greedy_permutation b perm =
+  if Perm.size perm <> Butterfly.n b then
+    invalid_arg "Workload.greedy_permutation: permutation must act on columns";
+  Array.init (Butterfly.n b) (fun w ->
+      Butterfly.monotone_path b ~input_col:w ~output_col:(Perm.apply perm w))
+
+let greedy_random ~rng b =
+  Array.init (Butterfly.n b) (fun w ->
+      Butterfly.monotone_path b ~input_col:w
+        ~output_col:(Random.State.int rng (Butterfly.n b)))
+
+let all_to_random ~rng b =
+  let size = Butterfly.size b in
+  Array.init size (fun src ->
+      let dst = Random.State.int rng size in
+      if src = dst then [ src ] else Bfly_embed.Classic.butterfly_three_phase b src dst)
+
+let all_to_random_wrapped ~rng w =
+  let size = Wrapped.size w in
+  Array.init size (fun src ->
+      let dst = Random.State.int rng size in
+      if src = dst then [ src ] else Bfly_embed.Classic.wrapped_three_phase w src dst)

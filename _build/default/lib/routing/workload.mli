@@ -1,0 +1,24 @@
+(** Routing workloads on butterflies (Section 1.2).
+
+    [greedy_*] route input-to-output traffic along the unique monotone
+    paths (Lemma 2.3); [all_to_random] is the paper's motivating workload —
+    every node of the network sends one message to an independently uniform
+    node — routed along the three-phase paths of Theorem 4.3's embedding. *)
+
+(** One packet per input column, destination column given by the
+    permutation; path = monotone path. *)
+val greedy_permutation :
+  Bfly_networks.Butterfly.t -> Bfly_graph.Perm.t -> int list array
+
+(** One packet per input column, destinations drawn uniformly (with
+    repetition). *)
+val greedy_random :
+  rng:Random.State.t -> Bfly_networks.Butterfly.t -> int list array
+
+(** Every node sends one message to a uniformly random node. *)
+val all_to_random :
+  rng:Random.State.t -> Bfly_networks.Butterfly.t -> int list array
+
+(** Same on the wraparound butterfly (three-phase paths through level 0). *)
+val all_to_random_wrapped :
+  rng:Random.State.t -> Bfly_networks.Wrapped.t -> int list array

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bfly_graph List QCheck2 Tu

@@ -1,0 +1,1 @@
+test/test_butterfly.ml: Alcotest Bfly_graph Bfly_networks List Printf Tu

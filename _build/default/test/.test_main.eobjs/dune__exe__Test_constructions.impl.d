@@ -1,0 +1,1 @@
+test/test_constructions.ml: Alcotest Array Bfly_cuts Bfly_graph Bfly_networks Format List Tu

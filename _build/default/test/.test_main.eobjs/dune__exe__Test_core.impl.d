@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bfly_core Bfly_graph Bfly_networks List String Tu

@@ -1,0 +1,1 @@
+test/test_cuts.ml: Alcotest Bfly_cuts Bfly_graph Bfly_networks List QCheck2 Random Tu

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Bfly_core Bfly_cuts Bfly_expansion Bfly_graph Bfly_networks Bfly_routing List Random Tu Unix

@@ -1,0 +1,1 @@
+test/test_embed.ml: Alcotest Array Bfly_embed Bfly_expansion Bfly_graph Bfly_networks List Tu

@@ -1,0 +1,1 @@
+test/test_expansion.ml: Alcotest Bfly_expansion Bfly_graph Bfly_networks List QCheck2 Random Tu

@@ -1,0 +1,1 @@
+test/test_final.ml: Alcotest Array Bfly_core Bfly_embed Bfly_expansion Bfly_graph Bfly_mos Bfly_networks List Random String Tu

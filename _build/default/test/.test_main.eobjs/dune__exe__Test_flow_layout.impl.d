@@ -1,0 +1,1 @@
+test/test_flow_layout.ml: Alcotest Array Bfly_cuts Bfly_graph Bfly_mos Bfly_networks Hashtbl List QCheck2 Random Tu

@@ -1,0 +1,1 @@
+test/test_generators.ml: Bfly_cuts Bfly_graph List QCheck2 Tu

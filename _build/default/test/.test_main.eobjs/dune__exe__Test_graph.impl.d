@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bfly_graph List QCheck2 Tu

@@ -1,0 +1,1 @@
+test/test_graph_substrate.ml: Alcotest Array Bfly_graph Fun Hashtbl List QCheck2 Tu

@@ -1,0 +1,1 @@
+test/test_integration.ml: Bfly_core Bfly_cuts Bfly_embed Bfly_expansion Bfly_graph Bfly_mos Bfly_networks Bfly_routing Filename Format List Random String Sys Tu

@@ -1,0 +1,1 @@
+test/test_level_cut.ml: Alcotest Bfly_cuts Bfly_graph Bfly_networks List QCheck2 Random Tu

@@ -1,0 +1,1 @@
+test/test_mos_analysis.ml: Alcotest Bfly_cuts Bfly_graph Bfly_mos Bfly_networks List Printf Tu

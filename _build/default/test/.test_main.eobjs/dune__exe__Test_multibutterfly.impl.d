@@ -1,0 +1,1 @@
+test/test_multibutterfly.ml: Alcotest Bfly_graph Bfly_networks List Random Tu

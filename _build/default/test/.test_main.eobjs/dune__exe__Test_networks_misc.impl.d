@@ -1,0 +1,1 @@
+test/test_networks_misc.ml: Alcotest Array Bfly_graph Bfly_networks List Random String Tu

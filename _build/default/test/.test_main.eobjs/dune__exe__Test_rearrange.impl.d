@@ -1,0 +1,1 @@
+test/test_rearrange.ml: Alcotest Array Bfly_cuts Bfly_embed Bfly_graph Bfly_networks List QCheck2 Random Tu

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Bfly_cuts Bfly_graph Bfly_networks Bfly_routing List QCheck2 Random Tu

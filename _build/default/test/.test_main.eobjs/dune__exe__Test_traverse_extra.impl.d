@@ -1,0 +1,1 @@
+test/test_traverse_extra.ml: Alcotest Array Bfly_cuts Bfly_graph Bfly_networks List QCheck2 Tu

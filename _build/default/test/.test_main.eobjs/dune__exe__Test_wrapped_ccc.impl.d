@@ -1,0 +1,1 @@
+test/test_wrapped_ccc.ml: Array Bfly_graph Bfly_networks List Printf Tu

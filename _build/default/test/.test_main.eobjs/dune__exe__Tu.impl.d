@@ -1,0 +1,1 @@
+test/tu.ml: Alcotest Array Bfly_graph QCheck2 QCheck_alcotest Random

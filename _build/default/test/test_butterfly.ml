@@ -1,0 +1,179 @@
+module B = Bfly_networks.Butterfly
+module G = Bfly_graph.Graph
+module Traverse = Bfly_graph.Traverse
+open Tu
+
+let test_sizes () =
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let n = 1 lsl log_n in
+      check "n" n (B.n b);
+      check "N = n(log n + 1)" (n * (log_n + 1)) (B.size b);
+      check "nodes" (B.size b) (G.n_nodes (B.graph b));
+      check "edges = 2 n log n" (2 * n * log_n) (G.n_edges (B.graph b)))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_degrees () =
+  (* level 0 and log n have degree 2, inner levels degree 4 (Section 1.4) *)
+  let b = B.of_inputs 8 in
+  let g = B.graph b in
+  List.iter (fun v -> check "input degree" 2 (G.degree g v)) (B.inputs b);
+  List.iter (fun v -> check "output degree" 2 (G.degree g v)) (B.outputs b);
+  List.iter (fun v -> check "inner degree" 4 (G.degree g v)) (B.level_nodes b 1)
+
+let test_node_indexing () =
+  let b = B.of_inputs 8 in
+  for level = 0 to 3 do
+    for col = 0 to 7 do
+      let idx = B.node b ~col ~level in
+      check "col roundtrip" col (B.col_of b idx);
+      check "level roundtrip" level (B.level_of b idx)
+    done
+  done
+
+let test_adjacency_rule () =
+  (* ⟨w,i⟩ ~ ⟨w',i+1⟩ iff w = w' or w,w' differ exactly in bit position i+1 *)
+  let b = B.of_inputs 16 in
+  let g = B.graph b in
+  let ok = ref true in
+  G.iter_edges g (fun u v ->
+      let u, v = if B.level_of b u <= B.level_of b v then (u, v) else (v, u) in
+      let wu = B.col_of b u and wv = B.col_of b v in
+      let i = B.level_of b u in
+      if B.level_of b v <> i + 1 then ok := false;
+      if wu <> wv && wu lxor wv <> B.cross_mask b i then ok := false);
+  checkb "all edges follow the definition" true !ok
+
+let test_diameter_formula () =
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      check
+        (Printf.sprintf "diameter of B_%d is 2 log n" (1 lsl log_n))
+        (B.theoretical_diameter b)
+        (Traverse.diameter (B.graph b)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_connected () =
+  checkb "B_32 connected" true (Traverse.is_connected (B.graph (B.of_inputs 32)))
+
+let test_monotone_path_unique_and_valid () =
+  (* Lemma 2.3: exactly one monotonic input-output path; check validity and
+     count all monotone paths by DFS for a small instance *)
+  let b = B.of_inputs 8 in
+  let g = B.graph b in
+  for ic = 0 to 7 do
+    for oc = 0 to 7 do
+      let p = B.monotone_path b ~input_col:ic ~output_col:oc in
+      check "path length = log n + 1" 4 (List.length p);
+      let rec valid = function
+        | a :: (bb :: _ as rest) -> G.mem_edge g a bb && valid rest
+        | _ -> true
+      in
+      checkb "path valid" true (valid p);
+      check "starts at input" (B.node b ~col:ic ~level:0) (List.hd p);
+      check "ends at output"
+        (B.node b ~col:oc ~level:3)
+        (List.nth p 3)
+    done
+  done;
+  (* count monotone paths between one input/output pair by brute force *)
+  let target = B.node b ~col:5 ~level:3 in
+  let rec count node level =
+    if level = 3 then if node = target then 1 else 0
+    else
+      G.fold_neighbors g node 0 (fun acc w ->
+          if B.level_of b w = level + 1 then acc + count w (level + 1) else acc)
+  in
+  check "exactly one monotone path" 1 (count (B.node b ~col:2 ~level:0) 0)
+
+let test_component_structure () =
+  (* Lemma 2.4: B_n[i,j] has n/2^(j-i) components, each iso to B_(2^(j-i)) *)
+  let b = B.of_inputs 16 in
+  let g = B.graph b in
+  List.iter
+    (fun (lo, hi) ->
+      let expected = B.component_count b ~lo ~hi in
+      check "component count formula" (16 lsr (hi - lo)) expected;
+      (* collect the level-window subgraph and count its components *)
+      let s = Bfly_graph.Bitset.create (B.size b) in
+      for level = lo to hi do
+        List.iter (Bfly_graph.Bitset.add s) (B.level_nodes b level)
+      done;
+      let sub, _ = G.induced g s in
+      check "measured components" expected (Traverse.component_count sub);
+      (* each component has (hi-lo+1) * 2^(hi-lo) nodes *)
+      for cls = 0 to expected - 1 do
+        check "component size"
+          ((hi - lo + 1) * (1 lsl (hi - lo)))
+          (List.length (B.component_nodes b ~lo ~hi cls))
+      done)
+    [ (0, 4); (1, 3); (2, 2); (0, 2); (2, 4) ]
+
+let test_reversal_automorphism () =
+  (* Lemma 2.1 *)
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let g = B.graph b in
+      let p = B.reversal_automorphism b in
+      checkb "reversal is an automorphism" true (G.equal g (G.relabel g p));
+      (* maps L_i onto L_(log n - i) *)
+      List.iter
+        (fun v ->
+          check "level reversed" (log_n - B.level_of b v)
+            (B.level_of b (Bfly_graph.Perm.apply p v)))
+        (B.level_nodes b 0))
+    [ 1; 2; 3; 4 ]
+
+let test_column_xor_automorphism () =
+  (* Lemma 2.2: level-preserving transitive action on columns *)
+  let b = B.of_inputs 16 in
+  let g = B.graph b in
+  for c = 0 to 15 do
+    let p = B.column_xor_automorphism b c in
+    checkb "xor is an automorphism" true (G.equal g (G.relabel g p));
+    check "level preserved" 2 (B.level_of b (Bfly_graph.Perm.apply p (B.node b ~col:3 ~level:2)))
+  done;
+  (* transitivity within a level: any v maps to any v' *)
+  let v = B.node b ~col:5 ~level:1 and v' = B.node b ~col:12 ~level:1 in
+  let p = B.column_xor_automorphism b (5 lxor 12) in
+  check "v maps to v'" v' (Bfly_graph.Perm.apply p v)
+
+let test_sub_butterfly () =
+  let b = B.of_inputs 16 in
+  let nodes = B.sub_butterfly_nodes b ~top_level:1 ~dim:2 ~col:0 in
+  check "sub-butterfly size" 12 (List.length nodes);
+  (* induced subgraph is isomorphic to B_4: 12 nodes, 16 edges, connected *)
+  let s = Bfly_graph.Bitset.create (B.size b) in
+  List.iter (Bfly_graph.Bitset.add s) nodes;
+  let sub, _ = G.induced (B.graph b) s in
+  check "sub-butterfly edges" 16 (G.n_edges sub);
+  checkb "connected" true (Traverse.is_connected sub)
+
+let test_of_inputs_validation () =
+  Alcotest.check_raises "not a power of two"
+    (Invalid_argument "Butterfly.of_inputs: not a power of two") (fun () ->
+      ignore (B.of_inputs 12))
+
+let test_label () =
+  let b = B.of_inputs 8 in
+  Alcotest.(check string) "label" "<101,2>" (B.label b (B.node b ~col:5 ~level:2))
+
+let suite =
+  [
+    case "sizes and edge counts" test_sizes;
+    case "degree profile (Section 1.4)" test_degrees;
+    case "node indexing roundtrip" test_node_indexing;
+    case "adjacency matches the definition" test_adjacency_rule;
+    case "diameter = 2 log n" test_diameter_formula;
+    case "connectivity" test_connected;
+    case "Lemma 2.3: unique monotone paths" test_monotone_path_unique_and_valid;
+    case "Lemma 2.4: level-window components" test_component_structure;
+    case "Lemma 2.1: reversal automorphism" test_reversal_automorphism;
+    case "Lemma 2.2: column-xor automorphisms" test_column_xor_automorphism;
+    case "sub-butterfly node sets" test_sub_butterfly;
+    case "input validation" test_of_inputs_validation;
+    case "labels" test_label;
+  ]

@@ -1,0 +1,223 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Cut = Bfly_cuts.Cut
+module Cons = Bfly_cuts.Constructions
+module Compact = Bfly_cuts.Compact
+module B = Bfly_networks.Butterfly
+module W = Bfly_networks.Wrapped
+module C = Bfly_networks.Ccc
+open Tu
+
+let cap g side = Bfly_graph.Traverse.boundary_edges g side
+
+(* ---- folklore cuts ---- *)
+
+let test_column_cut_butterfly () =
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let side = Cons.butterfly_column_cut b in
+      let c = Cut.make (B.graph b) side in
+      check "capacity n" (1 lsl log_n) (Cut.capacity c);
+      checkb "bisection" true (Cut.is_bisection c))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_column_cut_wrapped () =
+  List.iter
+    (fun log_n ->
+      let w = W.create ~log_n in
+      let side = Cons.wrapped_column_cut w in
+      let c = Cut.make (W.graph w) side in
+      check "capacity n" (1 lsl log_n) (Cut.capacity c);
+      checkb "bisection" true (Cut.is_bisection c))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_dimension_cut_ccc () =
+  List.iter
+    (fun log_n ->
+      let net = C.create ~log_n in
+      let side = Cons.ccc_dimension_cut net in
+      let c = Cut.make (C.graph net) side in
+      check "capacity n/2" (1 lsl (log_n - 1)) (Cut.capacity c);
+      checkb "bisection" true (Cut.is_bisection c))
+    [ 2; 3; 4; 5 ]
+
+let test_hypercube_cut () =
+  let h = Bfly_networks.Hypercube.create ~dim:5 in
+  let side = Cons.hypercube_cut h in
+  check "capacity 2^(d-1)" 16 (cap (Bfly_networks.Hypercube.graph h) side)
+
+(* ---- MOS pullback ---- *)
+
+let test_mos_predicted_matches_measured () =
+  (* the closed form must equal the measured capacity for every feasible
+     parameter choice on mid-size instances *)
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      for t1 = 1 to log_n - 1 do
+        for t3 = 1 to log_n - t1 do
+          let jj = 1 lsl t3 and kk = 1 lsl t1 in
+          List.iter
+            (fun (r1, r3) ->
+              let params = { Cons.t1; t3; r1; r3 } in
+              match Cons.mos_predicted_cost b params with
+              | None -> ()
+              | Some predicted ->
+                  let side = Cons.mos_pullback_cut b params in
+                  let cut = Cut.make (B.graph b) side in
+                  check
+                    (Format.asprintf "B_2^%d %a" log_n Cons.pp_mos_params params)
+                    predicted (Cut.capacity cut);
+                  checkb "bisection" true (Cut.is_bisection cut))
+            [
+              (jj / 2, kk / 2); (jj, kk); (0, 0); (jj, 0);
+              ((jj / 2) + 1, kk / 2); (1, kk - 1);
+            ]
+        done
+      done)
+    [ 2; 3; 4; 5; 6 ]
+
+let test_best_mos_pullback () =
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let _, cost, side = Cons.best_mos_pullback b in
+      let cut = Cut.make (B.graph b) side in
+      check "cost matches" cost (Cut.capacity cut);
+      checkb "bisection" true (Cut.is_bisection cut);
+      checkb "never worse than folklore" true (cost <= 1 lsl log_n))
+    [ 2; 3; 4; 6; 8 ]
+
+let test_mos_pullback_beats_folklore_large () =
+  let b = B.create ~log_n:10 in
+  let _, cost, _ = Cons.best_mos_pullback b in
+  checkb "sub-n bisection at n = 1024 (Theorem 2.20)" true (cost < 1024)
+
+let test_mos_param_validation () =
+  let b = B.create ~log_n:4 in
+  Alcotest.check_raises "t1 = 0 rejected"
+    (Invalid_argument "Constructions.mos: need 1 <= t1, 1 <= t3, t1+t3 <= log n")
+    (fun () -> ignore (Cons.mos_predicted_cost b { Cons.t1 = 0; t3 = 1; r1 = 0; r3 = 0 }))
+
+(* ---- compactness (Lemmas 2.8, 2.9, 2.15) ---- *)
+
+let test_lemma_2_8 () =
+  (* U = levels 1..log n is compact in B_4 — verified over all cuts *)
+  let b = B.of_inputs 4 in
+  let u = Bitset.create (B.size b) in
+  List.iter (fun l -> List.iter (Bitset.add u) (B.level_nodes b l)) [ 1; 2 ];
+  checkb "Lemma 2.8 on B_4" true (Compact.is_compact (B.graph b) u)
+
+let test_lemma_2_8_dual () =
+  (* by the reversal automorphism, levels 0..log n - 1 are compact too *)
+  let b = B.of_inputs 4 in
+  let u = Bitset.create (B.size b) in
+  List.iter (fun l -> List.iter (Bitset.add u) (B.level_nodes b l)) [ 0; 1 ];
+  checkb "dual of Lemma 2.8" true (Compact.is_compact (B.graph b) u)
+
+let test_lemma_2_9 () =
+  let b = B.of_inputs 4 in
+  List.iter
+    (fun (lo, hi) ->
+      for cls = 0 to B.component_count b ~lo ~hi - 1 do
+        let s = Bitset.create (B.size b) in
+        List.iter (Bitset.add s) (B.component_nodes b ~lo ~hi cls);
+        checkb "component compact" true (Compact.is_compact (B.graph b) s)
+      done)
+    [ (1, 2); (2, 2) ]
+
+let test_singletons_trivially_compact () =
+  (* no cut can split a singleton, so every singleton is compact *)
+  let b = B.of_inputs 4 in
+  let u = Bitset.of_list (B.size b) [ B.node b ~col:0 ~level:1 ] in
+  checkb "singleton compact" true (Compact.is_compact (B.graph b) u)
+
+let test_non_compact_counterexample () =
+  (* two inputs on opposite sides of the column cut are NOT compact:
+     moving either across strands it deep in foreign territory *)
+  let b = B.of_inputs 4 in
+  let u =
+    Bitset.of_list (B.size b)
+      [ B.node b ~col:0 ~level:0; B.node b ~col:3 ~level:0 ]
+  in
+  match Compact.counterexample (B.graph b) u with
+  | Some cut ->
+      let base = cap (B.graph b) cut in
+      let with_u = cap (B.graph b) (Bitset.union cut u) in
+      let without_u = cap (B.graph b) (Bitset.diff cut u) in
+      checkb "counterexample is genuine" true (min with_u without_u > base)
+  | None -> Alcotest.fail "expected the antipodal input pair to be non-compact"
+
+let test_lemma_2_6 () =
+  (* U compact in the subgraph induced by U ∪ N(U) implies compact in G:
+     verify both sides for the Lemma 2.9 components of B_4 *)
+  let b = B.of_inputs 4 in
+  let g = B.graph b in
+  for cls = 0 to 1 do
+    let u = Bitset.create (B.size b) in
+    List.iter (Bitset.add u) (B.component_nodes b ~lo:1 ~hi:2 cls);
+    let closure =
+      Bitset.union u (Bfly_graph.Traverse.neighbors_of_set g u)
+    in
+    let sub, ids = G.induced g closure in
+    let u_sub = Bitset.create (G.n_nodes sub) in
+    Array.iteri (fun i id -> if Bitset.mem u id then Bitset.add u_sub i) ids;
+    checkb "compact in the induced closure" true (Compact.is_compact sub u_sub);
+    checkb "compact in G (Lemma 2.6's conclusion)" true (Compact.is_compact g u)
+  done
+
+let test_lemma_2_7 () =
+  (* every connected component of a compact set is compact: U = levels 1..2
+     of B_4 is compact; its components are the two middle blocks *)
+  let b = B.of_inputs 4 in
+  let g = B.graph b in
+  let u = Bitset.create (B.size b) in
+  List.iter (fun l -> List.iter (Bitset.add u) (B.level_nodes b l)) [ 1; 2 ];
+  checkb "U compact" true (Compact.is_compact g u);
+  let sub, ids = G.induced g u in
+  let uf = Bfly_graph.Traverse.components sub in
+  List.iter
+    (fun members ->
+      let comp = Bitset.create (B.size b) in
+      List.iter (fun i -> Bitset.add comp ids.(i)) members;
+      checkb "component compact (Lemma 2.7)" true (Compact.is_compact g comp))
+    (Bfly_graph.Union_find.classes uf)
+
+let test_lemma_2_15_amenable () =
+  (* a middle component with upper neighbors in A and lower neighbors in
+     A-bar is amenable for any such cut *)
+  let b = B.of_inputs 8 in
+  let g = B.graph b in
+  let comp = B.component_nodes b ~lo:1 ~hi:2 1 in
+  let u = Bitset.create (B.size b) in
+  List.iter (Bitset.add u) comp;
+  let nbrs = Bfly_graph.Traverse.neighbors_of_set g u in
+  (* two different base cuts, both respecting the level-side condition *)
+  List.iter
+    (fun extra ->
+      let cut = Bitset.create (B.size b) in
+      Bitset.iter nbrs (fun v -> if B.level_of b v = 0 then Bitset.add cut v);
+      List.iter (Bitset.add cut) extra;
+      checkb "amenable" true (Compact.amenable_check g cut u))
+    [ []; comp; [ B.node b ~col:7 ~level:3 ] ]
+
+let suite =
+  [
+    case "folklore column cut of B_n has capacity n" test_column_cut_butterfly;
+    case "column cut of W_n has capacity n (Lemma 3.2 UB)" test_column_cut_wrapped;
+    case "dimension cut of CCC_n has capacity n/2 (Lemma 3.3 UB)" test_dimension_cut_ccc;
+    case "hypercube dimension cut" test_hypercube_cut;
+    slow_case "MOS pullback: closed form = measured, all params" test_mos_predicted_matches_measured;
+    case "best MOS pullback is a valid bisection" test_best_mos_pullback;
+    case "MOS pullback beats folklore at n=1024" test_mos_pullback_beats_folklore_large;
+    case "MOS parameter validation" test_mos_param_validation;
+    case "Lemma 2.8: inner levels compact (exhaustive)" test_lemma_2_8;
+    case "Lemma 2.8 dual via reversal" test_lemma_2_8_dual;
+    case "Lemma 2.9: components compact (exhaustive)" test_lemma_2_9;
+    case "Lemma 2.6: compactness lifts from the closure" test_lemma_2_6;
+    case "Lemma 2.7: components of compact sets" test_lemma_2_7;
+    case "singletons are compact" test_singletons_trivially_compact;
+    case "non-compact counterexample" test_non_compact_counterexample;
+    case "Lemma 2.15: middle components amenable" test_lemma_2_15_amenable;
+  ]

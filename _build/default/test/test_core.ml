@@ -1,0 +1,81 @@
+module Bw = Bfly_core.Bw
+module Report = Bfly_core.Report
+open Tu
+
+let test_bw_butterfly_small_exact () =
+  List.iter
+    (fun (n, expected) ->
+      let br = Bw.butterfly n in
+      checkb "exact" true (Bw.exact br);
+      check "value" expected br.Bw.lower;
+      (* the witness achieves the upper bound *)
+      let b = Bfly_networks.Butterfly.of_inputs n in
+      check "witness capacity" br.Bw.upper
+        (Bfly_graph.Traverse.boundary_edges (Bfly_networks.Butterfly.graph b)
+           br.Bw.witness))
+    [ (2, 2); (4, 4); (8, 8) ]
+
+let test_bw_butterfly_bracket_large () =
+  let br = Bw.butterfly 1024 in
+  checkb "lower <= upper" true (br.Bw.lower <= br.Bw.upper);
+  checkb "lower near 0.828n" true (br.Bw.lower >= 840 && br.Bw.lower <= 860);
+  checkb "upper below folklore" true (br.Bw.upper < 1024)
+
+let test_bw_wrapped () =
+  List.iter
+    (fun n ->
+      let br = Bw.wrapped n in
+      checkb "exact" true (Bw.exact br);
+      check "equals n (Lemma 3.2)" n br.Bw.upper)
+    [ 4; 8; 16; 32; 128 ]
+
+let test_bw_ccc () =
+  List.iter
+    (fun n ->
+      let br = Bw.ccc n in
+      checkb "exact" true (Bw.exact br);
+      check "equals n/2 (Lemma 3.3)" (n / 2) br.Bw.upper)
+    [ 4; 8; 16; 64; 128 ]
+
+let test_constant () =
+  Alcotest.(check (float 1e-9))
+    "2(sqrt2 - 1)"
+    (2.0 *. (sqrt 2.0 -. 1.0))
+    Bw.butterfly_constant
+
+let test_report_table () =
+  let t =
+    Report.table ~title:"T" ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "33"; "4" ] ]
+  in
+  checkb "title present" true (String.length t > 0 && t.[0] = 'T');
+  check "five lines" 5
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' t)))
+
+let test_report_formats () =
+  Alcotest.(check string) "fint" "42" (Report.fint 42);
+  Alcotest.(check string) "ffloat" "1.500" (Report.ffloat 1.5);
+  Alcotest.(check string) "ffloat digits" "1.50" (Report.ffloat ~digits:2 1.5);
+  Alcotest.(check string) "fbool" "yes" (Report.fbool true);
+  Alcotest.(check string) "fopt none" "-" (Report.fopt Report.fint None);
+  Alcotest.(check string) "fopt some" "7" (Report.fopt Report.fint (Some 7))
+
+(* smoke: the cheap experiment renderers produce non-empty tables *)
+let test_experiments_smoke () =
+  List.iter
+    (fun name ->
+      let f = List.assoc name Bfly_core.Experiments.all in
+      let s = f () in
+      checkb (name ^ " non-empty") true (String.length s > 50))
+    [ "E3"; "E4"; "E10"; "E12"; "E13"; "F1"; "F2" ]
+
+let suite =
+  [
+    case "BW brackets: small butterflies exact" test_bw_butterfly_small_exact;
+    case "BW bracket for B_1024" test_bw_butterfly_bracket_large;
+    case "BW(W_n) = n" test_bw_wrapped;
+    case "BW(CCC_n) = n/2" test_bw_ccc;
+    case "theorem constant" test_constant;
+    case "table rendering" test_report_table;
+    case "format helpers" test_report_formats;
+    slow_case "experiment renderers (smoke)" test_experiments_smoke;
+  ]

@@ -1,0 +1,189 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Cut = Bfly_cuts.Cut
+module Exact = Bfly_cuts.Exact
+module Heuristics = Bfly_cuts.Heuristics
+module B = Bfly_networks.Butterfly
+module W = Bfly_networks.Wrapped
+open Tu
+
+let square () = G.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+
+(* ---- Cut basics ---- *)
+
+let test_capacity () =
+  let g = square () in
+  let c = Cut.make g (Bitset.of_list 4 [ 0; 1 ]) in
+  check "capacity" 2 (Cut.capacity c);
+  check "side size" 2 (Cut.side_size c);
+  checkb "bisection" true (Cut.is_bisection c);
+  let c2 = Cut.make g (Bitset.of_list 4 [ 0 ]) in
+  checkb "not a bisection" false (Cut.is_bisection c2)
+
+let test_capacity_multigraph () =
+  let g = G.of_edge_list ~n:2 [ (0, 1); (0, 1); (0, 1) ] in
+  let c = Cut.make g (Bitset.of_list 2 [ 0 ]) in
+  check "multiplicity counted" 3 (Cut.capacity c)
+
+let test_bisects () =
+  let g = square () in
+  let u = Bitset.of_list 4 [ 0; 1; 2 ] in
+  checkb "bisects odd set 2-1" true (Cut.bisects (Cut.make g (Bitset.of_list 4 [ 0; 1 ])) u);
+  checkb "does not bisect 3-0" false (Cut.bisects (Cut.make g (Bitset.of_list 4 [ 0; 1; 2 ])) u)
+
+let test_cut_edges () =
+  let g = square () in
+  let c = Cut.make g (Bitset.of_list 4 [ 0; 1 ]) in
+  Alcotest.(check (list (pair int int))) "cut edges" [ (0, 3); (1, 2) ] (Cut.cut_edges c)
+
+(* ---- incremental state ---- *)
+
+let test_state_flip () =
+  let g = square () in
+  let st = Cut.State.create g (Bitset.of_list 4 [ 0; 1 ]) in
+  check "initial cap" 2 (Cut.State.capacity st);
+  check "gain of 0" 0 (Cut.State.gain st 0);
+  Cut.State.flip st 0;
+  check "cap after flip" 2 (Cut.State.capacity st);
+  check "side size" 1 (Cut.State.side_size st);
+  checkb "membership flipped" false (Cut.State.in_side st 0)
+
+let prop_state_matches_recompute =
+  qcheck ~count:200 "state capacity/gains match recomputation after flips"
+    QCheck2.Gen.(pair (int_range 3 20) (list (int_bound 19)))
+    (fun (n, flips) ->
+      let g = random_graph n ~extra_edges:(2 * n) in
+      let side = random_subset n (n / 2) in
+      let st = Cut.State.create g side in
+      List.iter (fun v -> if v < n then Cut.State.flip st v) flips;
+      let expected =
+        Bfly_graph.Traverse.boundary_edges g (Cut.State.side st)
+      in
+      Cut.State.capacity st = expected
+      && (let ok = ref true in
+          for v = 0 to n - 1 do
+            Cut.State.flip st v;
+            let after = Bfly_graph.Traverse.boundary_edges g (Cut.State.side st) in
+            Cut.State.flip st v;
+            if expected - after <> Cut.State.gain st v then ok := false
+          done;
+          !ok))
+
+(* ---- exact solvers ---- *)
+
+let test_exhaustive_on_known () =
+  check "square bw" 2 (fst (Exact.bisection_width_exhaustive (square ())));
+  let k5 = Bfly_networks.Complete.k_n 5 in
+  check "K5 bw" 6 (fst (Exact.bisection_width_exhaustive k5))
+
+let test_bb_matches_exhaustive_small_nets () =
+  List.iter
+    (fun g ->
+      let e, se = Exact.bisection_width_exhaustive g in
+      let b, sb = Exact.bisection_width g in
+      check "bb = exhaustive" e b;
+      (* witnesses actually achieve the value and are balanced *)
+      check "exhaustive witness" e (Cut.capacity (Cut.make g se));
+      check "bb witness" b (Cut.capacity (Cut.make g sb));
+      checkb "balanced" true (Cut.is_bisection (Cut.make g sb)))
+    [
+      B.graph (B.of_inputs 4);
+      W.graph (W.of_inputs 4);
+      Bfly_networks.Ccc.graph (Bfly_networks.Ccc.create ~log_n:2);
+      Bfly_networks.Hypercube.graph (Bfly_networks.Hypercube.create ~dim:4);
+    ]
+
+let prop_bb_matches_brute =
+  qcheck ~count:60 "branch and bound equals brute force on random graphs"
+    QCheck2.Gen.(pair (int_range 4 12) (int_range 0 18))
+    (fun (n, extra) ->
+      let g = random_graph n ~extra_edges:extra in
+      fst (Exact.bisection_width g) = brute_bw g)
+
+let test_u_bisection () =
+  (* minimize capacity while bisecting only the two middle nodes of a path *)
+  let g = G.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let u = Bitset.of_list 4 [ 1; 2 ] in
+  let c, side = Exact.bisection_width ~u g in
+  check "U-bisection capacity" 1 c;
+  checkb "bisects U" true (Cut.bisects (Cut.make g side) u)
+
+let test_u_bisection_exhaustive_matches () =
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 20 do
+    let n = 6 + Random.State.int rng 6 in
+    let g = random_graph ~rng n ~extra_edges:n in
+    let u = random_subset ~rng n (2 + Random.State.int rng (n - 2)) in
+    let e, _ = Exact.bisection_width_exhaustive ~u g in
+    let b, _ = Exact.bisection_width ~u g in
+    check "u-bisection: bb = exhaustive" e b
+  done
+
+let test_upper_bound_priming () =
+  let g = B.graph (B.of_inputs 4) in
+  let c, _ = Exact.bisection_width ~upper_bound:4 g in
+  check "primed search still exact" 4 c
+
+let test_known_bisection_widths () =
+  (* Lemma 3.2 and 3.3 at the smallest sizes, plus hypercube *)
+  check "BW(W_8) = 8" 8 (fst (Exact.bisection_width (W.graph (W.of_inputs 8))));
+  check "BW(CCC_8) = 4" 4
+    (fst (Exact.bisection_width (Bfly_networks.Ccc.graph (Bfly_networks.Ccc.create ~log_n:3))));
+  check "BW(Q_4) = 8" 8
+    (fst (Exact.bisection_width (Bfly_networks.Hypercube.graph (Bfly_networks.Hypercube.create ~dim:4))))
+
+let test_bw_b8_is_8 () =
+  (* the headline small case: the folklore value n is exact at n = 8; the
+     2(sqrt 2 - 1)n asymptotics only bites for large n *)
+  check "BW(B_8) = 8" 8 (fst (Exact.bisection_width ~upper_bound:8 (B.graph (B.of_inputs 8))))
+
+(* ---- heuristics ---- *)
+
+let heuristic_ok name run =
+  qcheck ~count:30 (name ^ " returns balanced cuts no better than optimal")
+    QCheck2.Gen.(pair (int_range 4 14) (int_range 2 20))
+    (fun (n, extra) ->
+      let g = random_graph n ~extra_edges:extra in
+      let c, side = run g in
+      let cut = Cut.make g side in
+      Cut.is_bisection cut && Cut.capacity cut = c && c >= brute_bw g)
+
+let prop_kl = heuristic_ok "kernighan-lin" (fun g -> Heuristics.kernighan_lin g)
+let prop_fm = heuristic_ok "fiduccia-mattheyses" (fun g -> Heuristics.fiduccia_mattheyses g)
+let prop_spectral = heuristic_ok "spectral" (fun g -> Heuristics.spectral g)
+let prop_sa = heuristic_ok "annealing" (fun g -> Heuristics.annealing ~steps:20_000 g)
+
+let test_heuristics_find_optimum_on_easy () =
+  (* on the 4-cycle and on B_4 every heuristic should reach the optimum *)
+  List.iter
+    (fun (g, opt) ->
+      check "kl optimal" opt (fst (Heuristics.kernighan_lin g));
+      check "fm optimal" opt (fst (Heuristics.fiduccia_mattheyses g));
+      check "spectral optimal" opt (fst (Heuristics.spectral g));
+      check "best_of optimal" opt
+        (let c, _, _ = Heuristics.best_of g in
+         c))
+    [ (square (), 2); (B.graph (B.of_inputs 4), 4) ]
+
+let suite =
+  [
+    case "capacity and balance" test_capacity;
+    case "multigraph capacity" test_capacity_multigraph;
+    case "bisects predicate" test_bisects;
+    case "cut edges" test_cut_edges;
+    case "state flip" test_state_flip;
+    prop_state_matches_recompute;
+    case "exhaustive on known graphs" test_exhaustive_on_known;
+    case "bb = exhaustive on small networks" test_bb_matches_exhaustive_small_nets;
+    prop_bb_matches_brute;
+    case "U-bisection" test_u_bisection;
+    case "U-bisection: bb = exhaustive randomized" test_u_bisection_exhaustive_matches;
+    case "upper-bound priming" test_upper_bound_priming;
+    case "known bisection widths (Lemmas 3.2, 3.3)" test_known_bisection_widths;
+    slow_case "BW(B_8) = 8 exactly" test_bw_b8_is_8;
+    prop_kl;
+    prop_fm;
+    prop_spectral;
+    prop_sa;
+    case "heuristics reach optimum on easy instances" test_heuristics_find_optimum_on_easy;
+  ]

@@ -1,0 +1,196 @@
+module G = Bfly_graph.Graph
+module Emb = Bfly_embed.Embedding
+module Classic = Bfly_embed.Classic
+module LB = Bfly_embed.Lower_bounds
+module B = Bfly_networks.Butterfly
+module W = Bfly_networks.Wrapped
+open Tu
+
+(* ---- embedding type ---- *)
+
+let tiny_embedding () =
+  (* path of 3 into triangle *)
+  let guest = G.of_edge_list ~n:3 [ (0, 1); (1, 2) ] in
+  let host = G.of_edge_list ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  Emb.make ~guest ~host ~node_map:[| 0; 1; 2 |]
+    ~edge_paths:[| [ 0; 1 ]; [ 1; 0; 2 ] |]
+
+let test_measures () =
+  let e = tiny_embedding () in
+  check "load" 1 (Emb.load e);
+  check "dilation" 2 (Emb.dilation e);
+  check "congestion" 2 (Emb.congestion e);
+  Alcotest.(check (option int)) "uniform load" (Some 1) (Emb.uniform_load e)
+
+let test_validation_rejects_bad_path () =
+  let guest = G.of_edge_list ~n:2 [ (0, 1) ] in
+  let host = G.of_edge_list ~n:3 [ (0, 1); (1, 2) ] in
+  Alcotest.check_raises "non-edge"
+    (Invalid_argument "Embedding.make: path uses a non-edge") (fun () ->
+      ignore
+        (Emb.make ~guest ~host ~node_map:[| 0; 2 |] ~edge_paths:[| [ 0; 2 ] |]));
+  Alcotest.check_raises "wrong endpoints"
+    (Invalid_argument "Embedding.make: path endpoints mismatch") (fun () ->
+      ignore
+        (Emb.make ~guest ~host ~node_map:[| 0; 2 |] ~edge_paths:[| [ 0; 1 ] |]))
+
+(* ---- Lemma 3.1: K_{n,n} into B_n ---- *)
+
+let test_knn_into_butterfly () =
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let n = 1 lsl log_n in
+      let e = Classic.knn_into_butterfly b in
+      check "load 1" 1 (Emb.load e);
+      check "dilation log n" log_n (Emb.dilation e);
+      check "congestion n/2 (Lemma 3.1)" (max 1 (n / 2)) (Emb.congestion e))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_input_bisection_bound () =
+  (* the Lemma 3.1 bound equals n *)
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      check "bound = n" (1 lsl log_n) (LB.input_bisection_bound b))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* ---- Theorem 4.3 / Section 1.4: K_N embeddings ---- *)
+
+let test_kn_into_wrapped () =
+  let w = W.of_inputs 8 in
+  let e = Classic.kn_into_wrapped w in
+  check "load 1" 1 (Emb.load e);
+  checkb "dilation <= 3 log n - 2" true (Emb.dilation e <= (3 * 3) - 2);
+  (* expansion lower bound is sound: EE >= k(N-k)/c *)
+  let g = W.graph w in
+  List.iter
+    (fun k ->
+      let ee, _ = Bfly_expansion.Expansion.ee_exact g ~k in
+      checkb "embedding EE bound sound" true (LB.ee_via_kn e ~k <= ee))
+    [ 2; 4; 8; 12 ]
+
+let test_kn_into_butterfly () =
+  let b = B.of_inputs 8 in
+  let e = Classic.kn_into_butterfly b in
+  check "load 1" 1 (Emb.load e);
+  checkb "dilation <= 3 log n" true (Emb.dilation e <= 9);
+  let bw = 8 (* exact BW(B_8) *) in
+  checkb "BW bound sound" true
+    (LB.bw_via e ~guest_bw:(Bfly_networks.Complete.bw_k_n (B.size b)) <= bw)
+
+let test_double_kn () =
+  let b = B.of_inputs 4 in
+  let e = Classic.double_kn_into_butterfly b in
+  check "load 1" 1 (Emb.load e);
+  check "guest is 2K_N" (12 * 11) (G.n_edges (Emb.guest e))
+
+(* ---- Lemma 2.10: B_k into B_n ---- *)
+
+let test_butterfly_into_butterfly () =
+  List.iter
+    (fun (i, j, log_n) ->
+      let host = B.create ~log_n in
+      let e, guest = Classic.butterfly_into_butterfly ~i ~j host in
+      check "dilation 1 (property 1)" 1 (max 1 (Emb.dilation e));
+      checkb "dilation at most 1" true (Emb.dilation e <= 1);
+      (* property 2: congestion exactly 2^j *)
+      let mn, mx, _ = Emb.congestion_stats e in
+      check "congestion uniform min" (1 lsl j) mn;
+      check "congestion uniform max" (1 lsl j) mx;
+      check "guest dimension" (log_n + j) (B.log_n guest);
+      (* property 5: level i of the host carries (j+1) 2^j guest nodes *)
+      let counts = Array.make (B.size host) 0 in
+      Array.iter (fun h -> counts.(h) <- counts.(h) + 1) (Emb.node_map e);
+      List.iter
+        (fun v -> check "middle load" ((j + 1) * (1 lsl j)) counts.(v))
+        (B.level_nodes host i);
+      (* properties 3-4: uniform load 2^j off the fold level *)
+      if i > 0 then
+        List.iter
+          (fun v -> check "top load" (1 lsl j) counts.(v))
+          (B.level_nodes host 0);
+      if i < log_n then
+        List.iter
+          (fun v -> check "bottom load" (1 lsl j) counts.(v))
+          (B.level_nodes host log_n))
+    [ (1, 1, 2); (2, 1, 3); (0, 2, 2); (3, 1, 3); (1, 2, 2) ]
+
+(* ---- Lemma 2.11: B_n into MOS ---- *)
+
+let test_butterfly_into_mos () =
+  List.iter
+    (fun (t1, t3, log_n) ->
+      let b = B.create ~log_n in
+      let e, mos = Classic.butterfly_into_mos ~t1 ~t3 b in
+      checkb "dilation <= 1" true (Emb.dilation e <= 1);
+      let mn, mx, _ = Emb.congestion_stats e in
+      let expected = 2 * (1 lsl (log_n - t1 - t3)) in
+      check "congestion uniform (property 2)" expected mn;
+      check "congestion uniform max" expected mx;
+      (* property 3-5 loads *)
+      let counts = Array.make (G.n_nodes (Bfly_networks.Mesh_of_stars.graph mos)) 0 in
+      Array.iter (fun h -> counts.(h) <- counts.(h) + 1) (Emb.node_map e);
+      let n = 1 lsl log_n in
+      List.iter
+        (fun v -> check "M1 load" (t1 * n / (1 lsl t3)) counts.(v))
+        (Bfly_networks.Mesh_of_stars.m1_nodes mos);
+      List.iter
+        (fun v -> check "M3 load" (t3 * n / (1 lsl t1)) counts.(v))
+        (Bfly_networks.Mesh_of_stars.m3_nodes mos);
+      List.iter
+        (fun v ->
+          check "M2 load"
+            ((log_n - t1 - t3 + 1) * n / (1 lsl (t1 + t3)))
+            counts.(v))
+        (Bfly_networks.Mesh_of_stars.m2_nodes mos))
+    [ (1, 1, 2); (1, 1, 4); (2, 1, 4); (1, 2, 4); (2, 2, 4); (2, 2, 6) ]
+
+(* ---- Lemma 3.3: W_n into CCC ---- *)
+
+let test_wrapped_into_ccc () =
+  List.iter
+    (fun log_n ->
+      let w = W.create ~log_n in
+      let e, _ = Classic.wrapped_into_ccc w in
+      check "load 1" 1 (Emb.load e);
+      check "congestion 2 (Lemma 3.3)" 2 (Emb.congestion e);
+      checkb "dilation <= 2" true (Emb.dilation e <= 2))
+    [ 2; 3; 4; 5 ]
+
+let test_ccc_bw_lower_bound () =
+  List.iter
+    (fun log_n ->
+      let c = Bfly_networks.Ccc.create ~log_n in
+      check "bound n/2" (1 lsl (log_n - 1)) (LB.ccc_bw_lower_bound c))
+    [ 2; 3; 4 ]
+
+(* ---- hypercube ---- *)
+
+let test_butterfly_into_hypercube () =
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let e, q = Classic.butterfly_into_hypercube b in
+      check "load 1" 1 (Emb.load e);
+      checkb "constant dilation" true (Emb.dilation e <= 4);
+      checkb "constant congestion" true (Emb.congestion e <= 6);
+      checkb "host large enough" true
+        (Bfly_networks.Hypercube.size q >= B.size b))
+    [ 1; 2; 3; 4 ]
+
+let suite =
+  [
+    case "measures on a tiny embedding" test_measures;
+    case "validation" test_validation_rejects_bad_path;
+    case "Lemma 3.1: K_{n,n} into B_n" test_knn_into_butterfly;
+    case "Lemma 3.1: input-bisection bound = n" test_input_bisection_bound;
+    case "Theorem 4.3: K_N into W_n" test_kn_into_wrapped;
+    case "K_N into B_n" test_kn_into_butterfly;
+    case "Section 1.4: 2K_N into B_n" test_double_kn;
+    case "Lemma 2.10: B_k into B_n, all five properties" test_butterfly_into_butterfly;
+    case "Lemma 2.11: B_n into MOS, properties 1-5" test_butterfly_into_mos;
+    case "Lemma 3.3: W_n into CCC_n, congestion 2" test_wrapped_into_ccc;
+    case "Lemma 3.3: CCC lower bound n/2" test_ccc_bw_lower_bound;
+    case "B_n into hypercube, constant everything" test_butterfly_into_hypercube;
+  ]

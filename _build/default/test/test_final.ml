@@ -1,0 +1,108 @@
+(* Final cross-cutting checks: experiment registry, tiny-dimension Beneš,
+   MOS degenerate cases, report invariants. *)
+
+open Tu
+
+let test_experiment_registry () =
+  let ids = List.map fst Bfly_core.Experiments.all in
+  check "24 experiments (E1-E18, A1-A4, F1-F2)" 24 (List.length ids);
+  check "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id -> checkb (id ^ " present") true (List.mem id ids))
+    [
+      "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
+      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "A1"; "A2"; "A3"; "A4";
+    ];
+  checkb "F1 present" true (List.mem "F1" ids);
+  checkb "F2 present" true (List.mem "F2" ids)
+
+let test_benes_dim0 () =
+  let b = Bfly_networks.Benes.create ~dim:0 in
+  check "single node" 1 (Bfly_networks.Benes.size b);
+  let paths =
+    Bfly_networks.Benes.route_ports b (Bfly_graph.Perm.of_array [| 1; 0 |])
+  in
+  check "two trivial paths" 2 (Array.length paths);
+  Array.iter (fun p -> check "single-node path" 1 (List.length p)) paths
+
+let test_mos_degenerate () =
+  check "bw_m2 of j=1 is 0" 0 (Bfly_mos.Mos_analysis.bw_m2 1);
+  Alcotest.check_raises "j=0 rejected"
+    (Invalid_argument "Mos_analysis.bw_m2: j must be >= 1") (fun () ->
+      ignore (Bfly_mos.Mos_analysis.bw_m2 0))
+
+let test_report_ragged_rows () =
+  (* rows shorter than the header must render without raising *)
+  let t = Bfly_core.Report.table ~title:"T" ~header:[ "a"; "b" ] [ [ "1" ] ] in
+  checkb "rendered" true (String.length t > 0)
+
+let test_credit_bn_witness_positive () =
+  let b = Bfly_networks.Butterfly.of_inputs 64 in
+  List.iter
+    (fun dim ->
+      let s = Bfly_expansion.Witness.bn_ee ~dim b in
+      let r = Bfly_expansion.Credit.bn_edge b s in
+      checkb "certificate positive" true (r.Bfly_expansion.Credit.certified > 0);
+      checkb "certificate sound" true
+        (r.Bfly_expansion.Credit.certified <= r.Bfly_expansion.Credit.actual))
+    [ 1; 2; 3; 4 ]
+
+let test_wrapped_three_phase_valid () =
+  (* three-phase walks are valid walks of the right endpoints *)
+  let w = Bfly_networks.Wrapped.of_inputs 16 in
+  let g = Bfly_networks.Wrapped.graph w in
+  let rng = Random.State.make [| 8 |] in
+  for _ = 1 to 50 do
+    let u = Random.State.int rng (Bfly_networks.Wrapped.size w) in
+    let v = Random.State.int rng (Bfly_networks.Wrapped.size w) in
+    if u <> v then begin
+      let path = Bfly_embed.Classic.wrapped_three_phase w u v in
+      check "starts at u" u (List.hd path);
+      check "ends at v" v (List.nth path (List.length path - 1));
+      let rec valid = function
+        | a :: (b :: _ as rest) -> Bfly_graph.Graph.mem_edge g a b && valid rest
+        | _ -> true
+      in
+      checkb "valid walk" true (valid path)
+    end
+  done
+
+let test_butterfly_three_phase_valid () =
+  let b = Bfly_networks.Butterfly.of_inputs 16 in
+  let g = Bfly_networks.Butterfly.graph b in
+  let rng = Random.State.make [| 9 |] in
+  for _ = 1 to 50 do
+    let u = Random.State.int rng (Bfly_networks.Butterfly.size b) in
+    let v = Random.State.int rng (Bfly_networks.Butterfly.size b) in
+    if u <> v then begin
+      let path = Bfly_embed.Classic.butterfly_three_phase b u v in
+      check "starts at u" u (List.hd path);
+      check "ends at v" v (List.nth path (List.length path - 1));
+      let rec valid = function
+        | a :: (c :: _ as rest) -> Bfly_graph.Graph.mem_edge g a c && valid rest
+        | _ -> true
+      in
+      checkb "valid walk" true (valid path)
+    end
+  done
+
+let test_variants_whole_graph_sets () =
+  (* port_expansion accepts full-graph bitsets too *)
+  let o = Bfly_networks.Variants.omega 8 in
+  let full = Bfly_graph.Bitset.create (Bfly_graph.Graph.n_nodes o.Bfly_networks.Variants.graph) in
+  Bfly_graph.Bitset.add full 0;
+  checkb "works on full-capacity sets" true
+    (Bfly_networks.Variants.port_expansion o full >= 0)
+
+let suite =
+  [
+    case "experiment registry complete" test_experiment_registry;
+    case "Benes dimension 0" test_benes_dim0;
+    case "MOS degenerate sizes" test_mos_degenerate;
+    case "report tolerates ragged rows" test_report_ragged_rows;
+    case "Bn credit certificates on witnesses" test_credit_bn_witness_positive;
+    case "wrapped three-phase walks valid" test_wrapped_three_phase_valid;
+    case "butterfly three-phase walks valid" test_butterfly_three_phase_valid;
+    case "variants accept full-graph sets" test_variants_whole_graph_sets;
+  ]

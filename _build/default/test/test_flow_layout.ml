@@ -1,0 +1,176 @@
+(* Max-flow, directed I/O separation, grid layouts. *)
+
+module Maxflow = Bfly_graph.Maxflow
+module Bitset = Bfly_graph.Bitset
+module Io_cut = Bfly_cuts.Io_cut
+module Layout = Bfly_networks.Layout
+module B = Bfly_networks.Butterfly
+open Tu
+
+(* ---- max flow ---- *)
+
+let test_single_edge () =
+  let net = Maxflow.create 2 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:5;
+  check "single edge" 5 (Maxflow.max_flow net ~s:0 ~t_:1)
+
+let test_series_parallel () =
+  (* two parallel 2-paths with caps 3,1 and 2,4: flow = min(3,1)+min(2,4) *)
+  let net = Maxflow.create 4 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:3;
+  Maxflow.add_edge net ~src:1 ~dst:3 ~cap:1;
+  Maxflow.add_edge net ~src:0 ~dst:2 ~cap:2;
+  Maxflow.add_edge net ~src:2 ~dst:3 ~cap:4;
+  check "series-parallel" 3 (Maxflow.max_flow net ~s:0 ~t_:3)
+
+let test_classic_network () =
+  (* CLRS-style example *)
+  let net = Maxflow.create 6 in
+  let e = Maxflow.add_edge net in
+  e ~src:0 ~dst:1 ~cap:16;
+  e ~src:0 ~dst:2 ~cap:13;
+  e ~src:1 ~dst:2 ~cap:10;
+  e ~src:2 ~dst:1 ~cap:4;
+  e ~src:1 ~dst:3 ~cap:12;
+  e ~src:3 ~dst:2 ~cap:9;
+  e ~src:2 ~dst:4 ~cap:14;
+  e ~src:4 ~dst:3 ~cap:7;
+  e ~src:3 ~dst:5 ~cap:20;
+  e ~src:4 ~dst:5 ~cap:4;
+  check "CLRS max flow" 23 (Maxflow.max_flow net ~s:0 ~t_:5)
+
+let test_min_cut_side () =
+  let net = Maxflow.create 3 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:1;
+  Maxflow.add_edge net ~src:1 ~dst:2 ~cap:9;
+  ignore (Maxflow.max_flow net ~s:0 ~t_:2);
+  let side = Maxflow.min_cut_side net ~s:0 in
+  Alcotest.(check (list int)) "source side" [ 0 ] (Bitset.elements side)
+
+let test_no_path () =
+  let net = Maxflow.create 3 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~cap:1;
+  check "disconnected" 0 (Maxflow.max_flow net ~s:0 ~t_:2)
+
+let test_rejects_s_eq_t () =
+  let net = Maxflow.create 2 in
+  Alcotest.check_raises "s = t" (Invalid_argument "Maxflow.max_flow: s = t")
+    (fun () -> ignore (Maxflow.max_flow net ~s:0 ~t_:0))
+
+let prop_flow_bounded_by_degree_cuts =
+  qcheck ~count:60 "flow <= out-capacity of source and in-capacity of sink"
+    QCheck2.Gen.(pair (int_range 3 10) (list (pair (int_bound 9) (int_bound 9))))
+    (fun (n, edges) ->
+      let net = Maxflow.create n in
+      let out_s = ref 0 and in_t = ref 0 in
+      List.iter
+        (fun (u, v) ->
+          if u < n && v < n && u <> v then begin
+            Maxflow.add_edge net ~src:u ~dst:v ~cap:1;
+            if u = 0 then incr out_s;
+            if v = n - 1 then incr in_t
+          end)
+        edges;
+      let f = Maxflow.max_flow net ~s:0 ~t_:(n - 1) in
+      f <= !out_s && f <= !in_t)
+
+(* ---- directed input/output separation ---- *)
+
+let test_column_cut_value () =
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let side = Io_cut.column_cut b in
+      check "value n/2"
+        (max 1 ((1 lsl log_n) / 2))
+        (Io_cut.directed_crossings b side);
+      checkb "constraints" true (Io_cut.satisfies_constraints b side))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_exact_small () =
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let v, side = Io_cut.exact b in
+      check "exact = n/2" (max 1 ((1 lsl log_n) / 2)) v;
+      checkb "witness constraints" true (Io_cut.satisfies_constraints b side);
+      check "witness value" v (Io_cut.directed_crossings b side))
+    [ 1; 2; 3 ]
+
+let test_directed_vs_undirected () =
+  (* directed crossings of a side <= undirected boundary *)
+  let b = B.of_inputs 8 in
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 30 do
+    let s = random_subset ~rng (B.size b) (Random.State.int rng (B.size b)) in
+    checkb "directed <= undirected" true
+      (Io_cut.directed_crossings b s
+      <= Bfly_graph.Traverse.boundary_edges (B.graph b) s)
+  done
+
+(* ---- layout ---- *)
+
+let test_layout_dimensions () =
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let l = Layout.butterfly_grid b in
+      let n = 1 lsl log_n in
+      check "width = 2n" (max 1 (2 * n)) l.Layout.width;
+      (* all positions inside the box, distinct *)
+      let seen = Hashtbl.create 64 in
+      Array.iter
+        (fun (x, y) ->
+          checkb "inside" true (x >= 0 && x < l.Layout.width && y >= 0 && y < l.Layout.height);
+          checkb "distinct" false (Hashtbl.mem seen (x, y));
+          Hashtbl.replace seen (x, y) ())
+        l.Layout.positions)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_layout_tracks () =
+  (* boundary i needs 2 * cross_mask tracks (max overlap of the X wires) *)
+  let b = B.of_inputs 16 in
+  let l = Layout.butterfly_grid b in
+  Alcotest.(check (array int))
+    "tracks halve per level" [| 16; 8; 4; 2 |] l.Layout.tracks_per_boundary
+
+let test_layout_area_quadratic () =
+  (* area / n^2 stays bounded (the construction is Theta(n^2)) *)
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let l = Layout.butterfly_grid b in
+      let n = float_of_int (1 lsl log_n) in
+      let ratio = float_of_int (Layout.area l) /. (n *. n) in
+      checkb "area between n^2 and 5n^2" true (ratio >= 1.0 && ratio <= 5.0))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_thompson_consistent () =
+  (* A >= BW^2 with the certified lower bound *)
+  List.iter
+    (fun log_n ->
+      let n = 1 lsl log_n in
+      let b = B.create ~log_n in
+      let l = Layout.butterfly_grid b in
+      let lb = Bfly_mos.Mos_analysis.butterfly_lower_bound n in
+      checkb "layout area above Thompson" true
+        (Layout.area l >= Layout.thompson_lower_bound ~bw:lb))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let suite =
+  [
+    case "maxflow: single edge" test_single_edge;
+    case "maxflow: series-parallel" test_series_parallel;
+    case "maxflow: classic example" test_classic_network;
+    case "maxflow: min cut side" test_min_cut_side;
+    case "maxflow: disconnected" test_no_path;
+    case "maxflow: rejects s = t" test_rejects_s_eq_t;
+    prop_flow_bounded_by_degree_cuts;
+    case "E15: column cut has n/2 directed crossings" test_column_cut_value;
+    case "E15: exact separation = n/2 (max-flow enumeration)" test_exact_small;
+    case "directed crossings bounded by boundary" test_directed_vs_undirected;
+    case "layout: dimensions and injectivity" test_layout_dimensions;
+    case "layout: track counts halve per boundary" test_layout_tracks;
+    case "layout: Theta(n^2) area" test_layout_area_quadratic;
+    case "layout: Thompson bound respected" test_thompson_consistent;
+  ]

@@ -1,0 +1,96 @@
+module Gen = Bfly_graph.Generators
+module G = Bfly_graph.Graph
+module Traverse = Bfly_graph.Traverse
+module Exact = Bfly_cuts.Exact
+open Tu
+
+let test_cycle () =
+  let g = Gen.cycle 8 in
+  check "edges" 8 (G.n_edges g);
+  checkb "connected" true (Traverse.is_connected g);
+  check "2-regular" 2 (G.max_degree g);
+  check "BW = 2" 2 (fst (Exact.bisection_width g))
+
+let test_path () =
+  let g = Gen.path 9 in
+  check "edges" 8 (G.n_edges g);
+  check "BW = 1" 1 (fst (Exact.bisection_width g));
+  check "diameter" 8 (Traverse.diameter g)
+
+let test_grid () =
+  let g = Gen.grid ~rows:3 ~cols:4 in
+  check "nodes" 12 (G.n_nodes g);
+  check "edges" ((2 * 4) + (3 * 3)) (G.n_edges g);
+  check "BW = min dim" 3 (fst (Exact.bisection_width g));
+  check "diameter" 5 (Traverse.diameter g)
+
+let test_grid_4x4 () =
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  check "BW of even square grid" 4 (fst (Exact.bisection_width g))
+
+let test_torus () =
+  let g = Gen.torus ~rows:4 ~cols:4 in
+  check "nodes" 16 (G.n_nodes g);
+  check "edges" 32 (G.n_edges g);
+  check "4-regular" 4 (G.max_degree g);
+  check "BW = 2*min dim" 8 (fst (Exact.bisection_width g))
+
+let test_binary_tree () =
+  let g = Gen.binary_tree 3 in
+  check "nodes" 15 (G.n_nodes g);
+  check "edges" 14 (G.n_edges g);
+  checkb "connected" true (Traverse.is_connected g);
+  (* trees have small bisection width *)
+  checkb "BW small" true (fst (Exact.bisection_width g) <= 2)
+
+let prop_random_regular =
+  qcheck ~count:50 "configuration model produces the requested degrees"
+    QCheck2.Gen.(pair (int_range 4 20) (int_range 2 4))
+    (fun (n, degree) ->
+      let n = max n (degree + 1) in
+      let n = if n * degree mod 2 = 1 then n + 1 else n in
+      let g = Gen.random_regular ~rng ~n ~degree in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if G.degree g v <> degree then ok := false
+      done;
+      !ok && G.n_edges g = n * degree / 2)
+
+let prop_gnp_bounds =
+  qcheck ~count:50 "G(n,p) edge count within the binomial support"
+    QCheck2.Gen.(int_range 2 25)
+    (fun n ->
+      let g = Gen.gnp ~rng ~n ~p:0.5 in
+      G.n_edges g <= n * (n - 1) / 2)
+
+let test_gnp_extremes () =
+  let g0 = Gen.gnp ~rng ~n:10 ~p:0.0 in
+  check "p=0 empty" 0 (G.n_edges g0);
+  let g1 = Gen.gnp ~rng ~n:10 ~p:1.0 in
+  check "p=1 complete" 45 (G.n_edges g1)
+
+let test_heuristics_on_generators () =
+  (* heuristics should match exact on structured families *)
+  List.iter
+    (fun (g, bw) ->
+      let c, _, _ = Bfly_cuts.Heuristics.best_of g in
+      check "portfolio finds the optimum" bw c)
+    [
+      (Gen.cycle 12, 2);
+      (Gen.grid ~rows:4 ~cols:4, 4);
+      (Gen.path 11, 1);
+    ]
+
+let suite =
+  [
+    case "cycle" test_cycle;
+    case "path" test_path;
+    case "grid 3x4" test_grid;
+    case "grid 4x4" test_grid_4x4;
+    case "torus" test_torus;
+    case "binary tree" test_binary_tree;
+    prop_random_regular;
+    prop_gnp_bounds;
+    case "gnp extremes" test_gnp_extremes;
+    case "heuristic portfolio on known families" test_heuristics_on_generators;
+  ]

@@ -1,0 +1,156 @@
+(* Union-find, permutations, subsets, parallel combinators. *)
+
+module UF = Bfly_graph.Union_find
+module Perm = Bfly_graph.Perm
+module Subset = Bfly_graph.Subset
+module Parallel = Bfly_graph.Parallel
+open Tu
+
+(* ---- union-find ---- *)
+
+let test_uf_basics () =
+  let t = UF.create 6 in
+  check "initial count" 6 (UF.count t);
+  checkb "union joins" true (UF.union t 0 1);
+  checkb "redundant union" false (UF.union t 1 0);
+  ignore (UF.union t 2 3);
+  check "count after unions" 4 (UF.count t);
+  checkb "same class" true (UF.same t 0 1);
+  checkb "distinct class" false (UF.same t 0 2)
+
+let test_uf_classes () =
+  let t = UF.create 5 in
+  ignore (UF.union t 0 4);
+  ignore (UF.union t 1 3);
+  Alcotest.(check (list (list int)))
+    "classes by smallest member"
+    [ [ 0; 4 ]; [ 1; 3 ]; [ 2 ] ]
+    (UF.classes t)
+
+let test_uf_labels () =
+  let t = UF.create 4 in
+  ignore (UF.union t 2 3);
+  Alcotest.(check (array int)) "dense labels" [| 0; 1; 2; 2 |] (UF.labels t)
+
+(* ---- permutations ---- *)
+
+let test_perm_validation () =
+  Alcotest.check_raises "not a bijection"
+    (Invalid_argument "Perm.of_array: not a bijection") (fun () ->
+      ignore (Perm.of_array [| 0; 0; 2 |]))
+
+let test_perm_inverse_compose () =
+  let p = Perm.of_array [| 2; 0; 1; 3 |] in
+  let q = Perm.inverse p in
+  checkb "p∘p⁻¹ = id" true (Perm.is_identity (Perm.compose p q));
+  checkb "p⁻¹∘p = id" true (Perm.is_identity (Perm.compose q p));
+  check "apply" 2 (Perm.apply p 0)
+
+let test_perm_cycles () =
+  let p = Perm.of_array [| 1; 0; 2; 4; 3 |] in
+  Alcotest.(check (list (list int)))
+    "cycle decomposition" [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ] (Perm.cycles p)
+
+let prop_perm_random_bijective =
+  qcheck ~count:100 "random perms are bijections"
+    QCheck2.Gen.(int_range 1 50)
+    (fun n ->
+      let p = Perm.random ~rng n in
+      let seen = Array.make n false in
+      Array.iter (fun x -> seen.(x) <- true) (Perm.to_array p);
+      Array.for_all Fun.id seen)
+
+(* ---- subsets ---- *)
+
+let test_binomial () =
+  check "C(5,2)" 10 (Subset.binomial 5 2);
+  check "C(10,0)" 1 (Subset.binomial 10 0);
+  check "C(10,10)" 1 (Subset.binomial 10 10);
+  check "C(4,7)" 0 (Subset.binomial 4 7);
+  check "C(24,12)" 2704156 (Subset.binomial 24 12)
+
+let test_iter_count () =
+  let count = ref 0 in
+  Subset.iter ~n:7 ~k:3 (fun a ->
+      incr count;
+      assert (Array.length a = 3);
+      assert (a.(0) < a.(1) && a.(1) < a.(2)));
+  check "iter visits C(7,3)" 35 !count
+
+let test_unrank_rank_roundtrip () =
+  for r = 0 to Subset.binomial 8 3 - 1 do
+    let s = Subset.unrank ~n:8 ~k:3 r in
+    check "rank(unrank r) = r" r (Subset.rank ~n:8 s)
+  done
+
+let test_iter_range_partition () =
+  (* splitting the rank space must enumerate every subset exactly once *)
+  let total = Subset.binomial 9 4 in
+  let seen = Hashtbl.create total in
+  List.iter
+    (fun (lo, hi) ->
+      Subset.iter_range ~n:9 ~k:4 ~lo ~hi (fun a ->
+          let key = Array.to_list a in
+          assert (not (Hashtbl.mem seen key));
+          Hashtbl.replace seen key ()))
+    [ (0, 17); (17, 60); (60, total) ];
+  check "all subsets covered" total (Hashtbl.length seen)
+
+let test_iter_masks () =
+  let c = ref 0 in
+  Subset.iter_masks ~n:5 (fun _ -> incr c);
+  check "2^5 masks" 32 !c
+
+(* ---- parallel ---- *)
+
+let test_map_range () =
+  let a = Parallel.map_range ~lo:3 ~hi:103 (fun i -> i * i) in
+  check "length" 100 (Array.length a);
+  check "first" 9 a.(0);
+  check "last" (102 * 102) a.(99)
+
+let test_map_range_empty () =
+  check "empty range" 0 (Array.length (Parallel.map_range ~lo:5 ~hi:5 Fun.id))
+
+let test_reduce_range () =
+  let sum =
+    Parallel.reduce_range ~lo:1 ~hi:101 ~init:0 ~f:( + ) ~combine:( + )
+  in
+  check "sum 1..100" 5050 sum
+
+let test_min_over () =
+  Alcotest.(check (option int))
+    "min of (i-57)^2" (Some 0)
+    (Parallel.min_over ~lo:0 ~hi:100 (fun i -> (i - 57) * (i - 57)));
+  Alcotest.(check (option int))
+    "empty" None
+    (Parallel.min_over ~lo:0 ~hi:0 Fun.id)
+
+let test_run_chunks_order () =
+  let chunks = Parallel.run_chunks ~lo:0 ~hi:1000 (fun ~lo ~hi -> (lo, hi)) in
+  let rec contiguous last = function
+    | [] -> last = 1000
+    | (lo, hi) :: rest -> lo = last && hi > lo && contiguous hi rest
+  in
+  checkb "chunks contiguous in order" true (contiguous 0 chunks)
+
+let suite =
+  [
+    case "union-find basics" test_uf_basics;
+    case "union-find classes" test_uf_classes;
+    case "union-find labels" test_uf_labels;
+    case "perm validation" test_perm_validation;
+    case "perm inverse/compose" test_perm_inverse_compose;
+    case "perm cycles" test_perm_cycles;
+    prop_perm_random_bijective;
+    case "binomial" test_binomial;
+    case "subset iteration count" test_iter_count;
+    case "subset rank/unrank roundtrip" test_unrank_rank_roundtrip;
+    case "subset range partition" test_iter_range_partition;
+    case "mask iteration" test_iter_masks;
+    case "parallel map_range" test_map_range;
+    case "parallel map_range empty" test_map_range_empty;
+    case "parallel reduce_range" test_reduce_range;
+    case "parallel min_over" test_min_over;
+    case "parallel chunk order" test_run_chunks_order;
+  ]

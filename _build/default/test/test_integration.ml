@@ -1,0 +1,173 @@
+(* Cross-library integration tests: the pieces of the paper's arguments
+   composed end to end. *)
+
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Perm = Bfly_graph.Perm
+module B = Bfly_networks.Butterfly
+module W = Bfly_networks.Wrapped
+module Cons = Bfly_cuts.Constructions
+module Cut = Bfly_cuts.Cut
+open Tu
+
+(* ---- the Theorem 2.20 sandwich, end to end ---- *)
+
+let test_sandwich_consistency () =
+  List.iter
+    (fun log_n ->
+      let n = 1 lsl log_n in
+      let b = B.create ~log_n in
+      let lb = Bfly_mos.Mos_analysis.butterfly_lower_bound n in
+      let _, construction, side = Cons.best_mos_pullback b in
+      let folklore =
+        Bfly_graph.Traverse.boundary_edges (B.graph b)
+          (Cons.butterfly_column_cut b)
+      in
+      checkb "LB <= construction" true (lb <= construction);
+      checkb "construction <= folklore" true (construction <= folklore);
+      checkb "witness is a bisection" true (Cut.is_bisection (Cut.make (B.graph b) side));
+      (* the strict lower bound of Lemma 2.19 scaled by Lemma 2.13 *)
+      checkb "LB > 2(sqrt2 - 1)n - 1" true
+        (float_of_int lb > (Bfly_core.Bw.butterfly_constant *. float_of_int n) -. 1.0))
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+(* ---- Lemma 2.12(2): BW(B_{n^2}, L_{log n})/n^2 <= BW(B_n)/n at n = 2 ---- *)
+
+let test_lemma_2_12_part2 () =
+  let b2 = B.of_inputs 2 in
+  let b4 = B.of_inputs 4 in
+  let bw2, _ = Bfly_cuts.Exact.bisection_width (B.graph b2) in
+  let bw4_l1, _ = Bfly_cuts.Level_cut.level_bisection_width b4 ~level:1 () in
+  checkb "BW(B_4, L_1)/4 <= BW(B_2)/2" true
+    (float_of_int bw4_l1 /. 4. <= float_of_int bw2 /. 2. +. 1e-9)
+
+(* ---- MOS pullback differential testing at larger sizes ---- *)
+
+let test_mos_pullback_random_params_large () =
+  let rng = Random.State.make [| 0xd1ff |] in
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      for _ = 1 to 12 do
+        let t1 = 1 + Random.State.int rng (log_n - 1) in
+        let t3 = 1 + Random.State.int rng (log_n - t1) in
+        let r1 = Random.State.int rng ((1 lsl t3) + 1) in
+        let r3 = Random.State.int rng ((1 lsl t1) + 1) in
+        let params = { Cons.t1; t3; r1; r3 } in
+        match Cons.mos_predicted_cost b params with
+        | None -> ()
+        | Some predicted ->
+            let side = Cons.mos_pullback_cut b params in
+            check
+              (Format.asprintf "B_2^%d %a" log_n Cons.pp_mos_params params)
+              predicted
+              (Bfly_graph.Traverse.boundary_edges (B.graph b) side);
+            checkb "bisection" true (Cut.is_bisection (Cut.make (B.graph b) side))
+      done)
+    [ 7; 8; 9 ]
+
+(* ---- experiment renderers carry the right headline numbers ---- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_e2_contains_limit () =
+  let s = Bfly_core.Experiments.e2_mos_convergence () in
+  checkb "shows the sqrt2-1 density" true (contains ~needle:"0.41428" s);
+  checkb "shows j=4096" true (contains ~needle:"6950400" s)
+
+let test_e15_table () =
+  let s = Bfly_core.Experiments.e15_io_separation () in
+  checkb "all rows match" false (contains ~needle:"NO" s)
+
+let test_e16_table () =
+  let s = Bfly_core.Experiments.e16_level_bisection () in
+  checkb "all capacity-safe" true (contains ~needle:"50/50" s)
+
+(* ---- routing over the constructed minimum bisection ---- *)
+
+let test_routing_respects_constructed_cut () =
+  let rng = Random.State.make [| 77 |] in
+  let b = B.of_inputs 32 in
+  let _, cost, side = Cons.best_mos_pullback b in
+  let paths = Bfly_routing.Workload.all_to_random ~rng b in
+  let into, out = Bfly_routing.Router.crossings ~side paths in
+  let stats = Bfly_routing.Router.run (B.graph b) ~paths in
+  let lb =
+    Bfly_routing.Router.time_lower_bound ~crossings_one_way:(max into out)
+      ~bw:cost
+  in
+  checkb "T_sim >= crossings/capacity" true (stats.Bfly_routing.Router.steps >= lb)
+
+(* ---- credit certificates vs embedding-based bounds ---- *)
+
+let test_certificates_coexist () =
+  (* both lower-bound techniques must sit below the exact value *)
+  let w = W.of_inputs 8 in
+  let g = W.graph w in
+  let e = Bfly_embed.Classic.kn_into_wrapped w in
+  List.iter
+    (fun k ->
+      let exact, witness = Bfly_expansion.Expansion.ee_exact g ~k in
+      let credit = (Bfly_expansion.Credit.wn_edge w witness).Bfly_expansion.Credit.certified in
+      let embed = Bfly_embed.Lower_bounds.ee_via_kn e ~k in
+      checkb "credit <= exact" true (credit <= exact);
+      checkb "embedding <= exact" true (embed <= exact))
+    [ 2; 4; 6; 8 ]
+
+(* ---- rendering a cut ---- *)
+
+let test_render_with_cut () =
+  let b = B.of_inputs 4 in
+  let side = Cons.butterfly_column_cut b in
+  let s = Bfly_networks.Render.butterfly_ascii ~side b in
+  let hash = String.fold_left (fun a c -> if c = '#' then a + 1 else a) 0 s in
+  let oh = String.fold_left (fun a c -> if c = 'o' then a + 1 else a) 0 s in
+  check "side nodes drawn as #" 6 hash;
+  check "other nodes drawn as o" 6 oh;
+  let dot = Bfly_networks.Render.butterfly_dot ~side b in
+  checkb "dot marks cut edges" true (contains ~needle:"color=red" dot)
+
+let test_dot_write_roundtrip () =
+  let b = B.of_inputs 4 in
+  let file = Filename.temp_file "bfly" ".dot" in
+  Bfly_graph.Dot.write ~label:(B.label b) file (B.graph b);
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove file;
+  checkb "file written" true (len > 100)
+
+(* ---- wrapped rotation composed with unfolding ---- *)
+
+let test_rotation_preserves_cuts () =
+  (* automorphisms preserve cut capacities *)
+  let w = W.of_inputs 16 in
+  let g = W.graph w in
+  let rng = Random.State.make [| 12 |] in
+  for _ = 1 to 20 do
+    let side = random_subset ~rng (W.size w) (W.size w / 2) in
+    let p = W.rotation_automorphism w in
+    let image = Bitset.create (W.size w) in
+    Bitset.iter side (fun v -> Bitset.add image (Perm.apply p v));
+    check "capacity invariant under rotation"
+      (Bfly_graph.Traverse.boundary_edges g side)
+      (Bfly_graph.Traverse.boundary_edges g image)
+  done
+
+let suite =
+  [
+    case "Theorem 2.20 sandwich consistency" test_sandwich_consistency;
+    case "Lemma 2.12(2) at n = 2" test_lemma_2_12_part2;
+    slow_case "MOS pullback differential (log n = 7..9)" test_mos_pullback_random_params_large;
+    case "E2 carries the limit value" test_e2_contains_limit;
+    case "E15 rows all match" test_e15_table;
+    slow_case "E16 rows all capacity-safe" test_e16_table;
+    case "routing bound with the constructed cut" test_routing_respects_constructed_cut;
+    case "credit and embedding certificates coexist" test_certificates_coexist;
+    case "render with cut overlay" test_render_with_cut;
+    case "DOT file writing" test_dot_write_roundtrip;
+    case "automorphisms preserve capacities" test_rotation_preserves_cuts;
+  ]

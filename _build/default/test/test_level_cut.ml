@@ -1,0 +1,87 @@
+module Bitset = Bfly_graph.Bitset
+module Cut = Bfly_cuts.Cut
+module Level_cut = Bfly_cuts.Level_cut
+module B = Bfly_networks.Butterfly
+open Tu
+
+let random_bisection ~rng b =
+  let size = B.size b in
+  random_subset ~rng size (size / 2)
+
+let test_on_column_cut () =
+  let b = B.of_inputs 8 in
+  let side = Bfly_cuts.Constructions.butterfly_column_cut b in
+  let level, side' = Level_cut.bisect_some_level b side in
+  let u = Bitset.create (B.size b) in
+  List.iter (Bitset.add u) (B.level_nodes b level);
+  checkb "bisects the level" true (Cut.bisects (Cut.make (B.graph b) side') u);
+  (* the column cut already bisects every level: capacity must be preserved *)
+  check "capacity unchanged" 8
+    (Bfly_graph.Traverse.boundary_edges (B.graph b) side')
+
+let prop_lemma_2_12 =
+  qcheck ~count:100 "Lemma 2.12(1): transforms any bisection, capacity-safe"
+    QCheck2.Gen.(pair (int_range 1 5) (int_range 0 10000))
+    (fun (log_n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let b = B.create ~log_n in
+      let side = random_bisection ~rng b in
+      let before = Bfly_graph.Traverse.boundary_edges (B.graph b) side in
+      let level, side' = Level_cut.bisect_some_level b side in
+      let after = Bfly_graph.Traverse.boundary_edges (B.graph b) side' in
+      let in_level =
+        List.fold_left
+          (fun acc v -> if Bitset.mem side' v then acc + 1 else acc)
+          0
+          (B.level_nodes b level)
+      in
+      after <= before && in_level = 1 lsl (log_n - 1))
+
+let test_rejects_non_bisection () =
+  let b = B.of_inputs 4 in
+  let side = Bitset.create (B.size b) in
+  Bitset.add side 0;
+  Alcotest.check_raises "not a bisection"
+    (Invalid_argument "Level_cut.bisect_some_level: not a bisection") (fun () ->
+      ignore (Level_cut.bisect_some_level b side))
+
+let test_level_bisection_width () =
+  (* BW(B_n, L_i) <= BW(B_n) for some i (Lemma 2.12's conclusion); at B_4
+     check every level's value directly *)
+  let b = B.of_inputs 4 in
+  let bw, _ = Bfly_cuts.Exact.bisection_width (B.graph b) in
+  let values =
+    List.map
+      (fun level -> fst (Level_cut.level_bisection_width b ~level ()))
+      [ 0; 1; 2 ]
+  in
+  checkb "some level-bisection width <= BW" true
+    (List.exists (fun v -> v <= bw) values);
+  (* level-bisection widths are cut capacities of real witnesses *)
+  List.iteri
+    (fun level v ->
+      let v', side = Level_cut.level_bisection_width b ~level () in
+      check "stable" v v';
+      let u = Bitset.create (B.size b) in
+      List.iter (Bitset.add u) (B.level_nodes b level);
+      checkb "witness bisects level" true (Cut.bisects (Cut.make (B.graph b) side) u))
+    values
+
+let test_input_level_width_is_n () =
+  (* Lemma 3.1: any cut bisecting the inputs has capacity >= n; so
+     BW(B_n, L_0) = n exactly (the column cut achieves it) *)
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let v, _ = Level_cut.level_bisection_width b ~level:0 ~upper_bound:(1 lsl log_n) () in
+      check "BW(B_n, L_0) = n" (1 lsl log_n) v)
+    [ 1; 2; 3 ]
+
+let suite =
+  [
+    case "column cut passes through unchanged" test_on_column_cut;
+    prop_lemma_2_12;
+    case "rejects non-bisections" test_rejects_non_bisection;
+    case "level-bisection widths at B_4" test_level_bisection_width;
+    case "BW(B_n, L_0) = n (Lemma 3.1)" test_input_level_width_is_n;
+  ]

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "butterfly_networks"
+    [
+      ("bitset", Test_bitset.suite);
+      ("graph-substrate", Test_graph_substrate.suite);
+      ("graph", Test_graph.suite);
+      ("butterfly", Test_butterfly.suite);
+      ("wrapped-and-ccc", Test_wrapped_ccc.suite);
+      ("networks-misc", Test_networks_misc.suite);
+      ("multibutterfly", Test_multibutterfly.suite);
+      ("cuts", Test_cuts.suite);
+      ("flow-and-layout", Test_flow_layout.suite);
+      ("generators", Test_generators.suite);
+      ("level-cut", Test_level_cut.suite);
+      ("constructions", Test_constructions.suite);
+      ("mos-analysis", Test_mos_analysis.suite);
+      ("embeddings", Test_embed.suite);
+      ("rearrange", Test_rearrange.suite);
+      ("expansion", Test_expansion.suite);
+      ("routing", Test_routing.suite);
+      ("core", Test_core.suite);
+      ("integration", Test_integration.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("traverse-extra", Test_traverse_extra.suite);
+      ("final", Test_final.suite);
+    ]

@@ -1,0 +1,137 @@
+module M = Bfly_mos.Mos_analysis
+open Tu
+
+let close = Alcotest.(check (float 1e-9))
+
+let test_f_values () =
+  close "f(1,1)" 1.0 (M.f 1.0 1.0);
+  close "f(1/2,1/2)" 0.5 (M.f 0.5 0.5);
+  close "f at argmin" M.f_min (M.f M.f_argmin M.f_argmin);
+  close "f(1,0)" 1.0 (M.f 1.0 0.0)
+
+let test_f_min_is_min_on_grid () =
+  (* Lemma 2.18: sqrt 2 - 1 is the global minimum over D *)
+  let ok = ref true in
+  for a = 0 to 200 do
+    for b = 0 to 200 do
+      let x = float_of_int a /. 200. and y = float_of_int b /. 200. in
+      if x +. y >= 1.0 && M.f x y < M.f_min -. 1e-12 then ok := false
+    done
+  done;
+  checkb "no grid point beats sqrt 2 - 1" true !ok
+
+let test_capacity_at_brute_force () =
+  (* the greedy closed form equals brute-force placement of middles for a
+     tiny mesh: j = 2, enumerate all middle subsets *)
+  let j = 2 in
+  let mos = Bfly_networks.Mesh_of_stars.create ~j ~k:j in
+  let g = Bfly_networks.Mesh_of_stars.graph mos in
+  for a = 0 to j do
+    for b = 0 to j do
+      for m2 = 0 to j * j do
+        (* brute force: all placements with the given side counts *)
+        let best = ref max_int in
+        let size = Bfly_networks.Mesh_of_stars.size mos in
+        for mask = 0 to (1 lsl size) - 1 do
+          let count_in level_nodes =
+            List.fold_left
+              (fun acc v -> if (mask lsr v) land 1 = 1 then acc + 1 else acc)
+              0 level_nodes
+          in
+          if
+            count_in (Bfly_networks.Mesh_of_stars.m1_nodes mos) = a
+            && count_in (Bfly_networks.Mesh_of_stars.m3_nodes mos) = b
+            && count_in (Bfly_networks.Mesh_of_stars.m2_nodes mos) = m2
+          then begin
+            let side = Bfly_graph.Bitset.create size in
+            for v = 0 to size - 1 do
+              if (mask lsr v) land 1 = 1 then Bfly_graph.Bitset.add side v
+            done;
+            let c = Bfly_graph.Traverse.boundary_edges g side in
+            if c < !best then best := c
+          end
+        done;
+        check
+          (Printf.sprintf "capacity_at a=%d b=%d m2=%d" a b m2)
+          !best
+          (M.capacity_at ~j ~a ~b ~m2_in_a:m2)
+      done
+    done
+  done
+
+let test_lemma_2_17_agrees () =
+  (* for even j and x + y >= 1 the closed form matches f(x,y) j^2 at the
+     balanced middle count *)
+  List.iter
+    (fun j ->
+      for a = 0 to j do
+        for b = 0 to j do
+          if a + b >= j then
+            check
+              (Printf.sprintf "j=%d a=%d b=%d" j a b)
+              (M.lemma_2_17_value j a b)
+              (M.capacity_at ~j ~a ~b ~m2_in_a:(j * j / 2))
+        done
+      done)
+    [ 2; 4; 8; 16 ]
+
+let test_bw_m2_matches_brute () =
+  List.iter
+    (fun j -> check (Printf.sprintf "j=%d" j) (M.bw_m2_brute j) (M.bw_m2 j))
+    [ 1; 2; 3 ]
+
+let test_bw_m2_brute_j4 () =
+  check "j=4" (M.bw_m2_brute 4) (M.bw_m2 4)
+
+let test_density_above_limit () =
+  (* Lemma 2.19: density strictly above sqrt 2 - 1, decreasing toward it *)
+  let densities =
+    List.map
+      (fun j ->
+        let _, d, _ = M.convergence_row j in
+        d)
+      [ 2; 8; 32; 128; 512 ]
+  in
+  List.iter
+    (fun d -> checkb "above the limit" true (d > M.f_min))
+    densities;
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-12 && non_increasing rest
+    | _ -> true
+  in
+  checkb "monotone toward the limit on doubling j" true (non_increasing densities)
+
+let test_butterfly_lower_bound () =
+  check "LB(B_2)" 2 (M.butterfly_lower_bound 2);
+  check "LB(B_8)" 7 (M.butterfly_lower_bound 8);
+  (* the bound approaches 0.8284 n *)
+  let lb = M.butterfly_lower_bound 1024 in
+  checkb "LB(B_1024)/1024 in (0.82, 0.83)" true
+    (float_of_int lb /. 1024. > 0.82 && float_of_int lb /. 1024. < 0.83);
+  Alcotest.check_raises "rejects non powers of two"
+    (Invalid_argument
+       "Mos_analysis.butterfly_lower_bound: n must be a power of two >= 2")
+    (fun () -> ignore (M.butterfly_lower_bound 12))
+
+let test_lower_bound_below_construction () =
+  (* soundness: certified LB <= capacity of every constructed bisection *)
+  List.iter
+    (fun log_n ->
+      let b = Bfly_networks.Butterfly.create ~log_n in
+      let n = 1 lsl log_n in
+      let _, cost, _ = Bfly_cuts.Constructions.best_mos_pullback b in
+      checkb "LB <= constructed UB" true (M.butterfly_lower_bound n <= cost))
+    [ 2; 3; 4; 6; 8; 10 ]
+
+let suite =
+  [
+    case "f values (Lemma 2.17)" test_f_values;
+    case "Lemma 2.18: global minimum" test_f_min_is_min_on_grid;
+    slow_case "closed form = brute force on MOS_{2,2}" test_capacity_at_brute_force;
+    case "Lemma 2.17 formula agreement" test_lemma_2_17_agrees;
+    case "bw_m2 = brute force (j <= 3)" test_bw_m2_matches_brute;
+    slow_case "bw_m2 = brute force (j = 4)" test_bw_m2_brute_j4;
+    case "Lemma 2.19: density decreasing toward sqrt 2 - 1" test_density_above_limit;
+    case "Lemma 2.13: certified butterfly lower bound" test_butterfly_lower_bound;
+    case "lower bound below constructions" test_lower_bound_below_construction;
+  ]

@@ -1,0 +1,106 @@
+module MB = Bfly_networks.Multibutterfly
+module B = Bfly_networks.Butterfly
+module G = Bfly_graph.Graph
+open Tu
+
+let rng () = Random.State.make [| 0xfeed |]
+
+let test_structure () =
+  let mb = MB.create ~rng:(rng ()) ~log_n:4 ~d:2 () in
+  check "size like a butterfly" 80 (MB.size mb);
+  check "nodes" 80 (G.n_nodes (MB.graph mb));
+  (* every non-output node sends d edges into each half: down-degree 2d,
+     except where a half-cluster is smaller than d *)
+  let g = MB.graph mb in
+  for w = 0 to 15 do
+    for level = 0 to 2 do
+      let down =
+        G.fold_neighbors g (MB.node mb ~col:w ~level) 0 (fun acc v ->
+            if v / 16 = level + 1 then acc + 1 else acc)
+      in
+      check "down-degree 2d" 4 down
+    done;
+    (* at the last boundary the halves have a single column: capped at 1 *)
+    let down =
+      G.fold_neighbors g (MB.node mb ~col:w ~level:3) 0 (fun acc v ->
+          if v / 16 = 4 then acc + 1 else acc)
+    in
+    check "capped down-degree" 2 down
+  done
+
+let test_connected () =
+  let mb = MB.create ~rng:(rng ()) ~log_n:5 ~d:2 () in
+  checkb "connected" true (Bfly_graph.Traverse.is_connected (MB.graph mb))
+
+let test_edges_stay_in_clusters () =
+  (* every boundary-i edge stays within the cluster defined by the top i
+     bits — the butterfly skeleton *)
+  let log_n = 5 in
+  let mb = MB.create ~rng:(rng ()) ~log_n ~d:3 () in
+  let n = 1 lsl log_n in
+  let ok = ref true in
+  G.iter_edges (MB.graph mb) (fun u v ->
+      let u, v = if u / n <= v / n then (u, v) else (v, u) in
+      let i = u / n in
+      if v / n <> i + 1 then ok := false;
+      let cu = u mod n and cv = v mod n in
+      if cu lsr (log_n - i) <> cv lsr (log_n - i) then ok := false;
+      (* and lands in a half determined by bit i+1, never the parent's own
+         sub-column constraints beyond the cluster *)
+      ());
+  checkb "skeleton respected" true !ok
+
+let test_splitter_expansion_butterfly_is_half () =
+  (* the fixed wiring pairs inputs: worst ratio exactly 1/2 at every size *)
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      Alcotest.(check (float 1e-9))
+        "butterfly splitter expansion" 0.5
+        (MB.splitter_expansion (B.graph b) ~log_n ~boundary:0 ~cluster_top:0
+           ~max_k:4))
+    [ 2; 3; 4; 5 ]
+
+let test_multibutterfly_expands_more () =
+  let log_n = 6 in
+  let b = B.create ~log_n in
+  let mb = MB.create ~rng:(rng ()) ~log_n ~d:3 () in
+  let eb =
+    MB.splitter_expansion (B.graph b) ~log_n ~boundary:0 ~cluster_top:0 ~max_k:3
+  in
+  let em =
+    MB.splitter_expansion (MB.graph mb) ~log_n ~boundary:0 ~cluster_top:0
+      ~max_k:3
+  in
+  checkb "random wiring beats fixed wiring" true (em > eb)
+
+let test_inner_splitters () =
+  (* deeper boundaries have smaller clusters but the same structure *)
+  let log_n = 5 in
+  let mb = MB.create ~rng:(rng ()) ~log_n ~d:2 () in
+  List.iter
+    (fun boundary ->
+      for cluster_top = 0 to (1 lsl boundary) - 1 do
+        let e =
+          MB.splitter_expansion (MB.graph mb) ~log_n ~boundary ~cluster_top
+            ~max_k:2
+        in
+        checkb "positive expansion" true (e > 0.0)
+      done)
+    [ 1; 2 ]
+
+let test_validation () =
+  Alcotest.check_raises "d >= 1"
+    (Invalid_argument "Multibutterfly.create: d >= 1") (fun () ->
+      ignore (MB.create ~log_n:3 ~d:0 ()))
+
+let suite =
+  [
+    case "structure and degrees" test_structure;
+    case "connectivity" test_connected;
+    case "edges respect the cluster skeleton" test_edges_stay_in_clusters;
+    case "butterfly splitter expansion is exactly 1/2" test_splitter_expansion_butterfly_is_half;
+    case "multibutterfly expands more" test_multibutterfly_expands_more;
+    case "inner splitters" test_inner_splitters;
+    case "validation" test_validation;
+  ]

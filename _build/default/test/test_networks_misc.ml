@@ -1,0 +1,238 @@
+(* Beneš, mesh of stars, hypercube, shuffle-exchange, de Bruijn, complete
+   graphs, port variants, rendering. *)
+
+module Benes = Bfly_networks.Benes
+module Mos = Bfly_networks.Mesh_of_stars
+module H = Bfly_networks.Hypercube
+module SE = Bfly_networks.Shuffle_exchange
+module DB = Bfly_networks.De_bruijn
+module Complete = Bfly_networks.Complete
+module Variants = Bfly_networks.Variants
+module Render = Bfly_networks.Render
+module B = Bfly_networks.Butterfly
+module G = Bfly_graph.Graph
+module Traverse = Bfly_graph.Traverse
+module Perm = Bfly_graph.Perm
+module Bitset = Bfly_graph.Bitset
+open Tu
+
+(* ---- Beneš ---- *)
+
+let test_benes_structure () =
+  List.iter
+    (fun dim ->
+      let b = Benes.create ~dim in
+      let n = 1 lsl dim in
+      check "levels" ((2 * dim) + 1) (Benes.levels b);
+      check "size" (n * ((2 * dim) + 1)) (Benes.size b);
+      check "edges" (4 * n * dim) (G.n_edges (Benes.graph b));
+      if dim >= 1 then
+        checkb "connected" true (Traverse.is_connected (Benes.graph b)))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_benes_identity_routing () =
+  let b = Benes.create ~dim:3 in
+  let paths = Benes.route_ports b (Perm.identity 16) in
+  check "one path per port" 16 (Array.length paths);
+  checkb "edge disjoint" true (Benes.paths_edge_disjoint b paths);
+  Array.iteri
+    (fun q path ->
+      check "starts at input column" (q / 2) (Benes.col_of b (List.hd path));
+      check "starts at level 0" 0 (Benes.level_of b (List.hd path));
+      let last = List.nth path (List.length path - 1) in
+      check "ends at own column" (q / 2) (Benes.col_of b last);
+      check "ends at last level" 6 (Benes.level_of b last))
+    paths
+
+let test_benes_random_routing () =
+  (* Lemma 2.5 / Section 1.5 rearrangeability *)
+  let rng = Random.State.make [| 1234 |] in
+  List.iter
+    (fun dim ->
+      let b = Benes.create ~dim in
+      for _ = 1 to 25 do
+        let p = Perm.random ~rng (2 * Benes.n b) in
+        let paths = Benes.route_ports b p in
+        checkb "edge disjoint" true (Benes.paths_edge_disjoint b paths);
+        Array.iteri
+          (fun q path ->
+            let last = List.nth path (List.length path - 1) in
+            check "delivered to p(q)/2" (Perm.apply p q / 2) (Benes.col_of b last))
+          paths
+      done)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_benes_node_load () =
+  (* every node carries at most 2 of the 2n paths *)
+  let rng = Random.State.make [| 99 |] in
+  let b = Benes.create ~dim:4 in
+  let p = Perm.random ~rng 32 in
+  let paths = Benes.route_ports b p in
+  let load = Array.make (Benes.size b) 0 in
+  Array.iter (List.iter (fun v -> load.(v) <- load.(v) + 1)) paths;
+  checkb "node load at most 2" true (Array.for_all (fun l -> l <= 2) load)
+
+let test_benes_column_routing () =
+  let b = Benes.create ~dim:3 in
+  let p = Perm.of_array [| 7; 6; 5; 4; 3; 2; 1; 0 |] in
+  let paths = Benes.route_columns b p in
+  checkb "edge disjoint" true (Benes.paths_edge_disjoint b paths);
+  Array.iteri
+    (fun q path ->
+      let last = List.nth path (List.length path - 1) in
+      check "column routed" (Perm.apply p (q / 2)) (Benes.col_of b last))
+    paths
+
+(* ---- mesh of stars ---- *)
+
+let test_mos_structure () =
+  let m = Mos.create ~j:3 ~k:5 in
+  check "size" (3 + 15 + 5) (Mos.size m);
+  check "edges = 2jk" 30 (G.n_edges (Mos.graph m));
+  checkb "connected" true (Traverse.is_connected (Mos.graph m));
+  (* M2 nodes have degree 2; M1 degree k; M3 degree j *)
+  List.iter (fun v -> check "M1 degree" 5 (G.degree (Mos.graph m) v)) (Mos.m1_nodes m);
+  List.iter (fun v -> check "M2 degree" 2 (G.degree (Mos.graph m) v)) (Mos.m2_nodes m);
+  List.iter (fun v -> check "M3 degree" 3 (G.degree (Mos.graph m) v)) (Mos.m3_nodes m)
+
+let test_mos_coords () =
+  let m = Mos.create ~j:4 ~k:4 in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      let v = Mos.m2_node m ~a ~b in
+      Alcotest.(check (pair int int)) "coords roundtrip" (a, b) (Mos.m2_coords m v);
+      checkb "edge to M1" true (G.mem_edge (Mos.graph m) v (Mos.m1_node m a));
+      checkb "edge to M3" true (G.mem_edge (Mos.graph m) v (Mos.m3_node m b))
+    done
+  done;
+  check "m2 set size" 16 (Bitset.cardinal (Mos.m2_set m))
+
+(* ---- hypercube, shuffle-exchange, de Bruijn ---- *)
+
+let test_hypercube () =
+  let h = H.create ~dim:4 in
+  check "size" 16 (H.size h);
+  check "edges = d 2^(d-1)" 32 (G.n_edges (H.graph h));
+  check "diameter = d" 4 (Traverse.diameter (H.graph h));
+  check "bw" 8 (H.theoretical_bw h);
+  for v = 0 to 15 do
+    check "d-regular" 4 (G.degree (H.graph h) v)
+  done
+
+let test_shuffle_exchange () =
+  let s = SE.create ~dim:3 in
+  check "size" 8 (SE.size s);
+  checkb "connected" true (Traverse.is_connected (SE.graph s));
+  checkb "degree at most 3" true (G.max_degree (SE.graph s) <= 3)
+
+let test_de_bruijn () =
+  let d = DB.create ~dim:3 in
+  check "size" 8 (DB.size d);
+  checkb "connected" true (Traverse.is_connected (DB.graph d));
+  checkb "degree at most 4" true (G.max_degree (DB.graph d) <= 4);
+  check "diameter at most dim" 3 (min 3 (Traverse.diameter (DB.graph d)))
+
+(* ---- complete graphs ---- *)
+
+let test_complete () =
+  let g = Complete.k_n 6 in
+  check "K_6 edges" 15 (G.n_edges g);
+  check "BW(K_6)" 9 (Complete.bw_k_n 6);
+  check "BW(K_7)" 12 (Complete.bw_k_n 7);
+  check "EE(K_6, 2)" 8 (Complete.ee_k_n 6 2);
+  let d = Complete.double_k_n 4 in
+  check "2K_4 edges" 12 (G.n_edges d);
+  checkb "2K multigraph" false (G.is_simple d);
+  let kb = Complete.k_bipartite 3 4 in
+  check "K_{3,4} edges" 12 (G.n_edges kb);
+  check "left degree" 4 (G.degree kb 0);
+  check "right degree" 3 (G.degree kb 3)
+
+let test_brute_bw_k_n () =
+  (* the closed form matches brute force *)
+  for n = 2 to 8 do
+    check "BW(K_n) brute" (brute_bw (Complete.k_n n)) (Complete.bw_k_n n)
+  done
+
+(* ---- port variants ---- *)
+
+let test_omega () =
+  let o = Variants.omega 16 in
+  check "real nodes = |B_8|" 32 o.Variants.real_nodes;
+  (* every input has 2 ports, every output 2 ports: 8+8 inputs/outputs of
+     B_8, 32 port nodes *)
+  check "total nodes" (32 + 32) (G.n_nodes o.Variants.graph);
+  (* EE over the whole graph-restricted set counts all ports: 4n per paper *)
+  let all_real = Bitset.create 32 in
+  for v = 0 to 31 do
+    Bitset.add all_real v
+  done;
+  check "EE(Omega, all) = 4(n/2)... = 2n" 32 (Variants.port_expansion o all_real)
+
+let test_fft () =
+  let f = Variants.fft 8 in
+  check "real nodes" 32 f.Variants.real_nodes;
+  check "ports" (32 + 16) (G.n_nodes f.Variants.graph);
+  let s = Bitset.create 32 in
+  Bitset.add s 0;
+  (* one input node: degree-2 butterfly edges + 1 port = 3 *)
+  check "single input port expansion" 3 (Variants.port_expansion f s)
+
+let test_snir_inequality () =
+  (* Snir: C log C >= 4k for Omega_n; check on sub-butterfly-like sets *)
+  let o = Variants.omega 16 in
+  let b = o.Variants.butterfly in
+  let s = Bitset.create (B.size b) in
+  List.iter (Bitset.add s) (B.sub_butterfly_nodes b ~top_level:0 ~dim:2 ~col:0);
+  checkb "Snir inequality holds" true (Variants.snir_inequality_holds o s)
+
+(* ---- rendering ---- *)
+
+let test_figure_1 () =
+  let s = Render.figure_1 () in
+  checkb "mentions B_8" true
+    (String.length s > 100 && String.sub s 0 10 = "The 32-nod");
+  (* 4 node rows of 8 'o's *)
+  let drawing =
+    (* skip the title line, which itself contains 'o' characters *)
+    match String.index_opt s '\n' with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+    | None -> s
+  in
+  let count_char c str =
+    String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 str
+  in
+  check "32 nodes drawn" 32 (count_char 'o' drawing)
+
+let test_dot_render () =
+  let b = B.of_inputs 4 in
+  let dot = Render.butterfly_dot b in
+  checkb "has graph header" true (String.length dot > 20);
+  check "one line per edge at least"
+    (G.n_edges (B.graph b))
+    (List.length
+       (List.filter
+          (fun l -> String.length l > 3 && String.contains l '-')
+          (String.split_on_char '\n' dot))
+     |> min (G.n_edges (B.graph b)))
+
+let suite =
+  [
+    case "Benes structure" test_benes_structure;
+    case "Benes identity routing" test_benes_identity_routing;
+    slow_case "Benes: 125 random permutations (Lemma 2.5)" test_benes_random_routing;
+    case "Benes node load <= 2" test_benes_node_load;
+    case "Benes column routing" test_benes_column_routing;
+    case "mesh of stars structure" test_mos_structure;
+    case "mesh of stars coordinates" test_mos_coords;
+    case "hypercube" test_hypercube;
+    case "shuffle-exchange" test_shuffle_exchange;
+    case "de Bruijn" test_de_bruijn;
+    case "complete graphs" test_complete;
+    case "BW(K_n) closed form vs brute" test_brute_bw_k_n;
+    case "Snir's Omega_n" test_omega;
+    case "Hong-Kung FFT_n" test_fft;
+    case "Snir inequality" test_snir_inequality;
+    case "Figure 1 rendering" test_figure_1;
+    case "DOT rendering" test_dot_render;
+  ]

@@ -1,0 +1,134 @@
+(* Lemma 2.5 executable: the Beneš-into-butterfly embedding and the
+   edge-disjoint port routing it powers, plus the Lemma 2.8 certificate. *)
+
+module B = Bfly_networks.Butterfly
+module R = Bfly_embed.Rearrange
+module E = Bfly_embed.Embedding
+module Bitset = Bfly_graph.Bitset
+module Perm = Bfly_graph.Perm
+open Tu
+
+let test_embedding_properties () =
+  (* Lemma 2.5's proof device: load 1, congestion 1, dilation 3 *)
+  List.iter
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let e, benes = R.benes_into_butterfly b in
+      check "load 1" 1 (E.load e);
+      check "congestion 1" 1 (E.congestion e);
+      check "dilation 3" 3 (E.dilation e);
+      check "guest dimension" (log_n - 1) (Bfly_networks.Benes.dim benes))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_io_partition () =
+  let b = B.of_inputs 8 in
+  let i, o = R.io_partition b in
+  check "|I| = n/2" 4 (List.length i);
+  check "|O| = n/2" 4 (List.length o);
+  List.iter (fun v -> check "I on level 0" 0 (B.level_of b v)) i;
+  List.iter
+    (fun v -> check "I has even columns" 0 (B.col_of b v mod 2))
+    i;
+  List.iter
+    (fun v -> check "O has odd columns" 1 (B.col_of b v mod 2))
+    o
+
+let test_route_identity () =
+  let b = B.of_inputs 8 in
+  let paths = R.route_ports b (Perm.identity 8) in
+  check "n paths" 8 (Array.length paths);
+  checkb "edge disjoint" true (R.paths_edge_disjoint b paths);
+  Array.iteri
+    (fun q path ->
+      check "starts at I column" (2 * (q / 2)) (B.col_of b (List.hd path));
+      let last = List.nth path (List.length path - 1) in
+      check "ends at O column" ((2 * (q / 2)) + 1) (B.col_of b last);
+      check "both ends on level 0" 0
+        (B.level_of b (List.hd path) + B.level_of b last))
+    paths
+
+let prop_lemma_2_5 =
+  qcheck ~count:60 "Lemma 2.5: every port bijection routes edge-disjointly"
+    QCheck2.Gen.(pair (int_range 2 6) (int_range 0 100000))
+    (fun (log_n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let b = B.create ~log_n in
+      let p = Perm.random ~rng (B.n b) in
+      let paths = R.route_ports b p in
+      R.paths_edge_disjoint b paths
+      && Array.for_all (fun path -> List.length path >= 1) paths
+      && (let ok = ref true in
+          Array.iteri
+            (fun q path ->
+              let last = List.nth path (List.length path - 1) in
+              if
+                B.col_of b last <> (2 * (Perm.apply p q / 2)) + 1
+                || B.level_of b last <> 0
+              then ok := false)
+            paths;
+          !ok))
+
+let test_path_lengths () =
+  (* through the dilation-3 embedding, every routed path has at most
+     3·(2 log n - 2) hops *)
+  let b = B.of_inputs 16 in
+  let rng = Random.State.make [| 9 |] in
+  let p = Perm.random ~rng 16 in
+  let paths = R.route_ports b p in
+  Array.iter
+    (fun path ->
+      checkb "bounded length" true (List.length path - 1 <= 3 * ((2 * 4) - 2)))
+    paths
+
+let prop_lemma_2_8_certificate =
+  qcheck ~count:80 "Lemma 2.8: certified crossing paths bound any cut"
+    QCheck2.Gen.(pair (int_range 2 5) (int_range 0 100000))
+    (fun (log_n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let b = B.create ~log_n in
+      let size = B.size b in
+      let k = Random.State.int rng (size + 1) in
+      let side = Bitset.create size in
+      let p = Perm.random ~rng size in
+      for i = 0 to k - 1 do
+        Bitset.add side (Perm.apply p i)
+      done;
+      let bound, paths = R.input_cut_certificate b side in
+      let cap = Bfly_graph.Traverse.boundary_edges (B.graph b) side in
+      let l0 =
+        List.fold_left
+          (fun acc v -> if Bitset.mem side v then acc + 1 else acc)
+          0 (B.inputs b)
+      in
+      bound = 2 * min l0 (B.n b - l0)
+      && cap >= bound
+      && R.paths_edge_disjoint b paths)
+
+let test_certificate_on_input_bisections () =
+  (* a cut bisecting the inputs is certified at >= n — Lemma 3.1 recovered
+     constructively *)
+  let b = B.of_inputs 8 in
+  let side = Bfly_cuts.Constructions.butterfly_column_cut b in
+  let bound, paths = R.input_cut_certificate b side in
+  check "bound n" 8 bound;
+  check "eight crossing paths" 8 (Array.length paths);
+  checkb "disjoint" true (R.paths_edge_disjoint b paths)
+
+let test_requires_dim_2 () =
+  let b = B.of_inputs 2 in
+  Alcotest.check_raises "log n >= 2"
+    (Invalid_argument "Rearrange: requires log n >= 2") (fun () ->
+      ignore (R.route_ports b (Perm.identity 2)))
+
+let suite =
+  [
+    case "Lemma 2.5 embedding: load 1, congestion 1, dilation 3"
+      test_embedding_properties;
+    case "Lemma 2.5 I/O partition" test_io_partition;
+    case "identity port routing" test_route_identity;
+    prop_lemma_2_5;
+    case "dilation bounds path lengths" test_path_lengths;
+    prop_lemma_2_8_certificate;
+    case "input bisections certified at n (Lemma 3.1)" test_certificate_on_input_bisections;
+    case "dimension guard" test_requires_dim_2;
+  ]

@@ -1,0 +1,128 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Router = Bfly_routing.Router
+module Workload = Bfly_routing.Workload
+module B = Bfly_networks.Butterfly
+module Perm = Bfly_graph.Perm
+open Tu
+
+let path3 () = G.of_edge_list ~n:3 [ (0, 1); (1, 2) ]
+
+let test_single_packet () =
+  let stats = Router.run (path3 ()) ~paths:[| [ 0; 1; 2 ] |] in
+  check "steps = path length" 2 stats.Router.steps;
+  check "delivered" 1 stats.Router.delivered;
+  check "hops" 2 stats.Router.total_hops
+
+let test_zero_length () =
+  let stats = Router.run (path3 ()) ~paths:[| [ 1 ] |] in
+  check "instant delivery" 0 stats.Router.steps
+
+let test_contention_serializes () =
+  (* two packets over the same edge: the second waits one step *)
+  let stats = Router.run (path3 ()) ~paths:[| [ 0; 1 ]; [ 0; 1; 2 ] |] in
+  check "one extra step" 3 stats.Router.steps;
+  check "max queue" 2 stats.Router.max_edge_queue
+
+let test_opposite_directions_dont_contend () =
+  let stats = Router.run (path3 ()) ~paths:[| [ 0; 1; 2 ]; [ 2; 1; 0 ] |] in
+  check "full duplex" 2 stats.Router.steps
+
+let test_parallel_edges_add_capacity () =
+  let g = G.of_edge_list ~n:2 [ (0, 1); (0, 1) ] in
+  let stats = Router.run g ~paths:[| [ 0; 1 ]; [ 0; 1 ] |] in
+  check "both cross at once" 1 stats.Router.steps
+
+let test_rejects_bad_path () =
+  Alcotest.check_raises "non-edge"
+    (Invalid_argument "Router.run: path uses a non-edge") (fun () ->
+      ignore (Router.run (path3 ()) ~paths:[| [ 0; 2 ] |]))
+
+let test_greedy_permutation_delivery () =
+  let b = B.of_inputs 16 in
+  let rng = Random.State.make [| 31337 |] in
+  for _ = 1 to 10 do
+    let p = Perm.random ~rng 16 in
+    let paths = Workload.greedy_permutation b p in
+    Array.iteri
+      (fun w path ->
+        let last = List.nth path (List.length path - 1) in
+        check "delivered to p(w)" (Perm.apply p w) (B.col_of b last);
+        check "at output level" 4 (B.level_of b last))
+      paths;
+    let stats = Router.run (B.graph b) ~paths in
+    check "all delivered" 16 stats.Router.delivered;
+    checkb "steps at least log n" true (stats.Router.steps >= 4)
+  done
+
+let test_identity_permutation_no_contention () =
+  let b = B.of_inputs 16 in
+  let paths = Workload.greedy_permutation b (Perm.identity 16) in
+  let stats = Router.run (B.graph b) ~paths in
+  check "straight wires, log n steps" 4 stats.Router.steps
+
+let test_crossings_count () =
+  let b = B.of_inputs 8 in
+  let side = Bfly_cuts.Constructions.butterfly_column_cut b in
+  (* reverse permutation sends every packet across the column cut *)
+  let p = Perm.of_array [| 7; 6; 5; 4; 3; 2; 1; 0 |] in
+  let paths = Workload.greedy_permutation b p in
+  let into, out = Router.crossings ~side paths in
+  check "every packet crosses once" 8 (into + out);
+  check "balanced directions" 4 into
+
+let test_time_lower_bound () =
+  check "ceil division" 4 (Router.time_lower_bound ~crossings_one_way:13 ~bw:4);
+  Alcotest.check_raises "bw 0"
+    (Invalid_argument "Router.time_lower_bound: bw must be positive") (fun () ->
+      ignore (Router.time_lower_bound ~crossings_one_way:1 ~bw:0))
+
+let test_simulation_respects_bound () =
+  (* T_sim >= crossings / capacity-of-cut for any cut, since each step moves
+     at most one packet per cut edge per direction *)
+  let rng = Random.State.make [| 4242 |] in
+  let b = B.of_inputs 16 in
+  let g = B.graph b in
+  for _ = 1 to 5 do
+    let paths = Workload.all_to_random ~rng b in
+    let stats = Router.run g ~paths in
+    let side = Bfly_cuts.Constructions.butterfly_column_cut b in
+    let cut_cap = Bfly_graph.Traverse.boundary_edges g side in
+    let into, out = Router.crossings ~side paths in
+    let lb = Router.time_lower_bound ~crossings_one_way:(max into out) ~bw:cut_cap in
+    checkb "T_sim >= crossings/cap" true (stats.Router.steps >= lb)
+  done
+
+let test_wrapped_workload () =
+  let rng = Random.State.make [| 5150 |] in
+  let w = Bfly_networks.Wrapped.of_inputs 8 in
+  let paths = Workload.all_to_random_wrapped ~rng w in
+  let stats = Router.run (Bfly_networks.Wrapped.graph w) ~paths in
+  check "all delivered" (Bfly_networks.Wrapped.size w) stats.Router.delivered
+
+let prop_random_workload_delivers =
+  qcheck ~count:20 "greedy random workloads always deliver"
+    QCheck2.Gen.(int_range 1 5)
+    (fun log_n ->
+      let b = B.create ~log_n in
+      let rng = Random.State.make [| log_n |] in
+      let paths = Workload.greedy_random ~rng b in
+      let stats = Router.run (B.graph b) ~paths in
+      stats.Router.delivered = 1 lsl log_n)
+
+let suite =
+  [
+    case "single packet" test_single_packet;
+    case "zero-length path" test_zero_length;
+    case "contention serializes" test_contention_serializes;
+    case "directions are independent" test_opposite_directions_dont_contend;
+    case "parallel edges add capacity" test_parallel_edges_add_capacity;
+    case "rejects invalid paths" test_rejects_bad_path;
+    case "greedy permutation delivery" test_greedy_permutation_delivery;
+    case "identity permutation takes log n steps" test_identity_permutation_no_contention;
+    case "crossing counters" test_crossings_count;
+    case "time lower bound arithmetic" test_time_lower_bound;
+    case "simulation respects the Section 1.2 bound" test_simulation_respects_bound;
+    case "wrapped-butterfly workload" test_wrapped_workload;
+    prop_random_workload_delivers;
+  ]

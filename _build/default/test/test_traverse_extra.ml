@@ -1,0 +1,66 @@
+module G = Bfly_graph.Graph
+module Traverse = Bfly_graph.Traverse
+module Gen = Bfly_graph.Generators
+open Tu
+
+let test_all_pairs () =
+  let g = Gen.cycle 6 in
+  let d = Traverse.all_pairs_distances g in
+  check "d(0,3)" 3 d.(0).(3);
+  check "d(0,5)" 1 d.(0).(5);
+  check "symmetric" d.(2).(4) d.(4).(2);
+  check "diagonal" 0 d.(3).(3)
+
+let test_average_distance () =
+  let g = Gen.path 3 in
+  (* pairs: (0,1)=1 (0,2)=2 (1,2)=1 each direction: mean = 4/3 *)
+  Alcotest.(check (float 1e-9)) "path mean" (4. /. 3.) (Traverse.average_distance g)
+
+let test_radius () =
+  let g = Gen.path 5 in
+  check "path radius" 2 (Traverse.radius g);
+  check "cycle radius" 3 (Traverse.radius (Gen.cycle 6));
+  (* butterfly: radius <= diameter, both finite *)
+  let b = Bfly_networks.Butterfly.of_inputs 8 in
+  checkb "radius <= diameter" true
+    (Traverse.radius (Bfly_networks.Butterfly.graph b)
+    <= Traverse.diameter (Bfly_networks.Butterfly.graph b))
+
+let prop_radius_diameter =
+  qcheck ~count:50 "radius <= diameter <= 2 radius"
+    QCheck2.Gen.(int_range 3 20)
+    (fun n ->
+      let g = random_graph n ~extra_edges:n in
+      let r = Traverse.radius g and d = Traverse.diameter g in
+      r <= d && d <= 2 * r)
+
+(* instrumented exact solver *)
+
+let test_instrumented_matches () =
+  List.iter
+    (fun g ->
+      let v, side, visited = Bfly_cuts.Exact.bisection_width_instrumented g in
+      let v', _ = Bfly_cuts.Exact.bisection_width g in
+      check "same optimum" v' v;
+      check "witness capacity" v (Traverse.boundary_edges g side);
+      checkb "visited positive" true (visited > 0);
+      (* disabling the bound never changes the optimum, only the work *)
+      let v2, _, visited2 =
+        Bfly_cuts.Exact.bisection_width_instrumented ~degree_bound:false g
+      in
+      check "ablated optimum equal" v v2;
+      checkb "bound prunes" true (visited <= visited2))
+    [
+      Bfly_networks.Butterfly.graph (Bfly_networks.Butterfly.of_inputs 4);
+      Gen.grid ~rows:3 ~cols:4;
+      Gen.cycle 10;
+    ]
+
+let suite =
+  [
+    case "all-pairs distances" test_all_pairs;
+    case "average distance" test_average_distance;
+    case "radius" test_radius;
+    prop_radius_diameter;
+    case "instrumented solver consistent" test_instrumented_matches;
+  ]

@@ -1,0 +1,152 @@
+module W = Bfly_networks.Wrapped
+module C = Bfly_networks.Ccc
+module B = Bfly_networks.Butterfly
+module G = Bfly_graph.Graph
+module Traverse = Bfly_graph.Traverse
+module Perm = Bfly_graph.Perm
+open Tu
+
+(* ---- wrapped butterfly ---- *)
+
+let test_w_sizes () =
+  List.iter
+    (fun log_n ->
+      let w = W.create ~log_n in
+      let n = 1 lsl log_n in
+      check "N = n log n" (n * log_n) (W.size w);
+      check "edges = 2 n log n" (2 * n * log_n) (G.n_edges (W.graph w)))
+    [ 2; 3; 4; 5 ]
+
+let test_w_regular () =
+  (* every node of W_n has degree 4 (Section 1.4) *)
+  let w = W.of_inputs 16 in
+  let g = W.graph w in
+  for v = 0 to W.size w - 1 do
+    check "4-regular" 4 (G.degree g v)
+  done
+
+let test_w4_multigraph () =
+  (* log n = 2: both boundaries connect levels 0 and 1; straight edges are
+     parallel *)
+  let w = W.create ~log_n:2 in
+  checkb "W_4 is a multigraph" false (G.is_simple (W.graph w));
+  checkb "W_8 is simple" true (G.is_simple (W.graph (W.create ~log_n:3)))
+
+let test_w_diameter () =
+  List.iter
+    (fun log_n ->
+      let w = W.create ~log_n in
+      check
+        (Printf.sprintf "diameter of W_%d = floor(3 log n/2)" (1 lsl log_n))
+        (W.theoretical_diameter w)
+        (Traverse.diameter (W.graph w)))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_w_rotation_automorphism () =
+  List.iter
+    (fun log_n ->
+      let w = W.create ~log_n in
+      let g = W.graph w in
+      let p = W.rotation_automorphism w in
+      checkb "rotation is an automorphism" true (G.equal g (G.relabel g p));
+      (* composing log n times yields the identity *)
+      let rec iterate q k = if k = 0 then q else iterate (Perm.compose p q) (k - 1) in
+      checkb "order divides log n" true
+        (Perm.is_identity (iterate (Perm.identity (W.size w)) log_n)))
+    [ 2; 3; 4 ]
+
+let test_w_column_xor () =
+  let w = W.of_inputs 8 in
+  let g = W.graph w in
+  for c = 0 to 7 do
+    checkb "xor automorphism" true
+      (G.equal g (G.relabel g (W.column_xor_automorphism w c)))
+  done
+
+let test_w_unfold () =
+  let w = W.of_inputs 8 in
+  let b, map = W.unfold_to_butterfly w in
+  check "butterfly size" 32 (B.size b);
+  check "map size" (W.size w) (Array.length map);
+  (* every W_n edge must exist in B_n after splitting level 0, except the
+     wrap edges which connect to the new output level *)
+  let ok = ref true in
+  G.iter_edges (W.graph w) (fun u v ->
+      let exists_direct = G.mem_edge (B.graph b) map.(u) map.(v) in
+      let exists_wrapped =
+        (* wrap edge: one endpoint on level 0; its image may be the output
+           copy instead *)
+        let relocate x =
+          if W.level_of w x = 0 then
+            B.node b ~col:(W.col_of w x) ~level:(B.log_n b)
+          else map.(x)
+        in
+        G.mem_edge (B.graph b) (relocate u) map.(v)
+        || G.mem_edge (B.graph b) map.(u) (relocate v)
+      in
+      if not (exists_direct || exists_wrapped) then ok := false);
+  checkb "unfolding preserves edges" true !ok
+
+let test_w_sub_butterfly () =
+  let w = W.of_inputs 32 in
+  let nodes = W.sub_butterfly_nodes w ~top_level:2 ~dim:2 ~col:0 in
+  check "size (dim+1) 2^dim" 12 (List.length nodes);
+  (* wraps around the level boundary *)
+  let nodes' = W.sub_butterfly_nodes w ~top_level:4 ~dim:2 ~col:0 in
+  check "wrapping window size" 12 (List.length nodes')
+
+(* ---- cube-connected cycles ---- *)
+
+let test_ccc_sizes () =
+  List.iter
+    (fun log_n ->
+      let c = C.create ~log_n in
+      let n = 1 lsl log_n in
+      check "N = n log n" (n * log_n) (C.size c);
+      (* cycle edges n·log n plus cross edges n·log n / 2 *)
+      check "edges" (n * log_n * 3 / 2) (G.n_edges (C.graph c)))
+    [ 2; 3; 4; 5 ]
+
+let test_ccc_3_regular () =
+  let c = C.create ~log_n:3 in
+  let g = C.graph c in
+  for v = 0 to C.size c - 1 do
+    check "3-regular" 3 (G.degree g v)
+  done
+
+let test_ccc_connected () =
+  checkb "CCC_16 connected" true (Traverse.is_connected (C.graph (C.create ~log_n:4)))
+
+let test_ccc_adjacency () =
+  (* paper definition: ⟨w,i⟩ ~ ⟨w',i⟩ iff w,w' differ exactly in bit
+     position i (1-based); plus cycle edges *)
+  let c = C.create ~log_n:4 in
+  let ok = ref true in
+  G.iter_edges (C.graph c) (fun u v ->
+      let wu = C.cycle_of c u and wv = C.cycle_of c v in
+      let pu = C.pos_of c u and pv = C.pos_of c v in
+      if wu = wv then begin
+        (* cycle edge: positions adjacent mod log n *)
+        if (pu + 1) mod 4 <> pv && (pv + 1) mod 4 <> pu then ok := false
+      end
+      else begin
+        if pu <> pv then ok := false;
+        if wu lxor wv <> C.cross_mask c pu then ok := false
+      end);
+  checkb "adjacency matches definition" true !ok
+
+let suite =
+  [
+    case "W sizes" test_w_sizes;
+    case "W is 4-regular" test_w_regular;
+    case "W_4 multigraph, W_8 simple" test_w4_multigraph;
+    case "W diameter = floor(3 log n / 2)" test_w_diameter;
+    case "W rotation automorphism" test_w_rotation_automorphism;
+    case "W column-xor automorphisms" test_w_column_xor;
+    case "W unfolds into B (Lemma 3.2 transmutation)" test_w_unfold;
+    case "W sub-butterflies" test_w_sub_butterfly;
+    case "CCC sizes" test_ccc_sizes;
+    case "CCC is 3-regular" test_ccc_3_regular;
+    case "CCC connected" test_ccc_connected;
+    case "CCC adjacency matches definition" test_ccc_adjacency;
+  ]

@@ -1,0 +1,60 @@
+(* Shared test utilities. *)
+
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let rng = Random.State.make [| 0x7e57 |]
+
+(* Erdős–Rényi-ish random graph, made connected by a random spanning path. *)
+let random_graph ?(rng = rng) n ~extra_edges =
+  let edges = ref [] in
+  let perm = Bfly_graph.Perm.random ~rng n in
+  for i = 0 to n - 2 do
+    edges := (Bfly_graph.Perm.apply perm i, Bfly_graph.Perm.apply perm (i + 1)) :: !edges
+  done;
+  for _ = 1 to extra_edges do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v then edges := (u, v) :: !edges
+  done;
+  G.of_edge_list ~n !edges
+
+let random_subset ?(rng = rng) n k =
+  let p = Bfly_graph.Perm.random ~rng n in
+  let s = Bitset.create n in
+  for i = 0 to k - 1 do
+    Bitset.add s (Bfly_graph.Perm.apply p i)
+  done;
+  s
+
+(* brute-force bisection width for tiny graphs, independent of lib code *)
+let brute_bw g =
+  let n = G.n_nodes g in
+  assert (n <= 20);
+  let edges = G.edges g in
+  let best = ref max_int in
+  for m = 0 to (1 lsl n) - 1 do
+    let size = ref 0 in
+    for i = 0 to n - 1 do
+      if (m lsr i) land 1 = 1 then incr size
+    done;
+    if !size = n / 2 || !size = (n + 1) / 2 then begin
+      let c =
+        Array.fold_left
+          (fun acc (a, b) ->
+            if (m lsr a) land 1 <> (m lsr b) land 1 then acc + 1 else acc)
+          0 edges
+      in
+      if c < !best then best := c
+    end
+  done;
+  !best
