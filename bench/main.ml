@@ -1,6 +1,16 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (experiments E1-E13, F1-F2 of DESIGN.md), then times the library's
-   computational kernels with Bechamel — one Test per experiment's kernel. *)
+   computational kernels with Bechamel — one Test per experiment's kernel.
+
+   Besides the human-readable tables, [--json FILE] writes one
+   machine-readable document per run (reproduction outputs, per-kernel
+   time estimates, and the Bfly_obs metrics the kernels recorded), so
+   successive PRs accumulate a perf trajectory:
+
+     dune exec bench/main.exe -- --json BENCH_$(date +%F).json
+
+   [--smoke] shrinks the run (cheap experiments, short Bechamel quota) for
+   use as a tier-1 CI gate; the JSON schema is identical. *)
 
 open Bechamel
 open Toolkit
@@ -8,18 +18,59 @@ module Butterfly = Bfly_networks.Butterfly
 module Wrapped = Bfly_networks.Wrapped
 module Benes = Bfly_networks.Benes
 module Perm = Bfly_graph.Perm
+module Json = Bfly_obs.Json
+module Metrics = Bfly_obs.Metrics
+module Span = Bfly_obs.Span
+
+(* ---- command line ---- *)
+
+let usage = "usage: main.exe [--json FILE] [--smoke]"
+
+let json_file, smoke =
+  let json_file = ref None and smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse rest
+    | [ "--json" ] ->
+        prerr_endline usage;
+        exit 2
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %S\n%s\n" arg usage;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (!json_file, !smoke)
+
+(* experiments cheap enough to gate every CI run on *)
+let smoke_experiments = [ "E2"; "E4"; "E10"; "E14"; "F1" ]
 
 let run_experiments () =
   print_endline "==============================================================";
   print_endline " Reproduction tables (per-experiment index in DESIGN.md)";
   print_endline "==============================================================";
-  List.iter
+  let selected =
+    if smoke then
+      List.filter
+        (fun (name, _) -> List.mem name smoke_experiments)
+        Bfly_core.Experiments.all
+    else Bfly_core.Experiments.all
+  in
+  List.map
     (fun (name, f) ->
-      Printf.printf "\n--- %s ---\n%s%!" name (f ()))
-    Bfly_core.Experiments.all
+      let t0 = Span.now_ns () in
+      let out = f () in
+      let wall_ns = Span.now_ns () - t0 in
+      Printf.printf "\n--- %s ---\n%s%!" name out;
+      (name, out, wall_ns))
+    selected
 
 (* one Bechamel test per experiment kernel *)
-let micro_tests =
+let micro_tests () =
   let rng = Random.State.make [| 0xbe9c4 |] in
   let b8 = Butterfly.of_inputs 8 in
   let b256 = Butterfly.of_inputs 256 in
@@ -50,6 +101,12 @@ let micro_tests =
              ignore
                (Bfly_cuts.Exact.bisection_width ~upper_bound:4
                   (Butterfly.graph (Butterfly.of_inputs 4)))));
+      Test.make ~name:"E1:kl-restarts-B256"
+        (stage (fun () ->
+             ignore
+               (Bfly_cuts.Heuristics.kernighan_lin
+                  ~rng:(Random.State.make [| 0x6b |])
+                  ~restarts:4 (Butterfly.graph b256))));
       Test.make ~name:"E2:bw-mos-closed-form-j256"
         (stage (fun () -> ignore (Bfly_mos.Mos_analysis.bw_m2 256)));
       Test.make ~name:"E3:knn-embedding-congestion-B8"
@@ -95,32 +152,92 @@ let run_micro () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:100 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
   let rows = List.sort compare rows in
   Printf.printf "%-42s %16s %8s\n" "kernel" "time/run" "r^2";
   Printf.printf "%s\n" (String.make 68 '-');
-  List.iter
+  List.map
     (fun (name, est) ->
+      let ns =
+        match Analyze.OLS.estimates est with Some [ ns ] -> Some ns | _ -> None
+      in
       let time =
-        match Analyze.OLS.estimates est with
-        | Some [ ns ] ->
+        match ns with
+        | Some ns ->
             if ns >= 1e9 then Printf.sprintf "%10.3f s" (ns /. 1e9)
             else if ns >= 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
             else if ns >= 1e3 then Printf.sprintf "%10.3f us" (ns /. 1e3)
             else Printf.sprintf "%10.1f ns" ns
-        | _ -> "n/a"
+        | None -> "n/a"
       in
-      let r2 =
-        match Analyze.OLS.r_square est with
-        | Some r -> Printf.sprintf "%.3f" r
-        | None -> "-"
+      let r2 = Analyze.OLS.r_square est in
+      let r2_str =
+        match r2 with Some r -> Printf.sprintf "%.3f" r | None -> "-"
       in
-      Printf.printf "%-42s %16s %8s\n" name time r2)
+      Printf.printf "%-42s %16s %8s\n" name time r2_str;
+      (name, ns, r2))
     rows
 
+(* ---- JSON trajectory document ---- *)
+
+let iso8601_utc () =
+  let t = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let json_document ~experiments ~kernels =
+  Json.Obj
+    [
+      ("schema", Json.Str "bfly-bench/1");
+      ("generated_at", Json.Str (iso8601_utc ()));
+      ("mode", Json.Str (if smoke then "smoke" else "full"));
+      ("domains", Json.Int (Bfly_graph.Parallel.domain_count ()));
+      ( "bfly_domains_env",
+        match Sys.getenv_opt "BFLY_DOMAINS" with
+        | None | Some "" -> Json.Null
+        | Some s -> Json.Str s );
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (name, out, wall_ns) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ("wall_ns", Json.Int wall_ns);
+                   ("output", Json.Str out);
+                 ])
+             experiments) );
+      ( "kernels",
+        Json.List
+          (List.map
+             (fun (name, ns, r2) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ( "ns_per_run",
+                     match ns with Some v -> Json.Float v | None -> Json.Null );
+                   ( "r_square",
+                     match r2 with Some v -> Json.Float v | None -> Json.Null );
+                 ])
+             kernels) );
+      ("metrics", Metrics.to_json ());
+    ]
+
 let () =
-  run_experiments ();
-  run_micro ()
+  let experiments = run_experiments () in
+  let kernels = run_micro () in
+  match json_file with
+  | None -> ()
+  | Some file ->
+      let doc = json_document ~experiments ~kernels in
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc (Json.to_string doc);
+          output_char oc '\n');
+      Printf.printf "\nwrote %s\n" file

@@ -57,9 +57,28 @@ let handle = function
       Printf.eprintf "error: %s\n" msg;
       1
 
+(* ---- --metrics ---- *)
+
+(* Every subcommand accepts [--metrics]: after the subcommand's own output,
+   dump the Bfly_obs counters/gauges/timers the kernels recorded, as one
+   JSON line on stdout. *)
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "After the subcommand finishes, print the collected Bfly_obs \
+           metrics (counters, gauges, timer spans) as a single JSON line.")
+
+let finishing metrics code =
+  if metrics then print_endline (Bfly_obs.Metrics.to_json_string ());
+  code
+
 (* ---- info ---- *)
 
-let info_run net n =
+let info_run metrics net n =
+  finishing metrics @@
   handle
     (match graph_of net n with
     | Error e -> Error e
@@ -76,11 +95,12 @@ let info_run net n =
 let info_cmd =
   Cmd.v
     (Cmd.info "info" ~doc:"Structural summary of a network")
-    Term.(const info_run $ net_arg $ n_arg)
+    Term.(const info_run $ metrics_arg $ net_arg $ n_arg)
 
 (* ---- bisect ---- *)
 
-let bisect_run net n dot =
+let bisect_run metrics net n dot =
+  finishing metrics @@
   handle
     (match log2_exact n with
     | None -> Error "n must be a power of two"
@@ -111,11 +131,12 @@ let bisect_cmd =
   in
   Cmd.v
     (Cmd.info "bisect" ~doc:"Bisection-width bracket (Theorem 2.20, Lemmas 3.2, 3.3)")
-    Term.(const bisect_run $ net_arg $ n_arg $ dot)
+    Term.(const bisect_run $ metrics_arg $ net_arg $ n_arg $ dot)
 
 (* ---- expansion ---- *)
 
-let expansion_run net n k exact =
+let expansion_run metrics net n k exact =
+  finishing metrics @@
   handle
     (match graph_of net n with
     | Error e -> Error e
@@ -145,11 +166,12 @@ let expansion_cmd =
   in
   Cmd.v
     (Cmd.info "expansion" ~doc:"Edge/node expansion (Section 4)")
-    Term.(const expansion_run $ net_arg $ n_arg $ k $ exact)
+    Term.(const expansion_run $ metrics_arg $ net_arg $ n_arg $ k $ exact)
 
 (* ---- render ---- *)
 
-let render_run n dot =
+let render_run metrics n dot =
+  finishing metrics @@
   handle
     (match log2_exact n with
     | None -> Error "n must be a power of two"
@@ -169,11 +191,12 @@ let render_cmd =
   in
   Cmd.v
     (Cmd.info "render" ~doc:"Draw a butterfly (Figure 1)")
-    Term.(const render_run $ n $ dot)
+    Term.(const render_run $ metrics_arg $ n $ dot)
 
 (* ---- route ---- *)
 
-let route_run n seed =
+let route_run metrics n seed =
+  finishing metrics @@
   handle
     (match log2_exact n with
     | None -> Error "n must be a power of two"
@@ -195,11 +218,12 @@ let route_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
   Cmd.v
     (Cmd.info "route" ~doc:"Greedy store-and-forward routing (Section 1.2)")
-    Term.(const route_run $ n $ seed)
+    Term.(const route_run $ metrics_arg $ n $ seed)
 
 (* ---- mos ---- *)
 
-let mos_run j =
+let mos_run metrics j =
+  finishing metrics @@
   if j < 1 then handle (Error "j must be >= 1")
   else begin
     let bw, density, ratio = Bfly_mos.Mos_analysis.convergence_row j in
@@ -213,11 +237,12 @@ let mos_cmd =
   let j = Arg.(required & pos 0 (some int) None & info [] ~docv:"J") in
   Cmd.v
     (Cmd.info "mos" ~doc:"Mesh-of-stars M2-bisection width (Lemmas 2.17-2.19)")
-    Term.(const mos_run $ j)
+    Term.(const mos_run $ metrics_arg $ j)
 
 (* ---- iosep ---- *)
 
-let iosep_run n =
+let iosep_run metrics n =
+  finishing metrics @@
   handle
     (match log2_exact n with
     | None -> Error "n must be a power of two"
@@ -238,11 +263,12 @@ let iosep_cmd =
   Cmd.v
     (Cmd.info "iosep"
        ~doc:"Directed input/output separation of B_n (Section 1.2)")
-    Term.(const iosep_run $ n)
+    Term.(const iosep_run $ metrics_arg $ n)
 
 (* ---- layout ---- *)
 
-let layout_run n =
+let layout_run metrics n =
+  finishing metrics @@
   handle
     (match log2_exact n with
     | None -> Error "n must be a power of two"
@@ -263,11 +289,12 @@ let layout_cmd =
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
   Cmd.v
     (Cmd.info "layout" ~doc:"VLSI grid layout area of B_n (Sections 1.1-1.2)")
-    Term.(const layout_run $ n)
+    Term.(const layout_run $ metrics_arg $ n)
 
 (* ---- experiments ---- *)
 
-let experiments_run ids =
+let experiments_run metrics ids =
+  finishing metrics @@
   let selected =
     match ids with
     | [] -> Bfly_core.Experiments.all
@@ -292,7 +319,7 @@ let experiments_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the paper's tables (E1-E13, F1-F2)")
-    Term.(const experiments_run $ ids)
+    Term.(const experiments_run $ metrics_arg $ ids)
 
 let () =
   let doc = "bisection width and expansion of butterfly networks" in

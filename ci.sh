@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 CI gate: build, tests (which include the bench --smoke --json
+# pipeline as a runtest rule), and — where the toolchain provides odoc —
+# the documentation build, so broken odoc markup in the .mli files fails
+# the pipeline on dev machines even though minimal containers skip it.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v odoc >/dev/null 2>&1; then
+  echo "== dune build @doc =="
+  dune build @doc
+else
+  echo "== odoc not installed; skipping @doc check =="
+fi
+
+echo "CI OK"

@@ -1,5 +1,6 @@
 module G = Bfly_graph.Graph
 module Bitset = Bfly_graph.Bitset
+module Parallel = Bfly_graph.Parallel
 module Butterfly = Bfly_networks.Butterfly
 module Wrapped = Bfly_networks.Wrapped
 module Ccc = Bfly_networks.Ccc
@@ -191,27 +192,53 @@ let mos_pullback_cut b params =
       assert (Bitset.cardinal side = geo.target);
       side
 
+let c_candidates = Bfly_obs.Metrics.counter "constructions.mos.candidates"
+
 let best_mos_pullback ?(max_classes = 256) b =
   let ell = Butterfly.log_n b in
   if ell < 2 then invalid_arg "Constructions.best_mos_pullback: log n < 2";
-  let best = ref None in
-  for t1 = 1 to ell - 1 do
-    for t3 = 1 to ell - t1 do
-      if 1 lsl t1 <= max_classes && 1 lsl t3 <= max_classes then begin
-        for r1 = 0 to 1 lsl t3 do
-          for r3 = 0 to 1 lsl t1 do
-            let params = { t1; t3; r1; r3 } in
-            match mos_predicted_cost b params with
-            | None -> ()
-            | Some cost -> (
-                match !best with
-                | Some (_, c) when c <= cost -> ()
-                | _ -> best := Some (params, cost))
-          done
+  Bfly_obs.Span.time ~name:"constructions.mos_pullback" @@ fun () ->
+  (* the (t1, t3) window choices are independent — sweep them across the
+     domain pool, scanning each window's (r1, r3) grid locally; ties keep
+     the earliest candidate in the sequential enumeration order, so the
+     winning parameters do not depend on the domain count *)
+  let windows =
+    List.concat_map
+      (fun t1 -> List.init (ell - t1) (fun i -> (t1, i + 1)))
+      (List.init (ell - 1) (fun i -> i + 1))
+    |> Array.of_list
+  in
+  let best_in_window idx =
+    let t1, t3 = windows.(idx) in
+    if 1 lsl t1 > max_classes || 1 lsl t3 > max_classes then None
+    else begin
+      let best = ref None in
+      let scanned = ref 0 in
+      for r1 = 0 to 1 lsl t3 do
+        for r3 = 0 to 1 lsl t1 do
+          incr scanned;
+          let params = { t1; t3; r1; r3 } in
+          match mos_predicted_cost b params with
+          | None -> ()
+          | Some cost -> (
+              match !best with
+              | Some (_, c) when c <= cost -> ()
+              | _ -> best := Some (params, cost))
         done
-      end
-    done
-  done;
-  match !best with
+      done;
+      Bfly_obs.Metrics.add c_candidates !scanned;
+      !best
+    end
+  in
+  let keep_earlier a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | (Some (_, c1) as a), (Some (_, c2) as b) -> if c2 < c1 then b else a
+  in
+  let best =
+    Parallel.reduce_range ~lo:0 ~hi:(Array.length windows) ~init:None
+      ~f:best_in_window ~combine:keep_earlier
+  in
+  match best with
   | None -> invalid_arg "Constructions.best_mos_pullback: no feasible parameters"
   | Some (params, cost) -> (params, cost, mos_pullback_cut b params)

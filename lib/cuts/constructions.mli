@@ -50,7 +50,17 @@ val mos_predicted_cost : Bfly_networks.Butterfly.t -> mos_params -> int option
 val mos_pullback_cut : Bfly_networks.Butterfly.t -> mos_params -> Bfly_graph.Bitset.t
 
 (** Search all parameters (class counts capped at [max_classes], default
-    256) by predicted cost and return the best parameters with their cut.
+    256) by predicted cost and return the best parameters with their cut —
+    the constructive side of Lemmas 2.17–2.19: the optimal mesh-of-stars
+    cut (Lemma 2.17) pulled back through the quotient (Lemmas 2.18–2.19)
+    gives the [2√2·√n + o(√n)] upper bound of Theorem 2.20.
+
+    The [(t1, t3)] windows are scanned concurrently on the
+    {!Bfly_graph.Parallel} pool; ties between equal-cost parameters are
+    broken toward the earliest window in sequential enumeration order, so
+    the result is independent of [BFLY_DOMAINS]. Records the
+    [constructions.mos.candidates] counter and the
+    [constructions.mos_pullback] timer in {!Bfly_obs.Metrics}.
     @raise Invalid_argument when [log n < 2] (no valid parameters). *)
 val best_mos_pullback :
   ?max_classes:int ->

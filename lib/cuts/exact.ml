@@ -2,6 +2,8 @@ module G = Bfly_graph.Graph
 module Bitset = Bfly_graph.Bitset
 module Traverse = Bfly_graph.Traverse
 module Parallel = Bfly_graph.Parallel
+module Metrics = Bfly_obs.Metrics
+module Span = Bfly_obs.Span
 
 (* ------------------------------------------------------------------ *)
 (* Exhaustive enumeration (oracle for tests; n <= ~26)                 *)
@@ -38,11 +40,7 @@ let bisection_width_exhaustive ?u g =
     if in_u >= lo_bal && in_u <= hi_bal then Some (capacity m, m) else None
   in
   let best =
-    Parallel.reduce_range ~lo:0 ~hi:(1 lsl (n - 1)) ~init:None
-      ~f:(fun acc i ->
-        match (acc, eval i) with
-        | None, x | x, None -> x
-        | (Some (c, _) as a), (Some (c', _) as b) -> if c' < c then b else a)
+    Parallel.reduce_range ~lo:0 ~hi:(1 lsl (n - 1)) ~init:None ~f:eval
       ~combine:(fun a b ->
         match (a, b) with
         | None, x | x, None -> x
@@ -76,6 +74,7 @@ type bb = {
   mutable na : int; (* |A| among assigned *)
   mutable ua : int; (* |A ∩ U| among assigned *)
   mutable ub : int;
+  mutable visits : int; (* search nodes entered (domain-local) *)
   best : int Atomic.t;
   witness : (int * Bitset.t) option ref;
   witness_lock : Mutex.t;
@@ -127,6 +126,7 @@ let make_bb g u best_init =
     na = 0;
     ua = 0;
     ub = 0;
+    visits = 0;
     best = Atomic.make best_init;
     witness = ref None;
     witness_lock = Mutex.create ();
@@ -138,6 +138,7 @@ let clone_bb bb =
     bb with
     assigned = Array.copy bb.assigned;
     cnt = [| Array.copy bb.cnt.(0); Array.copy bb.cnt.(1) |];
+    visits = 0;
   }
 
 let assign bb v side =
@@ -204,6 +205,7 @@ let feasible bb depth =
   && depth <= n
 
 let rec dfs bb depth =
+  bb.visits <- bb.visits + 1;
   if bb.cap + bb.sum_min >= Atomic.get bb.best then ()
   else if depth = Array.length bb.order then record_if_better bb
   else begin
@@ -218,10 +220,10 @@ let rec dfs bb depth =
       [ first; 1 - first ]
   end
 
-(* sequential DFS with a visit counter; [degree_bound] toggles the
+(* sequential DFS counting into [bb.visits]; [degree_bound] toggles the
    sum-of-minima lower bound for ablation *)
-let rec dfs_counted bb ~degree_bound counter depth =
-  incr counter;
+let rec dfs_counted bb ~degree_bound depth =
+  bb.visits <- bb.visits + 1;
   let bound = bb.cap + if degree_bound then bb.sum_min else 0 in
   if bound >= Atomic.get bb.best then ()
   else if depth = Array.length bb.order then record_if_better bb
@@ -231,8 +233,7 @@ let rec dfs_counted bb ~degree_bound counter depth =
     List.iter
       (fun side ->
         assign bb v side;
-        if feasible bb (depth + 1) then
-          dfs_counted bb ~degree_bound counter (depth + 1);
+        if feasible bb (depth + 1) then dfs_counted bb ~degree_bound (depth + 1);
         unassign bb v)
       [ first; 1 - first ]
   end
@@ -243,20 +244,27 @@ let bisection_width_instrumented ?u ?upper_bound ?(degree_bound = true) g =
   let init = match upper_bound with Some b -> b + 1 | None -> max_int in
   let bb = make_bb g u init in
   assign bb bb.order.(0) 0;
-  let counter = ref 0 in
-  dfs_counted bb ~degree_bound counter 1;
+  dfs_counted bb ~degree_bound 1;
   match !(bb.witness) with
-  | Some (c, side) -> (c, side, !counter)
+  | Some (c, side) -> (c, side, bb.visits)
   | None -> invalid_arg "Exact.bisection_width_instrumented: infeasible"
+
+let c_nodes = Metrics.counter "exact.bb.nodes"
+let c_prefixes = Metrics.counter "exact.bb.prefixes"
+let g_best = Metrics.gauge "exact.bb.best_capacity"
 
 let bisection_width ?u ?upper_bound g =
   let n = G.n_nodes g in
   if n = 0 then invalid_arg "Exact: empty graph";
+  Span.time ~name:"exact.bisection_width" @@ fun () ->
   let init = match upper_bound with Some b -> b + 1 | None -> max_int in
   let bb = make_bb g u init in
   (* initialize sum_min: all zero counts -> 0; fix node order.(0) to side A *)
   assign bb bb.order.(0) 0;
-  (* parallelize over assignments of the next [p] nodes *)
+  (* parallel top-level branch split: the branch-and-bound tree is forked
+     at every assignment of the next [p] nodes, and the 2^p subtree roots
+     are spread across the domain pool; the shared atomic incumbent keeps
+     pruning global *)
   let p = min 10 (n - 1) in
   let prefixes = 1 lsl p in
   let run ~lo ~hi =
@@ -278,9 +286,14 @@ let bisection_width ?u ?upper_bound g =
       for dd = !d - 1 downto 1 do
         unassign local local.order.(dd)
       done
-    done
+    done;
+    Metrics.add c_nodes local.visits;
+    Metrics.add c_prefixes (hi - lo)
   in
   ignore (Parallel.run_chunks ~lo:0 ~hi:prefixes (fun ~lo ~hi -> run ~lo ~hi));
+  (match !(bb.witness) with
+  | Some (c, _) -> Metrics.set g_best (float_of_int c)
+  | None -> ());
   match !(bb.witness) with
   | Some (c, side) -> (c, side)
   | None -> (

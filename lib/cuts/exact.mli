@@ -17,7 +17,14 @@
     cut value (exclusive pruning threshold is the bound itself, so the
     returned value may equal it only if a witness of that capacity exists
     below it... the witness returned always achieves the returned value).
-    Uses branch and bound, parallelized over the top of the search tree. *)
+    Uses branch and bound, parallelized over the top of the search tree:
+    the first [p] assignment decisions are enumerated into [2^p] subtree
+    roots which are explored concurrently on the {!Bfly_graph.Parallel}
+    pool, sharing the incumbent through an atomic so every subtree prunes
+    against the globally best cut found so far. The returned value is
+    independent of [BFLY_DOMAINS]. Records [exact.bb.nodes] (search nodes
+    visited) and [exact.bb.prefixes] counters, the [exact.bb.best_capacity]
+    gauge and the [exact.bisection_width] timer in {!Bfly_obs.Metrics}. *)
 val bisection_width :
   ?u:Bfly_graph.Bitset.t ->
   ?upper_bound:int ->

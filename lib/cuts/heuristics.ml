@@ -1,8 +1,31 @@
 module G = Bfly_graph.Graph
 module Bitset = Bfly_graph.Bitset
+module Parallel = Bfly_graph.Parallel
+module Metrics = Bfly_obs.Metrics
+module Span = Bfly_obs.Span
 module State = Cut.State
 
 let default_rng () = Random.State.make [| 0x5eed |]
+
+(* Restart seeds are drawn sequentially from the caller's rng so the work
+   list is fixed before any domain runs: results depend on the seed, never
+   on the domain count or completion order. *)
+let derive_seeds rng k =
+  let seeds = Array.make k 0 in
+  for i = 0 to k - 1 do
+    seeds.(i) <- Random.State.bits rng
+  done;
+  seeds
+
+(* Lowest capacity wins; equal capacities keep the earliest restart, like a
+   sequential first-wins loop. *)
+let by_capacity (c1, _) (c2, _) = Stdlib.compare c1 c2
+
+let record_kernel ~kernel ~restarts ~capacity =
+  Metrics.add (Metrics.counter ("heuristics." ^ kernel ^ ".restarts")) restarts;
+  Metrics.set
+    (Metrics.gauge ("heuristics." ^ kernel ^ ".best_capacity"))
+    (float_of_int capacity)
 
 let random_balanced_side ~rng n =
   let perm = Bfly_graph.Perm.random ~rng n in
@@ -75,20 +98,21 @@ let kl_pass g st =
 
 let kernighan_lin ?rng ?(restarts = 4) g =
   let rng = match rng with Some r -> r | None -> default_rng () in
+  Span.time ~name:"heuristics.kl" @@ fun () ->
   let n = G.n_nodes g in
-  let best = ref None in
-  for _ = 1 to restarts do
+  let seeds = derive_seeds rng restarts in
+  let restart i =
+    let rng = Random.State.make [| 0x6b6c; seeds.(i) |] in
     let st = State.create g (random_balanced_side ~rng n) in
     let improving = ref true in
     while !improving do
       improving := kl_pass g st
     done;
-    let c = State.capacity st in
-    match !best with
-    | Some (bc, _) when bc <= c -> ()
-    | _ -> best := Some (c, State.side st)
-  done;
-  Option.get !best
+    (State.capacity st, State.side st)
+  in
+  let c, side = Parallel.best_of ~compare:by_capacity ~restarts restart in
+  record_kernel ~kernel:"kl" ~restarts ~capacity:c;
+  (c, side)
 
 (* ------------------------------------------------------------------ *)
 (* Fiduccia–Mattheyses (heap-based single-node moves, tolerance 1)     *)
@@ -198,17 +222,18 @@ let fm_descend g st =
 
 let fiduccia_mattheyses ?rng ?(restarts = 4) g =
   let rng = match rng with Some r -> r | None -> default_rng () in
+  Span.time ~name:"heuristics.fm" @@ fun () ->
   let n = G.n_nodes g in
-  let best = ref None in
-  for _ = 1 to restarts do
+  let seeds = derive_seeds rng restarts in
+  let restart i =
+    let rng = Random.State.make [| 0x666d; seeds.(i) |] in
     let st = State.create g (random_balanced_side ~rng n) in
     fm_descend g st;
-    let c = State.capacity st in
-    match !best with
-    | Some (bc, _) when bc <= c -> ()
-    | _ -> best := Some (c, State.side st)
-  done;
-  Option.get !best
+    (State.capacity st, State.side st)
+  in
+  let c, side = Parallel.best_of ~compare:by_capacity ~restarts restart in
+  record_kernel ~kernel:"fm" ~restarts ~capacity:c;
+  (c, side)
 
 (* ------------------------------------------------------------------ *)
 (* Spectral                                                            *)
@@ -256,10 +281,8 @@ let spectral g =
 (* Simulated annealing                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let annealing ?rng ?steps g =
-  let rng = match rng with Some r -> r | None -> default_rng () in
+let anneal_once ~rng ~steps g =
   let n = G.n_nodes g in
-  let steps = match steps with Some s -> s | None -> min 2_000_000 (400 * n) in
   let side = random_balanced_side ~rng n in
   let st = State.create g side in
   let a_nodes = ref [] and b_nodes = ref [] in
@@ -293,29 +316,53 @@ let annealing ?rng ?steps g =
   done;
   (!best_cap, !best_side)
 
+let annealing ?rng ?steps ?(restarts = 1) g =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  Span.time ~name:"heuristics.sa" @@ fun () ->
+  let n = G.n_nodes g in
+  let steps = match steps with Some s -> s | None -> min 2_000_000 (400 * n) in
+  let seeds = derive_seeds rng restarts in
+  let restart i =
+    anneal_once ~rng:(Random.State.make [| 0x5a5a; seeds.(i) |]) ~steps g
+  in
+  let c, side = Parallel.best_of ~compare:by_capacity ~restarts restart in
+  record_kernel ~kernel:"sa" ~restarts ~capacity:c;
+  (c, side)
+
 let best_of ?rng g =
   let rng = match rng with Some r -> r | None -> default_rng () in
+  Span.time ~name:"heuristics.portfolio" @@ fun () ->
   let n = G.n_nodes g in
+  (* each method gets its own rng seeded up front, so the portfolio can run
+     its members concurrently (each member also parallelizes its restarts
+     internally — the pool handles nested batches) without the shared-rng
+     sequencing the sequential loop used to impose *)
+  let seeds = derive_seeds rng 4 in
+  let seeded i = Random.State.make [| 0xbe57; seeds.(i) |] in
   let candidates =
     if n <= 2000 then
-      [
-        ("kernighan-lin", fun () -> kernighan_lin ~rng g);
-        ("fiduccia-mattheyses", fun () -> fiduccia_mattheyses ~rng g);
+      [|
+        ("kernighan-lin", fun () -> kernighan_lin ~rng:(seeded 0) g);
+        ("fiduccia-mattheyses", fun () -> fiduccia_mattheyses ~rng:(seeded 1) g);
         ("spectral", fun () -> spectral g);
-        ("annealing", fun () -> annealing ~rng g);
-      ]
+        ("annealing", fun () -> annealing ~rng:(seeded 3) g);
+      |]
     else
-      [
-        ("fiduccia-mattheyses", fun () -> fiduccia_mattheyses ~rng ~restarts:2 g);
+      [|
+        ( "fiduccia-mattheyses",
+          fun () -> fiduccia_mattheyses ~rng:(seeded 1) ~restarts:2 g );
         ("spectral", fun () -> spectral g);
-      ]
+      |]
   in
-  let best = ref None in
-  List.iter
-    (fun (name, run) ->
-      let c, side = run () in
-      match !best with
-      | Some (bc, _, _) when bc <= c -> ()
-      | _ -> best := Some (c, side, name))
-    candidates;
-  Option.get !best
+  let c, side, name =
+    Parallel.best_of
+      ~compare:(fun (c1, _, _) (c2, _, _) -> Stdlib.compare c1 c2)
+      ~restarts:(Array.length candidates)
+      (fun i ->
+        let name, run = candidates.(i) in
+        let c, side = run () in
+        (c, side, name))
+  in
+  Metrics.set (Metrics.gauge "heuristics.portfolio.best_capacity")
+    (float_of_int c);
+  (c, side, name)

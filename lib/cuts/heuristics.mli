@@ -2,29 +2,55 @@
 
     None of these are part of the paper; they provide independent upper
     bounds on [BW] that the experiments compare against the paper's
-    constructions and certified lower bounds. All return balanced cuts
-    (side sizes within one of [N/2]). *)
+    constructions (Theorem 2.20's [2(√2−1)n] upper bound for [B_n]) and its
+    certified lower bounds. All return balanced cuts (side sizes within one
+    of [N/2]).
 
-(** [kernighan_lin ?rng ?restarts g] — classic KL swap passes from random
-    balanced starts. O(passes·n²); intended for [n <= ~2000]. *)
+    Restarted solvers run their restarts concurrently on the
+    {!Bfly_graph.Parallel} domain pool. Restart seeds are derived
+    sequentially from [rng] before any restart runs and ties are broken
+    toward the earliest restart, so a fixed [rng] seed gives identical
+    results at any [BFLY_DOMAINS] setting. Each solver records its work in
+    {!Bfly_obs.Metrics} under [heuristics.<kernel>.*] and a timer span of
+    the same stem (e.g. [heuristics.kl.restarts], [heuristics.kl]). *)
+
 val kernighan_lin :
-  ?rng:Random.State.t -> ?restarts:int -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t
+  ?rng:Random.State.t ->
+  ?restarts:int ->
+  Bfly_graph.Graph.t ->
+  int * Bfly_graph.Bitset.t
+(** [kernighan_lin ?rng ?restarts g] — classic KL swap passes from random
+    balanced starts, restarts in parallel. O(passes·n²) work per restart;
+    intended for [n <= ~2000]. [restarts] defaults to 4. *)
 
-(** [fiduccia_mattheyses ?rng ?restarts g] — FM single-node moves with
-    bucketed gains and balance tolerance 1. O(passes·m); practical to
-    hundreds of thousands of edges. *)
 val fiduccia_mattheyses :
-  ?rng:Random.State.t -> ?restarts:int -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t
+  ?rng:Random.State.t ->
+  ?restarts:int ->
+  Bfly_graph.Graph.t ->
+  int * Bfly_graph.Bitset.t
+(** [fiduccia_mattheyses ?rng ?restarts g] — FM single-node moves with
+    bucketed gains and balance tolerance 1, restarts in parallel.
+    O(passes·m) work per restart; practical to hundreds of thousands of
+    edges. [restarts] defaults to 4. *)
 
-(** [spectral g] — Fiedler-vector median split (power iteration on the
-    Laplacian complement, ones-deflated), refined by one FM descent. *)
 val spectral : Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t
+(** [spectral g] — Fiedler-vector median split (power iteration on the
+    Laplacian complement, ones-deflated), refined by one FM descent.
+    Deterministic: no rng, no restarts. *)
 
-(** [annealing ?rng ?steps g] — simulated annealing over balanced-swap
-    moves with geometric cooling. *)
 val annealing :
-  ?rng:Random.State.t -> ?steps:int -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t
+  ?rng:Random.State.t ->
+  ?steps:int ->
+  ?restarts:int ->
+  Bfly_graph.Graph.t ->
+  int * Bfly_graph.Bitset.t
+(** [annealing ?rng ?steps ?restarts g] — simulated annealing over
+    balanced-swap moves with geometric cooling. [restarts] (default 1)
+    independent chains run in parallel; the coolest final cut wins. *)
 
-(** [best_of ?rng g] runs a portfolio appropriate to the graph's size and
-    returns the best cut found, labeled by the winning method. *)
-val best_of : ?rng:Random.State.t -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t * string
+val best_of :
+  ?rng:Random.State.t -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t * string
+(** [best_of ?rng g] runs a portfolio appropriate to the graph's size —
+    concurrently, each member on its own derived seed — and returns the
+    best cut found, labeled by the winning method (earliest listed wins
+    ties, so the label is deterministic too). *)

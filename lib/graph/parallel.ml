@@ -1,10 +1,140 @@
+module Metrics = Bfly_obs.Metrics
+
+let c_spawned = Metrics.counter "parallel.domains_spawned"
+let c_batches = Metrics.counter "parallel.batches"
+let c_tasks = Metrics.counter "parallel.tasks"
+let g_pool = Metrics.gauge "parallel.pool_size"
+
 let domain_count () =
   match Sys.getenv_opt "BFLY_DOMAINS" with
+  | Some "" | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
   | Some s -> (
       match int_of_string_opt s with
       | Some d when d >= 1 -> d
       | _ -> 1)
-  | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+
+(* ------------------------------------------------------------------ *)
+(* The pool: spawned once, fed through a mutex/condition queue,        *)
+(* joined at exit.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type batch = {
+  mutable remaining : int; (* guarded by [pool.mutex] *)
+  finished : Condition.t; (* broadcast when [remaining] hits 0 *)
+  mutable failure : exn option; (* first exception raised by a task *)
+}
+
+type pool = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable size : int;
+  mutable stopping : bool;
+}
+
+let pool =
+  {
+    mutex = Mutex.create ();
+    work_available = Condition.create ();
+    queue = Queue.create ();
+    workers = [];
+    size = 0;
+    stopping = false;
+  }
+
+let rec worker_loop () =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stopping do
+    Condition.wait pool.work_available pool.mutex
+  done;
+  match Queue.take_opt pool.queue with
+  | None ->
+      (* stopping with an empty queue *)
+      Mutex.unlock pool.mutex
+  | Some job ->
+      Mutex.unlock pool.mutex;
+      job ();
+      worker_loop ()
+
+let shutdown () =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_available;
+  let workers = pool.workers in
+  pool.workers <- [];
+  pool.size <- 0;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers;
+  Mutex.lock pool.mutex;
+  pool.stopping <- false;
+  Mutex.unlock pool.mutex
+
+let () = at_exit shutdown
+
+let pool_size () =
+  Mutex.lock pool.mutex;
+  let s = pool.size in
+  Mutex.unlock pool.mutex;
+  s
+
+(* must be called with [pool.mutex] held *)
+let ensure_workers target =
+  while pool.size < target do
+    pool.size <- pool.size + 1;
+    Metrics.incr c_spawned;
+    pool.workers <- Domain.spawn worker_loop :: pool.workers
+  done;
+  Metrics.set g_pool (float_of_int pool.size)
+
+(* Run every task to completion. The calling domain submits the batch and
+   then helps drain the queue; it only sleeps (on [batch.finished]) when
+   the queue is empty and its stragglers are running on other domains.
+   A task may itself call [run_tasks]: the nested submitter drains like
+   any other, so nesting cannot deadlock. *)
+let run_tasks tasks =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if n = 1 then tasks.(0) ()
+  else begin
+    let batch = { remaining = n; finished = Condition.create (); failure = None } in
+    let wrap job () =
+      (try job ()
+       with e ->
+         Mutex.lock pool.mutex;
+         if batch.failure = None then batch.failure <- Some e;
+         Mutex.unlock pool.mutex);
+      Mutex.lock pool.mutex;
+      batch.remaining <- batch.remaining - 1;
+      if batch.remaining = 0 then Condition.broadcast batch.finished;
+      Mutex.unlock pool.mutex
+    in
+    Metrics.incr c_batches;
+    Metrics.add c_tasks n;
+    Mutex.lock pool.mutex;
+    ensure_workers (min (n - 1) (domain_count () - 1));
+    Array.iter (fun job -> Queue.push (wrap job) pool.queue) tasks;
+    Condition.broadcast pool.work_available;
+    let rec drive () =
+      if batch.remaining > 0 then
+        match Queue.take_opt pool.queue with
+        | Some job ->
+            Mutex.unlock pool.mutex;
+            job ();
+            Mutex.lock pool.mutex;
+            drive ()
+        | None ->
+            Condition.wait batch.finished pool.mutex;
+            drive ()
+    in
+    drive ();
+    Mutex.unlock pool.mutex;
+    match batch.failure with Some e -> raise e | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Range combinators                                                   *)
+(* ------------------------------------------------------------------ *)
 
 let run_chunks ~lo ~hi work =
   let len = hi - lo in
@@ -20,18 +150,17 @@ let run_chunks ~lo ~hi work =
             let chi = min hi (clo + chunk) in
             (clo, chi))
         |> List.filter (fun (clo, chi) -> chi > clo)
+        |> Array.of_list
       in
-      match bounds with
-      | [] -> []
-      | (first_lo, first_hi) :: rest ->
-          let domains =
-            List.map
-              (fun (clo, chi) -> Domain.spawn (fun () -> work ~lo:clo ~hi:chi))
-              rest
-          in
-          (* run the first chunk on the current domain *)
-          let first = work ~lo:first_lo ~hi:first_hi in
-          first :: List.map Domain.join domains
+      let k = Array.length bounds in
+      let results = Array.make k None in
+      let tasks =
+        Array.init k (fun i () ->
+            let clo, chi = bounds.(i) in
+            results.(i) <- Some (work ~lo:clo ~hi:chi))
+      in
+      run_tasks tasks;
+      Array.to_list results |> List.map Option.get
     end
   end
 
@@ -42,15 +171,20 @@ let map_range ~lo ~hi f =
   Array.concat chunks
 
 let reduce_range ~lo ~hi ~init ~f ~combine =
-  let chunks =
-    run_chunks ~lo ~hi (fun ~lo ~hi ->
-        let acc = ref init in
-        for i = lo to hi - 1 do
-          acc := f !acc i
-        done;
-        !acc)
-  in
-  List.fold_left combine init chunks
+  if hi <= lo then init
+  else begin
+    (* each chunk folds its injected values with [combine] alone — [init]
+       enters exactly once, in the final fold over the ordered chunks *)
+    let chunks =
+      run_chunks ~lo ~hi (fun ~lo ~hi ->
+          let acc = ref (f lo) in
+          for i = lo + 1 to hi - 1 do
+            acc := combine !acc (f i)
+          done;
+          !acc)
+    in
+    List.fold_left combine init chunks
+  end
 
 let min_over ~lo ~hi f =
   let best a b =
@@ -58,6 +192,13 @@ let min_over ~lo ~hi f =
     | None, x | x, None -> x
     | Some x, Some y -> Some (if compare y x < 0 then y else x)
   in
-  reduce_range ~lo ~hi ~init:None
-    ~f:(fun acc i -> best acc (Some (f i)))
-    ~combine:best
+  reduce_range ~lo ~hi ~init:None ~f:(fun i -> Some (f i)) ~combine:best
+
+let best_of ?(compare = Stdlib.compare) ~restarts f =
+  if restarts < 1 then invalid_arg "Parallel.best_of: restarts must be >= 1";
+  let results = map_range ~lo:0 ~hi:restarts f in
+  let best = ref results.(0) in
+  for i = 1 to restarts - 1 do
+    if compare results.(i) !best < 0 then best := results.(i)
+  done;
+  !best

@@ -1,32 +1,85 @@
-(** Minimal Domain-based data parallelism for OCaml 5.
+(** Domain-pool data parallelism for OCaml 5.
 
-    The exact bisection and expansion searches are embarrassingly parallel
-    over index ranges; this module spreads such ranges across domains. The
-    environment variable [BFLY_DOMAINS] overrides the domain count (set it to
-    [1] to force sequential execution, e.g. for deterministic profiling). *)
+    The exact bisection search ({!Bfly_cuts.Exact}), the expansion
+    enumerations ({!Bfly_expansion.Expansion}) and the heuristic restart
+    loops ({!Bfly_cuts.Heuristics}) are embarrassingly parallel over index
+    ranges or restart counts. This module runs such work on a {e reusable}
+    pool of worker domains: domains are spawned once on first use, fed
+    through a mutex/condition work queue, and joined at process exit —
+    callers never pay a [Domain.spawn] per invocation, which matters when
+    a kernel is called thousands of times (the QCheck suites, the
+    reproduction experiments, the bench harness).
 
-(** Number of worker domains used by the combinators below. At least 1;
-    defaults to [Domain.recommended_domain_count], capped at 8. *)
+    {2 Determinism}
+
+    All combinators deliver results in range order, and every documented
+    tie is broken toward the {e lowest index}, so results are identical
+    whatever the domain count — [BFLY_DOMAINS=1] and [BFLY_DOMAINS=64]
+    must agree bit-for-bit whenever the supplied functions are pure and
+    the [combine] arguments are associative. The test suite enforces this
+    for the cut heuristics.
+
+    {2 Environment}
+
+    [BFLY_DOMAINS] overrides the worker count: [1] forces fully inline
+    sequential execution (no pool traffic at all, e.g. for profiling);
+    unset or empty defaults to [Domain.recommended_domain_count], capped
+    at 8. The pool grows if a later call requests more domains than have
+    been spawned; it never shrinks before exit.
+
+    Do not set [BFLY_DOMAINS] above the physical core count: OCaml 5
+    minor collections synchronize every running domain, so an
+    oversubscribed pool can be markedly {e slower} than the sequential
+    path (results stay identical either way). The default never
+    oversubscribes.
+
+    {2 Observability}
+
+    The pool reports through {!Bfly_obs.Metrics}: counters
+    [parallel.domains_spawned], [parallel.batches], [parallel.tasks] and
+    gauge [parallel.pool_size]. *)
+
 val domain_count : unit -> int
+(** Number of domains (including the calling one) the combinators below
+    will use for the next call. At least 1. *)
 
-(** [map_range ~lo ~hi f] computes [[| f lo; …; f (hi-1) |]] with the range
-    split in contiguous chunks across domains. [f] must be safe to run
-    concurrently. Returns [[||]] when [hi <= lo]. *)
+val pool_size : unit -> int
+(** Worker domains currently alive in the pool (excludes the caller).
+    [0] until the first parallel call with [domain_count () > 1]. *)
+
 val map_range : lo:int -> hi:int -> (int -> 'a) -> 'a array
+(** [map_range ~lo ~hi f] computes [[| f lo; …; f (hi-1) |]] with the
+    range split in contiguous chunks across domains. [f] must be safe to
+    run concurrently. Returns [[||]] when [hi <= lo]. *)
 
-(** [reduce_range ~lo ~hi ~init ~f ~combine] folds [f] over [lo, hi) within
-    each chunk starting from [init], then combines the per-chunk results with
-    [combine] (which must be associative with [init] as identity). *)
 val reduce_range :
-  lo:int -> hi:int -> init:'a -> f:('a -> int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
+  lo:int -> hi:int -> init:'a -> f:(int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
+(** [reduce_range ~lo ~hi ~init ~f ~combine] is
+    [combine init (f lo ⊕ f (lo+1) ⊕ … ⊕ f (hi-1))] with [⊕ = combine]
+    applied left-to-right, chunked across domains; [init] when the range
+    is empty. [combine] must be associative; [init] is incorporated
+    {e exactly once}, so it need not be a neutral element (a sum seeded
+    with [~init:5] comes out exactly 5 larger than the plain sum, at any
+    domain count). *)
 
-(** [min_over ~lo ~hi f] is the minimum of [f i] over the range (with respect
-    to [compare]), or [None] for an empty range. *)
 val min_over : lo:int -> hi:int -> (int -> 'a) -> 'a option
+(** [min_over ~lo ~hi f] is the minimum of [f i] over the range with
+    respect to [compare], or [None] for an empty range. Ties keep the
+    lowest [i]. *)
 
-(** [run_chunks ~lo ~hi work] splits [lo, hi) into one contiguous chunk per
-    domain and runs [work ~lo:chunk_lo ~hi:chunk_hi] on each, returning the
-    per-chunk results in range order. Lower-level than {!map_range}: the
-    worker sees the whole chunk, enabling e.g. {!Subset.iter_range}-based
-    enumeration without per-index unranking. *)
+val best_of : ?compare:('a -> 'a -> int) -> restarts:int -> (int -> 'a) -> 'a
+(** [best_of ~restarts f] runs [f 0 … f (restarts-1)] across the pool and
+    returns the smallest result under [compare] (default
+    [Stdlib.compare]); ties keep the lowest restart index, matching what a
+    sequential first-wins restart loop would select. This is the engine
+    under the parallel restarts of [Bfly_cuts.Heuristics]. Raises
+    [Invalid_argument] when [restarts < 1]. *)
+
 val run_chunks : lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** [run_chunks ~lo ~hi work] splits [lo, hi) into one contiguous chunk
+    per domain and runs [work ~lo:chunk_lo ~hi:chunk_hi] on each,
+    returning the per-chunk results in range order. Lower-level than
+    {!map_range}: the worker sees the whole chunk, enabling e.g.
+    {!Subset.iter_range}-based enumeration without per-index unranking.
+    Nested calls are safe — a worker that submits a batch helps drain the
+    queue instead of blocking it. *)

@@ -1,0 +1,30 @@
+(** Minimal hand-rolled JSON values and serialization.
+
+    The observability layer ({!Metrics}, the bench harness's [--json] mode)
+    emits machine-readable output without pulling in a JSON dependency; this
+    module is the single shared emitter. It covers exactly the subset of
+    JSON the repo produces: finite numbers, escaped strings, arrays and
+    objects. There is deliberately no parser — consumers of
+    [BENCH_<date>.json] files are external tooling. *)
+
+(** A JSON value. Objects preserve the field order they were built with. *)
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** Non-finite floats serialize as [null]. *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** [escape s] is the JSON string-literal body for [s]: quotes, backslashes
+    and control characters are escaped; everything else passes through
+    byte-for-byte (valid UTF-8 in, valid UTF-8 out). The result does not
+    include the surrounding quotes. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** [to_buffer buf v] appends the compact serialization of [v] to [buf]. *)
+
+val to_string : t -> string
+(** [to_string v] is the compact (single-line) serialization of [v]. *)

@@ -1,0 +1,78 @@
+(** Process-wide, thread-safe metrics: counters, gauges and timers.
+
+    Every hot kernel in the repo (the {!Bfly_graph.Parallel} domain pool,
+    the restart loops of [Bfly_cuts.Heuristics], the branch-and-bound of
+    [Bfly_cuts.Exact]) records what it did through this registry, so that
+    [bench/main.exe --json] and [bfly_tool --metrics] can report a
+    machine-readable account of a run. Handles are registered by name on
+    first use and live for the whole process; all updates are lock-free
+    ([Atomic]) and safe to call concurrently from any domain.
+
+    Naming scheme (see ARCHITECTURE.md): [<area>.<kernel>.<metric>], e.g.
+    [parallel.tasks], [heuristics.kl.restarts], [exact.bb.nodes]. Timer
+    names omit the trailing [.<metric>] since a timer is itself a
+    (count, total, max) triple. *)
+
+type counter
+(** A monotonically increasing integer (e.g. nodes explored, tasks run). *)
+
+type gauge
+(** A last-write-wins float (e.g. best capacity found, pool size). *)
+
+type timer
+(** An accumulator of timed spans: invocation count, total and max
+    duration in nanoseconds. Fed by {!Span}. *)
+
+(** {1 Registration}
+
+    All three are idempotent: the same name always returns the same
+    handle, from any domain. *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+val timer : string -> timer
+
+(** {1 Updates} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set : gauge -> float -> unit
+
+val record : timer -> ns:int -> unit
+(** [record t ~ns] folds one span of [ns] nanoseconds into [t]. Negative
+    durations are clamped to 0 (a monotonic clock should never produce
+    one, but a metrics layer must not crash if it does). *)
+
+(** {1 Reads} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+
+type timer_stat = { count : int; total_ns : int; max_ns : int }
+
+val timer_stat : timer -> timer_stat
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  timers : (string * timer_stat) list;
+}
+(** A consistent-enough point-in-time copy of the registry, each section
+    sorted by name. ("Consistent enough": each cell is read atomically,
+    but the snapshot as a whole is not a global atomic cut — fine for
+    reporting.) *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered metric, keeping registrations. Used by tests and
+    by [bfly_tool --metrics] to scope metrics to one subcommand. *)
+
+(** {1 Serialization} *)
+
+val to_json : unit -> Json.t
+(** The snapshot as
+    [{"counters":{...},"gauges":{...},"timers":{name:{"count":..,"total_ns":..,"max_ns":..}}}]. *)
+
+val to_json_string : unit -> string

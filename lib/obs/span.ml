@@ -1,0 +1,14 @@
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+type t = { timer : Metrics.timer; t0 : int }
+
+let start name = { timer = Metrics.timer name; t0 = now_ns () }
+
+let finish span =
+  let elapsed = now_ns () - span.t0 in
+  Metrics.record span.timer ~ns:elapsed;
+  elapsed
+
+let time ~name f =
+  let span = start name in
+  Fun.protect ~finally:(fun () -> ignore (finish span)) f

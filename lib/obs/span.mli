@@ -1,0 +1,23 @@
+(** Monotonic-clock timer spans feeding {!Metrics} timers.
+
+    The clock is [CLOCK_MONOTONIC] (via the Bechamel stubs already used by
+    the bench harness), so spans are immune to wall-clock adjustments and
+    are the same time base the micro-benchmarks report in. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the monotonic clock. Only differences are meaningful. *)
+
+type t
+(** An open span: a start timestamp bound to a {!Metrics.timer}. *)
+
+val start : string -> t
+(** [start name] opens a span recording into [Metrics.timer name]. *)
+
+val finish : t -> int
+(** [finish span] closes the span, records its duration into the timer it
+    was started against, and returns the elapsed nanoseconds. Finishing
+    the same span twice records two (increasingly long) durations — don't. *)
+
+val time : name:string -> (unit -> 'a) -> 'a
+(** [time ~name f] runs [f ()] inside a span, recording its duration into
+    [Metrics.timer name] even if [f] raises. *)

@@ -52,7 +52,7 @@ let test_multibutterfly_deterministic () =
 let test_parallel_env_sequential () =
   (* BFLY_DOMAINS=1 must not change results *)
   let compute () =
-    Bfly_graph.Parallel.reduce_range ~lo:0 ~hi:1000 ~init:0 ~f:( + )
+    Bfly_graph.Parallel.reduce_range ~lo:0 ~hi:1000 ~init:0 ~f:Fun.id
       ~combine:( + )
   in
   let base = compute () in

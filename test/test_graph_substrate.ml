@@ -114,7 +114,7 @@ let test_map_range_empty () =
 
 let test_reduce_range () =
   let sum =
-    Parallel.reduce_range ~lo:1 ~hi:101 ~init:0 ~f:( + ) ~combine:( + )
+    Parallel.reduce_range ~lo:1 ~hi:101 ~init:0 ~f:Fun.id ~combine:( + )
   in
   check "sum 1..100" 5050 sum
 

@@ -3,6 +3,8 @@ let () =
     [
       ("bitset", Test_bitset.suite);
       ("graph-substrate", Test_graph_substrate.suite);
+      ("parallel-pool", Test_parallel.suite);
+      ("obs", Test_obs.suite);
       ("graph", Test_graph.suite);
       ("butterfly", Test_butterfly.suite);
       ("wrapped-and-ccc", Test_wrapped_ccc.suite);

@@ -1,0 +1,153 @@
+(* The Bfly_graph.Parallel domain pool: reuse across calls, determinism
+   across BFLY_DOMAINS settings, best_of tie-breaking, and the
+   reduce_range init fix (init incorporated exactly once). *)
+
+module Parallel = Bfly_graph.Parallel
+module Metrics = Bfly_obs.Metrics
+module B = Bfly_networks.Butterfly
+module Heuristics = Bfly_cuts.Heuristics
+open Tu
+
+(* Run [f] with BFLY_DOMAINS=d, restoring the previous value after. An
+   empty string behaves as unset (the library treats "" as default). *)
+let with_domains d f =
+  let old = Sys.getenv_opt "BFLY_DOMAINS" in
+  Unix.putenv "BFLY_DOMAINS" (string_of_int d);
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "BFLY_DOMAINS" (match old with Some s -> s | None -> ""))
+    f
+
+let c_spawned = Metrics.counter "parallel.domains_spawned"
+
+(* ---- reduce_range regression: non-neutral init counted exactly once ---- *)
+
+let test_reduce_range_init_once () =
+  (* sum 0..99 = 4950; a seed of 5 must appear exactly once, whatever the
+     chunking (this double-counted before the pool rework) *)
+  let sum d =
+    with_domains d (fun () ->
+        Parallel.reduce_range ~lo:0 ~hi:100 ~init:5 ~f:Fun.id ~combine:( + ))
+  in
+  check "sequential" 4955 (sum 1);
+  check "four domains" 4955 (sum 4);
+  check "more domains than elements" 50
+    (with_domains 64 (fun () ->
+         Parallel.reduce_range ~lo:0 ~hi:10 ~init:5 ~f:Fun.id ~combine:( + )));
+  check "empty range is init" 5
+    (Parallel.reduce_range ~lo:3 ~hi:3 ~init:5 ~f:Fun.id ~combine:( + ))
+
+(* ---- pool reuse: domains are spawned once, not per call ---- *)
+
+let test_pool_reuse () =
+  with_domains 4 (fun () ->
+      ignore (Parallel.map_range ~lo:0 ~hi:1000 (fun i -> i * i));
+      (* the pool is process-global, so the absolute count reflects the
+         whole test run; what matters is that further calls don't respawn *)
+      let after_first = Metrics.counter_value c_spawned in
+      checkb "pool spawned workers" true (after_first >= 1);
+      for _ = 1 to 10 do
+        ignore (Parallel.map_range ~lo:0 ~hi:1000 (fun i -> i * i));
+        ignore
+          (Parallel.reduce_range ~lo:0 ~hi:1000 ~init:0 ~f:Fun.id
+             ~combine:( + ))
+      done;
+      check "no respawn across calls" after_first
+        (Metrics.counter_value c_spawned);
+      checkb "pool alive" true (Parallel.pool_size () >= 1))
+
+(* ---- results identical whatever the domain count ---- *)
+
+let test_combinators_domain_invariant () =
+  let everything () =
+    let m = Parallel.map_range ~lo:3 ~hi:203 (fun i -> (i * i) mod 97) in
+    let r =
+      Parallel.reduce_range ~lo:0 ~hi:500 ~init:17 ~f:(fun i -> i mod 13)
+        ~combine:( + )
+    in
+    let mn = Parallel.min_over ~lo:0 ~hi:300 (fun i -> abs (i - 131)) in
+    (Array.to_list m, r, mn)
+  in
+  let seq = with_domains 1 everything in
+  let par = with_domains 4 everything in
+  checkb "map/reduce/min identical" true (seq = par)
+
+let test_nested_batches () =
+  (* a task that itself submits parallel work must not deadlock the pool *)
+  with_domains 4 (fun () ->
+      let outer =
+        Parallel.map_range ~lo:0 ~hi:8 (fun i ->
+            Parallel.reduce_range ~lo:0 ~hi:(50 + i) ~init:0 ~f:Fun.id
+              ~combine:( + ))
+      in
+      check "nested results" 8 (Array.length outer);
+      check "nested sum" (49 * 50 / 2) outer.(0))
+
+(* ---- best_of: lowest value wins, ties keep the earliest restart ---- *)
+
+let test_best_of () =
+  let values = [| 5; 3; 9; 3; 7 |] in
+  let pick d =
+    with_domains d (fun () ->
+        Parallel.best_of
+          ~compare:(fun (a, _) (b, _) -> compare a b)
+          ~restarts:5
+          (fun i -> (values.(i), i)))
+  in
+  Alcotest.(check (pair int int)) "earliest min, sequential" (3, 1) (pick 1);
+  Alcotest.(check (pair int int)) "earliest min, parallel" (3, 1) (pick 4);
+  check "single restart" 5 (fst (with_domains 4 (fun () ->
+      Parallel.best_of ~restarts:1 (fun _ -> (5, 0)))));
+  Alcotest.check_raises "zero restarts rejected"
+    (Invalid_argument "Parallel.best_of: restarts must be >= 1") (fun () ->
+      ignore (Parallel.best_of ~restarts:0 (fun i -> i)))
+
+let test_exceptions_propagate () =
+  with_domains 4 (fun () ->
+      Alcotest.check_raises "task failure reaches the caller"
+        (Invalid_argument "boom") (fun () ->
+          ignore
+            (Parallel.map_range ~lo:0 ~hi:100 (fun i ->
+                 if i = 63 then invalid_arg "boom" else i))))
+
+(* ---- heuristics: same seed, same capacities, any domain count ---- *)
+
+let test_heuristics_domain_invariant () =
+  let g = B.graph (B.of_inputs 16) in
+  let all_caps () =
+    let kl =
+      fst (Heuristics.kernighan_lin ~rng:(Random.State.make [| 42 |]) g)
+    in
+    let fm =
+      fst (Heuristics.fiduccia_mattheyses ~rng:(Random.State.make [| 42 |]) g)
+    in
+    let sa =
+      fst
+        (Heuristics.annealing
+           ~rng:(Random.State.make [| 42 |])
+           ~steps:5_000 ~restarts:3 g)
+    in
+    let pc, _, pname = Heuristics.best_of ~rng:(Random.State.make [| 42 |]) g in
+    (kl, fm, sa, pc, pname)
+  in
+  let seq = with_domains 1 all_caps in
+  let par = with_domains 4 all_caps in
+  checkb "kl/fm/sa/portfolio identical across domain counts" true (seq = par)
+
+let test_exact_domain_invariant () =
+  let g = B.graph (B.of_inputs 8) in
+  let bw d = with_domains d (fun () -> fst (Bfly_cuts.Exact.bisection_width g)) in
+  check "BW(B_8) sequential" 8 (bw 1);
+  check "BW(B_8) parallel" 8 (bw 4)
+
+let suite =
+  [
+    case "reduce_range init exactly once" test_reduce_range_init_once;
+    case "pool reused across calls" test_pool_reuse;
+    case "combinators domain-invariant" test_combinators_domain_invariant;
+    case "nested batches don't deadlock" test_nested_batches;
+    case "best_of ties to earliest restart" test_best_of;
+    case "task exceptions propagate" test_exceptions_propagate;
+    case "heuristics domain-invariant" test_heuristics_domain_invariant;
+    case "exact solver domain-invariant" test_exact_domain_invariant;
+  ]
