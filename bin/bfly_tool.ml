@@ -291,6 +291,38 @@ let layout_cmd =
     (Cmd.info "layout" ~doc:"VLSI grid layout area of B_n (Sections 1.1-1.2)")
     Term.(const layout_run $ metrics_arg $ n)
 
+(* ---- check ---- *)
+
+let check_run metrics seed rounds smoke =
+  finishing metrics @@
+  if rounds < 1 then handle (Error "rounds must be >= 1")
+  else begin
+    let json, ok = Bfly_check.Run.execute ~seed ~rounds ~smoke in
+    print_endline (Bfly_obs.Json.to_string json);
+    if ok then 0 else 1
+  end
+
+let check_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Root seed; fixes every instance and every solver RNG.")
+  in
+  let rounds =
+    Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Fuzzing rounds (one random instance per round).")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Cheap CI-gate subset: smallest families, at most 5 rounds.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Differential oracle suite: cross-check every solver against \
+             naive references and the paper's theorems on random and \
+             structured instances; print a machine-readable summary, exit \
+             non-zero on any discrepancy")
+    Term.(const check_run $ metrics_arg $ seed $ rounds $ smoke)
+
 (* ---- experiments ---- *)
 
 let experiments_run metrics ids =
@@ -329,5 +361,5 @@ let () =
           (Cmd.info "bfly_tool" ~version:"1.0.0" ~doc)
           [
             info_cmd; bisect_cmd; expansion_cmd; render_cmd; route_cmd;
-            mos_cmd; iosep_cmd; layout_cmd; experiments_cmd;
+            mos_cmd; iosep_cmd; layout_cmd; check_cmd; experiments_cmd;
           ]))

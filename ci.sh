@@ -13,6 +13,12 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+# Differential-oracle smoke gate. `dune runtest` already runs this via the
+# bin/dune rule; running it explicitly keeps a visible, non-cached pass in
+# the CI log and fails loudly (non-zero exit) on any solver disagreement.
+echo "== bfly_tool check --smoke =="
+dune exec -- bin/bfly_tool.exe check --smoke --seed 42 --rounds 5
+
 if command -v odoc >/dev/null 2>&1; then
   echo "== dune build @doc =="
   dune build @doc

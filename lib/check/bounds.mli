@@ -1,0 +1,39 @@
+(** The paper's theorems as executable sanity oracles.
+
+    Each check recomputes a proven statement on a concrete instance —
+    [BW(W_n) = n] (Lemma 3.2), [BW(CCC_n) = n/2] (Lemma 3.3), the
+    Lemma 2.12 level-cut / Lemma 2.13 mesh-of-stars sandwich around
+    [BW(B_n)], and the Section 4 [Θ(k/log k)] expansion envelopes — and
+    reports a named pass/fail with a human-readable detail string. A
+    failure here means a solver and a theorem disagree: one of them is
+    wrong, and it is not the theorem. *)
+
+type check = { name : string; ok : bool; detail : string }
+
+val check_json : check -> Bfly_obs.Json.t
+
+(** Lemma 3.2 on [W_n], [n = 2^log_n]: the {!Bfly_core.Bw.wrapped} bracket
+    pins [n] exactly and its witness is a valid bisection of that
+    capacity. *)
+val wrapped_law : log_n:int -> check
+
+(** Lemma 3.3 on [CCC_n]: bracket pins [n/2], witness valid. *)
+val ccc_law : log_n:int -> check
+
+(** The [BW(B_n)] sandwich: bracket consistent ([lower <= upper], witness
+    achieves [upper]), Lemma 2.13 mesh-of-stars bound below the bracket,
+    and — for [log_n <= 2], where the level solvers are cheap — the exact
+    value inside the bracket with [min_i BW(B_n, L_i) <= BW(B_n)]
+    (Lemma 2.12). *)
+val butterfly_sandwich : log_n:int -> check list
+
+(** Section 4 envelopes at the witness sizes [k = (d+1)·2^d] (and sibling
+    pairs [2k]): closed-form lower bounds below the measured witness
+    values, witness values equal to the Lemma 4.1/4.4/4.7/4.10 formulas,
+    credit certificates sound, and (small instances) the exact minimum
+    inside the envelope. [smoke] skips the exponential exact parts. *)
+val expansion_envelopes : smoke:bool -> check list
+
+(** All of the above on the standard small instances; [smoke] restricts to
+    the cheapest sizes. Records the [check.bounds] timer. *)
+val all : smoke:bool -> check list

@@ -1,0 +1,49 @@
+(** Output validators: every claim a solver returns alongside a value — a
+    witness cut, a witness subset, an embedding — is re-verified here from
+    first principles (via {!Reference}, never via the code path that
+    produced it).
+
+    A failed invariant means the solver's {e reported} value and its
+    {e actual} output disagree, which a pure value-vs-value differential
+    test cannot see. *)
+
+type result = Pass | Fail of string
+
+val is_pass : result -> bool
+
+(** [message r] is [Some m] for failures. *)
+val message : result -> string option
+
+(** First failure wins; [Pass] when all pass. *)
+val all : result list -> result
+
+(** [bisection_cut ?u g ~value ~witness] checks that [witness] is a side
+    set over [g]'s nodes, that it splits [u] (default: all nodes) as evenly
+    as possible, and that its recounted capacity equals [value]. *)
+val bisection_cut :
+  ?u:Bfly_graph.Bitset.t ->
+  Bfly_graph.Graph.t ->
+  value:int ->
+  witness:Bfly_graph.Bitset.t ->
+  result
+
+(** [expansion_witness ~kind g ~k ~value ~witness] checks [|witness| = k]
+    and that its recounted edge boundary ([`Edge]) or neighborhood size
+    ([`Node]) equals [value]. *)
+val expansion_witness :
+  kind:[ `Edge | `Node ] ->
+  Bfly_graph.Graph.t ->
+  k:int ->
+  value:int ->
+  witness:Bfly_graph.Bitset.t ->
+  result
+
+(** [paths_are_walks g paths] checks every path is a non-empty walk in [g]
+    (consecutive nodes adjacent, all nodes in range). *)
+val paths_are_walks : Bfly_graph.Graph.t -> int list array -> result
+
+(** [embedding e] re-validates an embedding end to end: node map in host
+    range, each edge path a host walk connecting the images of its guest
+    edge's endpoints, and the measured load/congestion/dilation equal to
+    {!Reference.embedding_measures}. *)
+val embedding : Bfly_embed.Embedding.t -> result

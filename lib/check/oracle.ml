@@ -1,0 +1,161 @@
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Exact = Bfly_cuts.Exact
+module Heuristics = Bfly_cuts.Heuristics
+module E = Bfly_expansion.Expansion
+module Metrics = Bfly_obs.Metrics
+
+type verdict = Pass | Skip of string | Fail of string
+
+type t = {
+  name : string;
+  run : rng:Random.State.t -> Bfly_graph.Graph.t -> verdict;
+}
+
+let fail fmt = Printf.ksprintf (fun m -> Fail m) fmt
+
+let of_invariant = function
+  | Invariants.Pass -> Pass
+  | Invariants.Fail m -> Fail m
+
+let seq = function
+  | (Fail _ | Skip _) as v -> fun _ -> v
+  | Pass -> fun next -> next ()
+
+(* Wrap an oracle body with the size guard and the metrics counters. *)
+let make name ~max_nodes body =
+  let runs = Metrics.counter (Printf.sprintf "check.oracle.%s.runs" name) in
+  let failures =
+    Metrics.counter (Printf.sprintf "check.oracle.%s.failures" name)
+  in
+  let run ~rng g =
+    let n = G.n_nodes g in
+    if n < 2 then Skip "fewer than 2 nodes"
+    else if n > max_nodes then
+      Skip (Printf.sprintf "%d nodes exceeds oracle limit %d" n max_nodes)
+    else begin
+      Metrics.incr runs;
+      match body ~rng g with
+      | Fail _ as f ->
+          Metrics.incr failures;
+          f
+      | v -> v
+    end
+  in
+  { name; run }
+
+let exact_vs_reference =
+  make "exact_vs_reference" ~max_nodes:14 (fun ~rng:_ g ->
+      let v_ref, _ = Reference.bisection_width g in
+      let v, witness = Exact.bisection_width g in
+      if v <> v_ref then fail "branch and bound %d, reference %d" v v_ref
+      else of_invariant (Invariants.bisection_cut g ~value:v ~witness))
+
+let bb_vs_exhaustive =
+  make "bb_vs_exhaustive" ~max_nodes:16 (fun ~rng:_ g ->
+      let v_ex, w_ex = Exact.bisection_width_exhaustive g in
+      let v, _ = Exact.bisection_width g in
+      if v <> v_ex then fail "branch and bound %d, exhaustive %d" v v_ex
+      else of_invariant (Invariants.bisection_cut g ~value:v_ex ~witness:w_ex))
+
+let parallel_vs_sequential =
+  make "parallel_vs_sequential" ~max_nodes:16 (fun ~rng:_ g ->
+      let v_par, w_par = Exact.bisection_width g in
+      let v_seq, w_seq, _visited = Exact.bisection_width_instrumented g in
+      if v_par <> v_seq then
+        fail "parallel engine %d, sequential engine %d" v_par v_seq
+      else
+        of_invariant
+          (Invariants.all
+             [
+               Invariants.bisection_cut g ~value:v_par ~witness:w_par;
+               Invariants.bisection_cut g ~value:v_seq ~witness:w_seq;
+             ]))
+
+let u_bisection_vs_reference =
+  make "u_bisection_vs_reference" ~max_nodes:12 (fun ~rng g ->
+      let n = G.n_nodes g in
+      let u = Bitset.create n in
+      let size = 2 + Random.State.int rng (n - 1) in
+      let p = Bfly_graph.Perm.random ~rng n in
+      for i = 0 to size - 1 do
+        Bitset.add u (Bfly_graph.Perm.apply p i)
+      done;
+      let v_ref, _ = Reference.bisection_width ~u g in
+      let v, witness = Exact.bisection_width ~u g in
+      if v <> v_ref then
+        fail "U-bisection: branch and bound %d, reference %d (|U| = %d)" v
+          v_ref (Bitset.cardinal u)
+      else of_invariant (Invariants.bisection_cut ~u g ~value:v ~witness))
+
+let heuristics_respect_exact =
+  make "heuristics_respect_exact" ~max_nodes:14 (fun ~rng g ->
+      let exact, _ = Exact.bisection_width g in
+      let solvers =
+        [
+          ("kernighan_lin", fun () -> Heuristics.kernighan_lin ~rng g);
+          ("fiduccia_mattheyses", fun () -> Heuristics.fiduccia_mattheyses ~rng g);
+          ("spectral", fun () -> Heuristics.spectral g);
+          ("annealing", fun () -> Heuristics.annealing ~rng ~steps:2_000 g);
+          ( "best_of",
+            fun () ->
+              let c, side, _ = Heuristics.best_of ~rng g in
+              (c, side) );
+        ]
+      in
+      List.fold_left
+        (fun acc (name, solve) ->
+          seq acc @@ fun () ->
+          let c, side = solve () in
+          if c < exact then
+            fail "%s reports %d below the exact optimum %d" name c exact
+          else
+            match Invariants.bisection_cut g ~value:c ~witness:side with
+            | Invariants.Pass -> Pass
+            | Invariants.Fail m -> fail "%s: %s" name m)
+        Pass solvers)
+
+let expansion_vs_reference =
+  make "expansion_vs_reference" ~max_nodes:12 (fun ~rng g ->
+      let n = G.n_nodes g in
+      let k = 1 + Random.State.int rng (min 4 (n - 1)) in
+      let ee_ref, _ = Reference.edge_expansion g ~k in
+      let ee, ee_w = E.ee_exact g ~k in
+      let ne_ref, _ = Reference.node_expansion g ~k in
+      let ne, ne_w = E.ne_exact g ~k in
+      if ee <> ee_ref then
+        fail "EE(G, %d): parallel enumeration %d, reference %d" k ee ee_ref
+      else if ne <> ne_ref then
+        fail "NE(G, %d): parallel enumeration %d, reference %d" k ne ne_ref
+      else
+        of_invariant
+          (Invariants.all
+             [
+               Invariants.expansion_witness ~kind:`Edge g ~k ~value:ee
+                 ~witness:ee_w;
+               Invariants.expansion_witness ~kind:`Node g ~k ~value:ne
+                 ~witness:ne_w;
+             ]))
+
+let anneal_vs_exact =
+  make "anneal_vs_exact" ~max_nodes:12 (fun ~rng g ->
+      let n = G.n_nodes g in
+      let k = 1 + Random.State.int rng (min 4 (n - 1)) in
+      let exact, _ = E.ee_exact g ~k in
+      let ub, witness = E.ee_anneal ~rng ~steps:2_000 g ~k in
+      if ub < exact then
+        fail "EE annealing reports %d below the exact minimum %d" ub exact
+      else
+        of_invariant
+          (Invariants.expansion_witness ~kind:`Edge g ~k ~value:ub ~witness))
+
+let all =
+  [
+    exact_vs_reference;
+    bb_vs_exhaustive;
+    parallel_vs_sequential;
+    u_bisection_vs_reference;
+    heuristics_respect_exact;
+    expansion_vs_reference;
+    anneal_vs_exact;
+  ]

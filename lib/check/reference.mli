@@ -1,0 +1,41 @@
+(** Naive reference implementations used as differential-testing oracles.
+
+    Everything here is written against the {e specification} — sequential,
+    enumeration-based, one obvious pass over the raw edge list — and shares
+    no code with the optimized solvers it cross-checks ({!Bfly_cuts.Exact}'s
+    branch and bound, the parallel k-subset enumerations of
+    {!Bfly_expansion.Expansion}, the incremental gain structures of
+    {!Bfly_cuts.Cut.State}). The module grew out of the test suite's
+    [brute_bw] helper, which it supersedes.
+
+    All functions are exponential and guarded: they are meant for the
+    random instances of {!Fuzzer} (≤ ~16 nodes), not production use. *)
+
+(** [cut_capacity g side] is [C(S, S̄)] recounted from the raw edge list,
+    with multiplicity. *)
+val cut_capacity : Bfly_graph.Graph.t -> Bfly_graph.Bitset.t -> int
+
+(** [neighborhood_size g s] is [|N(S)|] recounted from the raw edge list. *)
+val neighborhood_size : Bfly_graph.Graph.t -> Bfly_graph.Bitset.t -> int
+
+(** [bisection_width ?u g] enumerates all [2^n] side sets and keeps the
+    cheapest that bisects [u] (default: all nodes): the definitional
+    minimum bisection / U-bisection. Ties go to the lowest bit mask.
+    @raise Invalid_argument when [n_nodes g > 20] or [u] is empty. *)
+val bisection_width :
+  ?u:Bfly_graph.Bitset.t -> Bfly_graph.Graph.t -> int * Bfly_graph.Bitset.t
+
+(** [edge_expansion g ~k] is [EE(G,k)] with a minimizing witness, by
+    sequential recursive enumeration of all k-subsets.
+    @raise Invalid_argument when [C(n,k)] exceeds ~10 million or [k] is out
+    of [1, n-1]. *)
+val edge_expansion : Bfly_graph.Graph.t -> k:int -> int * Bfly_graph.Bitset.t
+
+(** [node_expansion g ~k] is [NE(G,k)] with a witness; same limits. *)
+val node_expansion : Bfly_graph.Graph.t -> k:int -> int * Bfly_graph.Bitset.t
+
+(** [embedding_measures e] recomputes [(load, congestion, dilation)] of an
+    embedding by walking its raw node map and edge paths — independent of
+    {!Bfly_embed.Embedding}'s own accounting, including the
+    multiplicity-adjusted congestion rule on multigraph hosts. *)
+val embedding_measures : Bfly_embed.Embedding.t -> int * int * int

@@ -1,0 +1,21 @@
+(** The [bfly_tool check] entry point: theorem oracles ({!Bounds}), family
+    agreement checks (heuristics vs. exact and embedding revalidation on
+    the B/W/CCC families), and the random-instance {!Fuzzer}, folded into
+    one machine-readable summary.
+
+    The summary is a single JSON object:
+    [{"tool":"bfly_check","seed":..,"rounds":..,"smoke":..,
+      "families":[{"name":..,"ok":..,"detail":..},...],
+      "fuzz":{...,"counterexamples":[...]},"ok":true}]
+    and is deterministic for a fixed [(seed, rounds, smoke)]. *)
+
+(** Heuristic portfolio ≥ exact with valid witnesses on the B/W/CCC
+    families ([log_n = 2], plus [3] when not [smoke]), and the classic
+    embeddings revalidated path by path. Uses [seed] for the heuristics'
+    restarts. *)
+val family_agreement : smoke:bool -> seed:int -> Bounds.check list
+
+(** [execute ~seed ~rounds ~smoke] runs everything. [smoke] restricts the
+    bound and family checks to the cheapest instances and caps fuzz rounds
+    at 5. Returns the summary JSON and whether every check passed. *)
+val execute : seed:int -> rounds:int -> smoke:bool -> Bfly_obs.Json.t * bool

@@ -1,0 +1,195 @@
+(* The oracle layer itself: reference implementations against the
+   optimized solvers, invariant validators on good and deliberately bad
+   claims, and the fuzzer — both that it is deterministic and that it
+   actually catches a broken solver with a fully shrunk counterexample. *)
+
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Exact = Bfly_cuts.Exact
+module Heuristics = Bfly_cuts.Heuristics
+module E = Bfly_expansion.Expansion
+module Ref = Bfly_check.Reference
+module Inv = Bfly_check.Invariants
+module Oracle = Bfly_check.Oracle
+module Fuzzer = Bfly_check.Fuzzer
+module Bounds = Bfly_check.Bounds
+module B = Bfly_networks.Butterfly
+module W = Bfly_networks.Wrapped
+module Ccc = Bfly_networks.Ccc
+open Tu
+
+(* ---- reference implementations ---- *)
+
+let test_reference_known () =
+  let square = G.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let v, side = Ref.bisection_width square in
+  check "square bw" 2 v;
+  checkb "witness validates" true
+    (Inv.is_pass (Inv.bisection_cut square ~value:v ~witness:side));
+  let k5 = Bfly_networks.Complete.k_n 5 in
+  check "K5 bw" 6 (fst (Ref.bisection_width k5));
+  let path = G.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  check "EE(path,1) endpoints" 1 (fst (Ref.edge_expansion path ~k:1));
+  check "NE(path,2)" 1 (fst (Ref.node_expansion path ~k:2))
+
+let prop_exact_agrees_reference =
+  qcheck ~count:40 "exact solver agrees with the reference, witnesses valid"
+    (seeded QCheck2.Gen.(pair (int_range 4 12) (int_range 0 16)))
+    (fun ((n, extra), seed) ->
+      let g = random_graph ~rng:(rng seed) n ~extra_edges:extra in
+      let v, side = Exact.bisection_width g in
+      let v', side' = Ref.bisection_width g in
+      v = v'
+      && Inv.is_pass (Inv.bisection_cut g ~value:v ~witness:side)
+      && Inv.is_pass (Inv.bisection_cut g ~value:v' ~witness:side'))
+
+let prop_expansion_agrees_reference =
+  qcheck ~count:25 "parallel expansion enumerators agree with the reference"
+    (seeded QCheck2.Gen.(pair (int_range 4 10) (int_range 1 4)))
+    (fun ((n, k), seed) ->
+      let k = min k (n - 1) in
+      let g = random_graph ~rng:(rng seed) n ~extra_edges:n in
+      let ee, se = E.ee_exact g ~k in
+      let ne, sn = E.ne_exact g ~k in
+      ee = fst (Ref.edge_expansion g ~k)
+      && ne = fst (Ref.node_expansion g ~k)
+      && Inv.is_pass (Inv.expansion_witness ~kind:`Edge g ~k ~value:ee ~witness:se)
+      && Inv.is_pass (Inv.expansion_witness ~kind:`Node g ~k ~value:ne ~witness:sn))
+
+(* ---- cross-solver agreement on the paper's families ---- *)
+
+let family_agrees g known_bw =
+  let exact, exact_side = Exact.bisection_width ~upper_bound:known_bw g in
+  check "exact matches the lemma" known_bw exact;
+  checkb "exact witness valid" true
+    (Inv.is_pass (Inv.bisection_cut g ~value:exact ~witness:exact_side));
+  let c, side, _ = Heuristics.best_of g in
+  checkb "portfolio >= exact" true (c >= exact);
+  checkb "portfolio witness valid" true
+    (Inv.is_pass (Inv.bisection_cut g ~value:c ~witness:side))
+
+let test_families_small () =
+  family_agrees (B.graph (B.create ~log_n:2)) 4;
+  family_agrees (W.graph (W.create ~log_n:2)) 4;
+  family_agrees (Ccc.graph (Ccc.create ~log_n:2)) 2
+
+let test_families_log_n_3 () =
+  family_agrees (B.graph (B.create ~log_n:3)) 8;
+  family_agrees (W.graph (W.create ~log_n:3)) 8;
+  family_agrees (Ccc.graph (Ccc.create ~log_n:3)) 4
+
+(* ---- invariant validators reject bad claims ---- *)
+
+let test_invariants_reject () =
+  let square = G.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let side = Bitset.of_list 4 [ 0; 1 ] in
+  checkb "true claim passes" true
+    (Inv.is_pass (Inv.bisection_cut square ~value:2 ~witness:side));
+  checkb "wrong value fails" false
+    (Inv.is_pass (Inv.bisection_cut square ~value:1 ~witness:side));
+  checkb "unbalanced witness fails" false
+    (Inv.is_pass
+       (Inv.bisection_cut square ~value:3 ~witness:(Bitset.of_list 4 [ 0 ])));
+  checkb "wrong expansion value fails" false
+    (Inv.is_pass
+       (Inv.expansion_witness ~kind:`Edge square ~k:2 ~value:0
+          ~witness:(Bitset.of_list 4 [ 0; 1 ])));
+  checkb "wrong witness size fails" false
+    (Inv.is_pass
+       (Inv.expansion_witness ~kind:`Edge square ~k:3 ~value:2
+          ~witness:(Bitset.of_list 4 [ 0; 1 ])));
+  checkb "walks pass" true
+    (Inv.is_pass (Inv.paths_are_walks square [| [ 0; 1; 2 ]; [ 3 ] |]));
+  checkb "non-edge hop fails" false
+    (Inv.is_pass (Inv.paths_are_walks square [| [ 0; 2 ] |]));
+  checkb "empty path fails" false
+    (Inv.is_pass (Inv.paths_are_walks square [| [] |]));
+  (* [all] reports the first failure *)
+  (match Inv.all [ Inv.Pass; Inv.Fail "first"; Inv.Fail "second" ] with
+  | Inv.Fail m -> Alcotest.(check string) "first failure wins" "first" m
+  | Inv.Pass -> Alcotest.fail "expected a failure")
+
+let test_embedding_checks () =
+  let e = Bfly_embed.Classic.knn_into_butterfly (B.create ~log_n:2) in
+  checkb "classic embedding revalidates" true (Inv.is_pass (Inv.embedding e));
+  let l, c, d = Ref.embedding_measures e in
+  check "recounted load" (Bfly_embed.Embedding.load e) l;
+  check "recounted congestion" (Bfly_embed.Embedding.congestion e) c;
+  check "recounted dilation" (Bfly_embed.Embedding.dilation e) d
+
+(* ---- the fuzzer ---- *)
+
+let test_fuzzer_deterministic () =
+  let a = Fuzzer.run ~seed:7 ~rounds:6 () in
+  let b = Fuzzer.run ~seed:7 ~rounds:6 () in
+  Alcotest.(check string)
+    "same seed, same summary"
+    (Bfly_obs.Json.to_string (Fuzzer.summary_json a))
+    (Bfly_obs.Json.to_string (Fuzzer.summary_json b));
+  check "no failures on the real solvers" 0 a.Fuzzer.failed;
+  checkb "oracles actually ran" true (a.Fuzzer.passed > 0)
+
+let test_fuzzer_catches_broken_solver () =
+  (* a solver with a pretend off-by-one: wrong on every instance that has
+     an edge. The fuzzer must flag it and shrink each counterexample all
+     the way down to the minimal failing instance: two nodes, one edge. *)
+  let broken =
+    {
+      Oracle.name = "broken-off-by-one";
+      run =
+        (fun ~rng:_ g ->
+          if G.n_edges g > 0 then Oracle.Fail "reports one below the optimum"
+          else Oracle.Pass);
+    }
+  in
+  let s = Fuzzer.run ~oracles:[ broken ] ~seed:3 ~rounds:8 () in
+  checkb "failures detected" true (s.Fuzzer.failed > 0);
+  check "one counterexample per failure" s.Fuzzer.failed
+    (List.length s.Fuzzer.counterexamples);
+  List.iter
+    (fun cx ->
+      check "shrunk to two nodes" 2 cx.Fuzzer.n;
+      Alcotest.(check (list (pair int int)))
+        "shrunk to a single edge" [ (0, 1) ] cx.Fuzzer.edges;
+      checkb "shrinking did some work" true (cx.Fuzzer.shrink_steps > 0);
+      Alcotest.(check string)
+        "oracle named" "broken-off-by-one" cx.Fuzzer.oracle)
+    s.Fuzzer.counterexamples
+
+(* ---- theorem oracles and the CLI entry point ---- *)
+
+let test_bounds_smoke () =
+  List.iter
+    (fun c ->
+      if not c.Bounds.ok then
+        Alcotest.failf "bound check %s failed: %s" c.Bounds.name c.Bounds.detail)
+    (Bounds.all ~smoke:true)
+
+let test_run_execute_smoke () =
+  let json, ok = Bfly_check.Run.execute ~seed:1 ~rounds:2 ~smoke:true in
+  checkb "smoke run passes" true ok;
+  let s = Bfly_obs.Json.to_string json in
+  checkb "summary mentions the tool" true
+    (String.length s > 0
+    &&
+    let re = "\"tool\"" in
+    let rec find i =
+      i + String.length re <= String.length s
+      && (String.sub s i (String.length re) = re || find (i + 1))
+    in
+    find 0)
+
+let suite =
+  [
+    case "reference values on known graphs" test_reference_known;
+    prop_exact_agrees_reference;
+    prop_expansion_agrees_reference;
+    case "families log n = 2: heuristics vs exact" test_families_small;
+    slow_case "families log n = 3: heuristics vs exact" test_families_log_n_3;
+    case "invariants reject bad claims" test_invariants_reject;
+    case "embedding revalidation" test_embedding_checks;
+    case "fuzzer is deterministic" test_fuzzer_deterministic;
+    case "fuzzer catches a broken solver" test_fuzzer_catches_broken_solver;
+    case "theorem bounds (smoke)" test_bounds_smoke;
+    case "check entry point (smoke)" test_run_execute_smoke;
+  ]

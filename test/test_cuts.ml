@@ -50,10 +50,11 @@ let test_state_flip () =
 
 let prop_state_matches_recompute =
   qcheck ~count:200 "state capacity/gains match recomputation after flips"
-    QCheck2.Gen.(pair (int_range 3 20) (list (int_bound 19)))
-    (fun (n, flips) ->
-      let g = random_graph n ~extra_edges:(2 * n) in
-      let side = random_subset n (n / 2) in
+    (seeded QCheck2.Gen.(pair (int_range 3 20) (list (int_bound 19))))
+    (fun ((n, flips), seed) ->
+      let rng = rng seed in
+      let g = random_graph ~rng n ~extra_edges:(2 * n) in
+      let side = random_subset ~rng n (n / 2) in
       let st = Cut.State.create g side in
       List.iter (fun v -> if v < n then Cut.State.flip st v) flips;
       let expected =
@@ -95,9 +96,9 @@ let test_bb_matches_exhaustive_small_nets () =
 
 let prop_bb_matches_brute =
   qcheck ~count:60 "branch and bound equals brute force on random graphs"
-    QCheck2.Gen.(pair (int_range 4 12) (int_range 0 18))
-    (fun (n, extra) ->
-      let g = random_graph n ~extra_edges:extra in
+    (seeded QCheck2.Gen.(pair (int_range 4 12) (int_range 0 18)))
+    (fun ((n, extra), seed) ->
+      let g = random_graph ~rng:(rng seed) n ~extra_edges:extra in
       fst (Exact.bisection_width g) = brute_bw g)
 
 let test_u_bisection () =
@@ -109,7 +110,7 @@ let test_u_bisection () =
   checkb "bisects U" true (Cut.bisects (Cut.make g side) u)
 
 let test_u_bisection_exhaustive_matches () =
-  let rng = Random.State.make [| 5 |] in
+  let rng = rng 5 in
   for _ = 1 to 20 do
     let n = 6 + Random.State.int rng 6 in
     let g = random_graph ~rng n ~extra_edges:n in
@@ -141,9 +142,9 @@ let test_bw_b8_is_8 () =
 
 let heuristic_ok name run =
   qcheck ~count:30 (name ^ " returns balanced cuts no better than optimal")
-    QCheck2.Gen.(pair (int_range 4 14) (int_range 2 20))
-    (fun (n, extra) ->
-      let g = random_graph n ~extra_edges:extra in
+    (seeded QCheck2.Gen.(pair (int_range 4 14) (int_range 2 20)))
+    (fun ((n, extra), seed) ->
+      let g = random_graph ~rng:(rng seed) n ~extra_edges:extra in
       let c, side = run g in
       let cut = Cut.make g side in
       Cut.is_bisection cut && Cut.capacity cut = c && c >= brute_bw g)

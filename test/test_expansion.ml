@@ -32,11 +32,12 @@ let test_exact_witness_achieves () =
 
 let prop_exact_below_random_sets =
   qcheck ~count:60 "exact minimum is below random sets of the same size"
-    QCheck2.Gen.(pair (int_range 4 14) (int_range 1 6))
-    (fun (n, k) ->
+    (seeded QCheck2.Gen.(pair (int_range 4 14) (int_range 1 6)))
+    (fun ((n, k), seed) ->
+      let rng = rng seed in
       let k = min k (n - 1) in
-      let g = random_graph n ~extra_edges:n in
-      let s = random_subset n k in
+      let g = random_graph ~rng n ~extra_edges:n in
+      let s = random_subset ~rng n k in
       fst (E.ee_exact g ~k) <= E.edge_expansion g s
       && fst (E.ne_exact g ~k) <= E.node_expansion g s)
 
@@ -103,12 +104,13 @@ let test_witnesses_are_optimal_small () =
 
 let test_credit_soundness_random =
   qcheck ~count:150 "credit bounds never exceed the actual values"
-    QCheck2.Gen.(int_range 1 40)
-    (fun k ->
+    (seeded QCheck2.Gen.(int_range 1 40))
+    (fun (k, seed) ->
+      let rng = rng seed in
       let w = W.of_inputs 16 in
       let b = B.of_inputs 16 in
-      let sw = random_subset (W.size w) (min k (W.size w)) in
-      let sb = random_subset (B.size b) (min k (B.size b)) in
+      let sw = random_subset ~rng (W.size w) (min k (W.size w)) in
+      let sb = random_subset ~rng (B.size b) (min k (B.size b)) in
       let rw = Credit.wn_edge w sw and rwn = Credit.wn_node w sw in
       let rb = Credit.bn_edge b sb and rbn = Credit.bn_node b sb in
       rw.Credit.certified <= rw.Credit.actual

@@ -45,11 +45,11 @@ let test_binary_tree () =
 
 let prop_random_regular =
   qcheck ~count:50 "configuration model produces the requested degrees"
-    QCheck2.Gen.(pair (int_range 4 20) (int_range 2 4))
-    (fun (n, degree) ->
+    (seeded QCheck2.Gen.(pair (int_range 4 20) (int_range 2 4)))
+    (fun ((n, degree), seed) ->
       let n = max n (degree + 1) in
       let n = if n * degree mod 2 = 1 then n + 1 else n in
-      let g = Gen.random_regular ~rng ~n ~degree in
+      let g = Gen.random_regular ~rng:(rng seed) ~n ~degree in
       let ok = ref true in
       for v = 0 to n - 1 do
         if G.degree g v <> degree then ok := false
@@ -58,12 +58,13 @@ let prop_random_regular =
 
 let prop_gnp_bounds =
   qcheck ~count:50 "G(n,p) edge count within the binomial support"
-    QCheck2.Gen.(int_range 2 25)
-    (fun n ->
-      let g = Gen.gnp ~rng ~n ~p:0.5 in
+    (seeded QCheck2.Gen.(int_range 2 25))
+    (fun (n, seed) ->
+      let g = Gen.gnp ~rng:(rng seed) ~n ~p:0.5 in
       G.n_edges g <= n * (n - 1) / 2)
 
 let test_gnp_extremes () =
+  let rng = rng 11 in
   let g0 = Gen.gnp ~rng ~n:10 ~p:0.0 in
   check "p=0 empty" 0 (G.n_edges g0);
   let g1 = Gen.gnp ~rng ~n:10 ~p:1.0 in

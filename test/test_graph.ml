@@ -116,9 +116,9 @@ let test_boundary_and_neighbors () =
 
 let prop_degree_sum =
   qcheck ~count:100 "sum of degrees = 2m"
-    QCheck2.Gen.(pair (int_range 2 30) (int_range 0 60))
-    (fun (n, extra) ->
-      let g = random_graph n ~extra_edges:extra in
+    (seeded QCheck2.Gen.(pair (int_range 2 30) (int_range 0 60)))
+    (fun ((n, extra), seed) ->
+      let g = random_graph ~rng:(rng seed) n ~extra_edges:extra in
       let sum = ref 0 in
       for v = 0 to n - 1 do
         sum := !sum + G.degree g v
@@ -127,18 +127,18 @@ let prop_degree_sum =
 
 let prop_boundary_symmetric =
   qcheck ~count:100 "C(S) = C(complement S)"
-    QCheck2.Gen.(pair (int_range 2 30) (list (int_bound 29)))
-    (fun (n, l) ->
-      let g = random_graph n ~extra_edges:n in
+    (seeded QCheck2.Gen.(pair (int_range 2 30) (list (int_bound 29))))
+    (fun ((n, l), seed) ->
+      let g = random_graph ~rng:(rng seed) n ~extra_edges:n in
       let s = Bitset.of_list n (List.filter (fun x -> x < n) l) in
       Traverse.boundary_edges g s
       = Traverse.boundary_edges g (Bitset.complement s))
 
 let prop_bfs_triangle =
   qcheck ~count:50 "bfs distances satisfy edge-triangle inequality"
-    QCheck2.Gen.(int_range 2 40)
-    (fun n ->
-      let g = random_graph n ~extra_edges:n in
+    (seeded QCheck2.Gen.(int_range 2 40))
+    (fun (n, seed) ->
+      let g = random_graph ~rng:(rng seed) n ~extra_edges:n in
       let d = Traverse.bfs_distances g 0 in
       let ok = ref true in
       G.iter_edges g (fun u v -> if abs (d.(u) - d.(v)) > 1 then ok := false);

@@ -53,9 +53,9 @@ let test_perm_cycles () =
 
 let prop_perm_random_bijective =
   qcheck ~count:100 "random perms are bijections"
-    QCheck2.Gen.(int_range 1 50)
-    (fun n ->
-      let p = Perm.random ~rng n in
+    (seeded QCheck2.Gen.(int_range 1 50))
+    (fun (n, seed) ->
+      let p = Perm.random ~rng:(rng seed) n in
       let seen = Array.make n false in
       Array.iter (fun x -> seen.(x) <- true) (Perm.to_array p);
       Array.for_all Fun.id seen)

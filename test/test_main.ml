@@ -20,6 +20,7 @@ let () =
       ("rearrange", Test_rearrange.suite);
       ("expansion", Test_expansion.suite);
       ("routing", Test_routing.suite);
+      ("check", Test_check.suite);
       ("core", Test_core.suite);
       ("integration", Test_integration.suite);
       ("edge-cases", Test_edge_cases.suite);

@@ -100,6 +100,77 @@ let test_wrapped_workload () =
   let stats = Router.run (Bfly_networks.Wrapped.graph w) ~paths in
   check "all delivered" (Bfly_networks.Wrapped.size w) stats.Router.delivered
 
+(* ---- workload accounting (lib/routing/workload.ml) ---- *)
+
+let recount_hops paths = Array.fold_left (fun acc p -> acc + List.length p - 1) 0 paths
+
+let recount_crossings ~side paths =
+  let into = ref 0 and out = ref 0 in
+  let rec hops = function
+    | u :: (v :: _ as rest) ->
+        (match (Bitset.mem side u, Bitset.mem side v) with
+        | false, true -> incr into
+        | true, false -> incr out
+        | _ -> ());
+        hops rest
+    | _ -> ()
+  in
+  Array.iter hops paths;
+  (!into, !out)
+
+let prop_permutation_workload_valid =
+  qcheck ~count:30 "greedy permutation workloads are permutations on valid walks"
+    (seeded QCheck2.Gen.(int_range 1 5))
+    (fun (log_n, seed) ->
+      let b = B.create ~log_n in
+      let n = 1 lsl log_n in
+      let p = Perm.random ~rng:(rng seed) n in
+      let paths = Workload.greedy_permutation b p in
+      let g = B.graph b in
+      (* every path is a walk in the host graph *)
+      Tu.checkb "walks" true
+        (Bfly_check.Invariants.is_pass (Bfly_check.Invariants.paths_are_walks g paths));
+      (* sources: packet w starts at <w, 0>; destinations form the permutation *)
+      let dest_cols = Array.make n false in
+      Array.iteri
+        (fun w path ->
+          let first = List.hd path in
+          Tu.check "source column" w (B.col_of b first);
+          Tu.check "source level" 0 (B.level_of b first);
+          let last = List.nth path (List.length path - 1) in
+          Tu.check "destination column" (Perm.apply p w) (B.col_of b last);
+          Tu.check "destination level" log_n (B.level_of b last);
+          dest_cols.(B.col_of b last) <- true)
+        paths;
+      Array.for_all Fun.id dest_cols)
+
+let prop_all_to_random_sources =
+  qcheck ~count:20 "all-to-random: one packet per node, starting at its source"
+    (seeded QCheck2.Gen.(int_range 1 4))
+    (fun (log_n, seed) ->
+      let b = B.create ~log_n in
+      let paths = Workload.all_to_random ~rng:(rng seed) b in
+      let g = B.graph b in
+      Array.length paths = B.size b
+      && Bfly_check.Invariants.is_pass (Bfly_check.Invariants.paths_are_walks g paths)
+      && Array.for_all Fun.id (Array.mapi (fun src p -> List.hd p = src) paths))
+
+let prop_router_accounting_matches_recount =
+  qcheck ~count:20 "router hop/crossing accounting matches a recount from raw paths"
+    (seeded QCheck2.Gen.(int_range 1 4))
+    (fun (log_n, seed) ->
+      let rng = rng seed in
+      let b = B.create ~log_n in
+      let g = B.graph b in
+      let paths = Workload.greedy_random ~rng b in
+      let stats = Router.run g ~paths in
+      let side = Bfly_cuts.Constructions.butterfly_column_cut b in
+      let into, out = Router.crossings ~side paths in
+      let into', out' = recount_crossings ~side paths in
+      stats.Router.total_hops = recount_hops paths
+      && stats.Router.delivered = Array.length paths
+      && into = into' && out = out')
+
 let prop_random_workload_delivers =
   qcheck ~count:20 "greedy random workloads always deliver"
     QCheck2.Gen.(int_range 1 5)
@@ -124,5 +195,8 @@ let suite =
     case "time lower bound arithmetic" test_time_lower_bound;
     case "simulation respects the Section 1.2 bound" test_simulation_respects_bound;
     case "wrapped-butterfly workload" test_wrapped_workload;
+    prop_permutation_workload_valid;
+    prop_all_to_random_sources;
+    prop_router_accounting_matches_recount;
     prop_random_workload_delivers;
   ]

@@ -28,9 +28,9 @@ let test_radius () =
 
 let prop_radius_diameter =
   qcheck ~count:50 "radius <= diameter <= 2 radius"
-    QCheck2.Gen.(int_range 3 20)
-    (fun n ->
-      let g = random_graph n ~extra_edges:n in
+    (seeded QCheck2.Gen.(int_range 3 20))
+    (fun (n, seed) ->
+      let g = random_graph ~rng:(rng seed) n ~extra_edges:n in
       let r = Traverse.radius g and d = Traverse.diameter g in
       r <= d && d <= 2 * r)
 
