@@ -10,7 +10,14 @@
      dune exec bench/main.exe -- --json BENCH_$(date +%F).json
 
    [--smoke] shrinks the run (cheap experiments, short Bechamel quota) for
-   use as a tier-1 CI gate; the JSON schema is identical. *)
+   use as a tier-1 CI gate; the JSON schema is identical.
+
+   [--values FILE] writes a second, timing-free document holding only the
+   deterministic experiment outputs — byte-identical between a cold-cache
+   and warm-cache run of the same build, which ci.sh asserts with cmp.
+   Each experiment object in the [--json] document also carries the
+   cache.hit / cache.miss deltas it incurred, so a warm run is visibly
+   warm in the trajectory. *)
 
 open Bechamel
 open Toolkit
@@ -24,16 +31,19 @@ module Span = Bfly_obs.Span
 
 (* ---- command line ---- *)
 
-let usage = "usage: main.exe [--json FILE] [--smoke]"
+let usage = "usage: main.exe [--json FILE] [--values FILE] [--smoke]"
 
-let json_file, smoke =
-  let json_file = ref None and smoke = ref false in
+let json_file, values_file, smoke =
+  let json_file = ref None and values_file = ref None and smoke = ref false in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse rest
-    | [ "--json" ] ->
+    | "--values" :: file :: rest ->
+        values_file := Some file;
+        parse rest
+    | [ "--json" ] | [ "--values" ] ->
         prerr_endline usage;
         exit 2
     | "--smoke" :: rest ->
@@ -44,7 +54,7 @@ let json_file, smoke =
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (!json_file, !smoke)
+  (!json_file, !values_file, !smoke)
 
 (* experiments cheap enough to gate every CI run on *)
 let smoke_experiments = [ "E2"; "E4"; "E10"; "E14"; "F1" ]
@@ -60,13 +70,19 @@ let run_experiments () =
         Bfly_core.Experiments.all
     else Bfly_core.Experiments.all
   in
+  let c_hit = Metrics.counter "cache.hit" in
+  let c_miss = Metrics.counter "cache.miss" in
   List.map
     (fun (name, f) ->
+      let hit0 = Metrics.counter_value c_hit in
+      let miss0 = Metrics.counter_value c_miss in
       let t0 = Span.now_ns () in
       let out = f () in
       let wall_ns = Span.now_ns () - t0 in
+      let hits = Metrics.counter_value c_hit - hit0 in
+      let misses = Metrics.counter_value c_miss - miss0 in
       Printf.printf "\n--- %s ---\n%s%!" name out;
-      (name, out, wall_ns))
+      (name, out, wall_ns, hits, misses))
     selected
 
 (* one Bechamel test per experiment kernel *)
@@ -206,11 +222,14 @@ let json_document ~experiments ~kernels =
       ( "experiments",
         Json.List
           (List.map
-             (fun (name, out, wall_ns) ->
+             (fun (name, out, wall_ns, hits, misses) ->
                Json.Obj
                  [
                    ("name", Json.Str name);
                    ("wall_ns", Json.Int wall_ns);
+                   ( "cache",
+                     Json.Obj
+                       [ ("hit", Json.Int hits); ("miss", Json.Int misses) ] );
                    ("output", Json.Str out);
                  ])
              experiments) );
@@ -230,14 +249,35 @@ let json_document ~experiments ~kernels =
       ("metrics", Metrics.to_json ());
     ]
 
+(* Only the deterministic parts of a run: per-experiment measured outputs,
+   no timings, no cache counters, no timestamps. Two runs of the same
+   build over the same experiments — warm or cold cache — must produce
+   byte-identical values documents; ci.sh compares them with cmp. *)
+let values_document ~experiments =
+  Json.Obj
+    [
+      ("schema", Json.Str "bfly-bench-values/1");
+      ("mode", Json.Str (if smoke then "smoke" else "full"));
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (name, out, _, _, _) ->
+               Json.Obj [ ("name", Json.Str name); ("output", Json.Str out) ])
+             experiments) );
+    ]
+
+let write_doc file doc =
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "\nwrote %s\n" file
+
 let () =
   let experiments = run_experiments () in
   let kernels = run_micro () in
-  match json_file with
+  (match json_file with
   | None -> ()
-  | Some file ->
-      let doc = json_document ~experiments ~kernels in
-      Out_channel.with_open_text file (fun oc ->
-          output_string oc (Json.to_string doc);
-          output_char oc '\n');
-      Printf.printf "\nwrote %s\n" file
+  | Some file -> write_doc file (json_document ~experiments ~kernels));
+  match values_file with
+  | None -> ()
+  | Some file -> write_doc file (values_document ~experiments)

@@ -75,6 +75,22 @@ let finishing metrics code =
   if metrics then print_endline (Bfly_obs.Metrics.to_json_string ());
   code
 
+(* ---- --no-cache ---- *)
+
+(* Solver subcommands accept [--no-cache]: disable the persistent result
+   cache for this run only (same effect as BFLY_CACHE=off). *)
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the persistent result cache for this run (equivalent to \
+           setting BFLY_CACHE=off). Every solver recomputes from scratch \
+           and stores nothing.")
+
+let set_cache no_cache = if no_cache then Bfly_cache.Config.set_enabled false
+
 (* ---- info ---- *)
 
 let info_run metrics net n =
@@ -99,7 +115,8 @@ let info_cmd =
 
 (* ---- bisect ---- *)
 
-let bisect_run metrics net n dot =
+let bisect_run metrics no_cache net n dot =
+  set_cache no_cache;
   finishing metrics @@
   handle
     (match log2_exact n with
@@ -131,11 +148,12 @@ let bisect_cmd =
   in
   Cmd.v
     (Cmd.info "bisect" ~doc:"Bisection-width bracket (Theorem 2.20, Lemmas 3.2, 3.3)")
-    Term.(const bisect_run $ metrics_arg $ net_arg $ n_arg $ dot)
+    Term.(const bisect_run $ metrics_arg $ no_cache_arg $ net_arg $ n_arg $ dot)
 
 (* ---- expansion ---- *)
 
-let expansion_run metrics net n k exact =
+let expansion_run metrics no_cache net n k exact =
+  set_cache no_cache;
   finishing metrics @@
   handle
     (match graph_of net n with
@@ -166,7 +184,9 @@ let expansion_cmd =
   in
   Cmd.v
     (Cmd.info "expansion" ~doc:"Edge/node expansion (Section 4)")
-    Term.(const expansion_run $ metrics_arg $ net_arg $ n_arg $ k $ exact)
+    Term.(
+      const expansion_run $ metrics_arg $ no_cache_arg $ net_arg $ n_arg $ k
+      $ exact)
 
 (* ---- render ---- *)
 
@@ -222,7 +242,8 @@ let route_cmd =
 
 (* ---- mos ---- *)
 
-let mos_run metrics j =
+let mos_run metrics no_cache j =
+  set_cache no_cache;
   finishing metrics @@
   if j < 1 then handle (Error "j must be >= 1")
   else begin
@@ -237,7 +258,7 @@ let mos_cmd =
   let j = Arg.(required & pos 0 (some int) None & info [] ~docv:"J") in
   Cmd.v
     (Cmd.info "mos" ~doc:"Mesh-of-stars M2-bisection width (Lemmas 2.17-2.19)")
-    Term.(const mos_run $ metrics_arg $ j)
+    Term.(const mos_run $ metrics_arg $ no_cache_arg $ j)
 
 (* ---- iosep ---- *)
 
@@ -293,7 +314,8 @@ let layout_cmd =
 
 (* ---- check ---- *)
 
-let check_run metrics seed rounds smoke =
+let check_run metrics no_cache seed rounds smoke =
+  set_cache no_cache;
   finishing metrics @@
   if rounds < 1 then handle (Error "rounds must be >= 1")
   else begin
@@ -321,11 +343,98 @@ let check_cmd =
              naive references and the paper's theorems on random and \
              structured instances; print a machine-readable summary, exit \
              non-zero on any discrepancy")
-    Term.(const check_run $ metrics_arg $ seed $ rounds $ smoke)
+    Term.(
+      const check_run $ metrics_arg $ no_cache_arg $ seed $ rounds $ smoke)
+
+(* ---- cache ---- *)
+
+let cache_stats_run metrics =
+  finishing metrics @@
+  let s = Bfly_cache.Store.stats () in
+  Printf.printf "cache %s, dir %s\n"
+    (if s.Bfly_cache.Store.enabled then "enabled" else "disabled")
+    s.Bfly_cache.Store.dir;
+  Printf.printf "  memory: %d entries (capacity %d)\n" s.memory_entries
+    s.memory_capacity;
+  Printf.printf "  disk:   %d entries, %d bytes\n" s.disk.entries s.disk.bytes;
+  List.iter
+    (fun (solver, count) -> Printf.printf "    %-44s %d\n" solver count)
+    s.solvers;
+  0
+
+let cache_stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show result-cache configuration and contents")
+    Term.(const cache_stats_run $ metrics_arg)
+
+let cache_clear_run metrics =
+  finishing metrics @@
+  let dir = Bfly_cache.Config.dir () in
+  let removed = Bfly_cache.Store.clear () in
+  Printf.printf "removed %d cached entries from %s\n" removed dir;
+  0
+
+let cache_clear_cmd =
+  Cmd.v
+    (Cmd.info "clear" ~doc:"Delete every cached result (both tiers)")
+    Term.(const cache_clear_run $ metrics_arg)
+
+let cache_warm_run metrics max_n =
+  finishing metrics @@
+  if max_n < 2 then handle (Error "max-n must be >= 2")
+  else if not (Bfly_cache.Config.enabled ()) then
+    handle (Error "cache is disabled (BFLY_CACHE=off); nothing to warm")
+  else begin
+    let n = ref 2 in
+    while !n <= max_n do
+      let nn = !n in
+      Printf.printf "warming n=%d...\n%!" nn;
+      ignore (Bfly_core.Bw.butterfly ~use_heuristics:(nn <= 64) nn);
+      if nn >= 4 then begin
+        ignore (Bfly_core.Bw.wrapped nn);
+        ignore (Bfly_core.Bw.ccc nn)
+      end;
+      ignore (Bfly_mos.Mos_analysis.bw_m2 nn);
+      (match log2_exact nn with
+      | Some log_n when log_n >= 2 ->
+          ignore (Bfly_cuts.Constructions.best_mos_pullback (B.create ~log_n))
+      | _ -> ());
+      n := !n * 2
+    done;
+    let s = Bfly_cache.Store.stats () in
+    Printf.printf "cache now holds %d on-disk entries in %s\n"
+      s.Bfly_cache.Store.disk.entries s.Bfly_cache.Store.dir;
+    0
+  end
+
+let cache_warm_cmd =
+  let max_n =
+    Arg.(
+      value & opt int 8
+      & info [ "max-n" ] ~docv:"N"
+          ~doc:
+            "Largest network size to precompute (inclusive); every power of \
+             two from 2 up is warmed.")
+  in
+  Cmd.v
+    (Cmd.info "warm"
+       ~doc:
+         "Precompute bisection brackets, MOS widths and pullback sweeps for \
+          small networks so later runs start hot")
+    Term.(const cache_warm_run $ metrics_arg $ max_n)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and maintain the persistent result cache (see BFLY_CACHE, \
+          BFLY_CACHE_DIR)")
+    [ cache_stats_cmd; cache_clear_cmd; cache_warm_cmd ]
 
 (* ---- experiments ---- *)
 
-let experiments_run metrics ids =
+let experiments_run metrics no_cache ids =
+  set_cache no_cache;
   finishing metrics @@
   let selected =
     match ids with
@@ -351,7 +460,7 @@ let experiments_cmd =
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the paper's tables (E1-E13, F1-F2)")
-    Term.(const experiments_run $ metrics_arg $ ids)
+    Term.(const experiments_run $ metrics_arg $ no_cache_arg $ ids)
 
 let () =
   let doc = "bisection width and expansion of butterfly networks" in
@@ -362,4 +471,5 @@ let () =
           [
             info_cmd; bisect_cmd; expansion_cmd; render_cmd; route_cmd;
             mos_cmd; iosep_cmd; layout_cmd; check_cmd; experiments_cmd;
+            cache_cmd;
           ]))

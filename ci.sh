@@ -26,4 +26,47 @@ else
   echo "== odoc not installed; skipping @doc check =="
 fi
 
+# Warm-cache determinism gate: run the bench smoke suite twice against a
+# fresh result-cache directory. The second (warm) run must serve from the
+# cache — nonzero cache.hit, zero exact B&B search nodes — and both runs
+# must produce byte-identical measured values.
+echo "== warm-cache bench determinism =="
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+extract() { # extract FIELD FILE -> first integer value of "FIELD":N
+  sed -n "s/.*\"$(printf '%s' "$1" | sed 's/\./\\./g')\":\([0-9][0-9]*\).*/\1/p" "$2" | head -n 1
+}
+
+BFLY_CACHE_DIR="$scratch/cache" dune exec -- bench/main.exe --smoke \
+  --json "$scratch/cold.json" --values "$scratch/cold-values.json" \
+  > "$scratch/cold.log"
+BFLY_CACHE_DIR="$scratch/cache" dune exec -- bench/main.exe --smoke \
+  --json "$scratch/warm.json" --values "$scratch/warm-values.json" \
+  > "$scratch/warm.log"
+
+cmp "$scratch/cold-values.json" "$scratch/warm-values.json" || {
+  echo "FAIL: warm-cache run changed measured values" >&2
+  exit 1
+}
+
+cold_nodes=$(extract 'exact.bb.nodes' "$scratch/cold.json")
+warm_nodes=$(extract 'exact.bb.nodes' "$scratch/warm.json")
+warm_hits=$(extract 'cache.hit' "$scratch/warm.json")
+warm_misses=$(extract 'cache.miss' "$scratch/warm.json")
+echo "cold: bb nodes $cold_nodes; warm: bb nodes $warm_nodes," \
+  "cache hits $warm_hits, misses $warm_misses"
+[ "$cold_nodes" -gt 0 ] || {
+  echo "FAIL: cold run did not search (bb nodes = $cold_nodes)" >&2
+  exit 1
+}
+[ "$warm_hits" -gt 0 ] || {
+  echo "FAIL: warm run had no cache hits" >&2
+  exit 1
+}
+[ "$warm_nodes" -eq 0 ] || {
+  echo "FAIL: warm run re-searched (bb nodes = $warm_nodes)" >&2
+  exit 1
+}
+
 echo "CI OK"

@@ -1,0 +1,106 @@
+module Bitset = Bfly_graph.Bitset
+
+type field =
+  | Int of int
+  | Str of string
+  | Bits of { capacity : int; elements : int list }
+
+type payload = (string * field) list
+
+let valid_name n =
+  n <> ""
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> true
+         | _ -> false)
+       n
+
+let encode p =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, field) ->
+      if not (valid_name name) then
+        invalid_arg ("Codec.encode: bad field name " ^ name);
+      match field with
+      | Int v -> Buffer.add_string buf (Printf.sprintf "i %s %d\n" name v)
+      | Str s ->
+          Buffer.add_string buf
+            (Printf.sprintf "s %s %d\n" name (String.length s));
+          Buffer.add_string buf s;
+          Buffer.add_char buf '\n'
+      | Bits { capacity; elements } ->
+          Buffer.add_string buf
+            (Printf.sprintf "b %s %d %d" name capacity (List.length elements));
+          List.iter (fun e -> Buffer.add_string buf (" " ^ string_of_int e)) elements;
+          Buffer.add_char buf '\n')
+    p;
+  Buffer.contents buf
+
+exception Malformed
+
+let decode s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let line () =
+    (* next newline-terminated line; a last line without '\n' is malformed *)
+    match String.index_from_opt s !pos '\n' with
+    | None -> raise Malformed
+    | Some nl ->
+        let l = String.sub s !pos (nl - !pos) in
+        pos := nl + 1;
+        l
+  in
+  let parse_int str = match int_of_string_opt str with
+    | Some v -> v
+    | None -> raise Malformed
+  in
+  let fields = ref [] in
+  try
+    while !pos < len do
+      let l = line () in
+      match String.split_on_char ' ' l with
+      | [ "i"; name; v ] when valid_name name ->
+          fields := (name, Int (parse_int v)) :: !fields
+      | [ "s"; name; n ] when valid_name name ->
+          let n = parse_int n in
+          if n < 0 || !pos + n + 1 > len then raise Malformed;
+          let str = String.sub s !pos n in
+          if s.[!pos + n] <> '\n' then raise Malformed;
+          pos := !pos + n + 1;
+          fields := (name, Str str) :: !fields
+      | "b" :: name :: capacity :: count :: elts when valid_name name ->
+          let capacity = parse_int capacity in
+          let count = parse_int count in
+          if capacity < 0 || count <> List.length elts then raise Malformed;
+          let elements = List.map parse_int elts in
+          (* members strictly increasing and in range: the canonical form *)
+          let rec check prev = function
+            | [] -> ()
+            | e :: rest ->
+                if e <= prev || e >= capacity then raise Malformed;
+                check e rest
+          in
+          check (-1) elements;
+          fields := (name, Bits { capacity; elements }) :: !fields
+      | _ -> raise Malformed
+    done;
+    Some (List.rev !fields)
+  with Malformed -> None
+
+let bits s =
+  Bits { capacity = Bitset.capacity s; elements = Bitset.elements s }
+
+let get_int p name =
+  match List.assoc_opt name p with Some (Int v) -> Some v | _ -> None
+
+let get_str p name =
+  match List.assoc_opt name p with Some (Str s) -> Some s | _ -> None
+
+let get_bits p name ~capacity =
+  match List.assoc_opt name p with
+  | Some (Bits { capacity = c; elements }) when c = capacity ->
+      let s = Bitset.create capacity in
+      List.iter (Bitset.add s) elements;
+      Some s
+  | _ -> None

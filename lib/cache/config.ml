@@ -1,0 +1,58 @@
+type t = { enabled : bool; dir : string; lru_capacity : int }
+
+let default_dir = "_bfly_cache"
+let default_lru = 512
+
+let off_values = [ "off"; "0"; "no"; "false" ]
+
+let from_env () =
+  let enabled =
+    match Sys.getenv_opt "BFLY_CACHE" with
+    | Some v when List.mem (String.lowercase_ascii (String.trim v)) off_values
+      ->
+        false
+    | _ -> true
+  in
+  let dir =
+    match Sys.getenv_opt "BFLY_CACHE_DIR" with
+    | Some d when String.trim d <> "" -> d
+    | _ -> default_dir
+  in
+  let lru_capacity =
+    match Sys.getenv_opt "BFLY_CACHE_LRU" with
+    | Some v -> ( match int_of_string_opt (String.trim v) with
+        | Some k when k >= 0 -> k
+        | _ -> default_lru)
+    | None -> default_lru
+  in
+  { enabled; dir; lru_capacity }
+
+let state = ref None
+let mutex = Mutex.create ()
+
+let with_state f =
+  Mutex.lock mutex;
+  let cur = match !state with
+    | Some s -> s
+    | None ->
+        let s = from_env () in
+        state := Some s;
+        s
+  in
+  let r = f cur in
+  Mutex.unlock mutex;
+  r
+
+let update f = with_state (fun s -> state := Some (f s))
+
+let enabled () = with_state (fun s -> s.enabled)
+let set_enabled b = update (fun s -> { s with enabled = b })
+let dir () = with_state (fun s -> s.dir)
+let set_dir d = update (fun s -> { s with dir = d })
+let lru_capacity () = with_state (fun s -> s.lru_capacity)
+let set_lru_capacity k = update (fun s -> { s with lru_capacity = max 0 k })
+
+let reload () =
+  Mutex.lock mutex;
+  state := Some (from_env ());
+  Mutex.unlock mutex

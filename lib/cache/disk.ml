@@ -1,0 +1,124 @@
+type load_result = Hit of Codec.payload | Miss | Corrupt
+
+let magic = "bfly-cache/1"
+
+let checksum s = Fingerprint.(to_hex (string seed s))
+
+let path ~dir key = Filename.concat dir (Key.filename key)
+
+let read_file file =
+  try Some (In_channel.with_open_bin file In_channel.input_all)
+  with Sys_error _ -> None
+
+let load ~dir key =
+  let file = path ~dir key in
+  if not (Sys.file_exists file) then Miss
+  else
+    match read_file file with
+    | None -> Miss
+    | Some contents -> (
+        (* header line, key line, payload *)
+        match String.index_opt contents '\n' with
+        | None -> Corrupt
+        | Some nl1 -> (
+            let header = String.sub contents 0 nl1 in
+            match String.index_from_opt contents (nl1 + 1) '\n' with
+            | None -> Corrupt
+            | Some nl2 -> (
+                let key_line =
+                  String.sub contents (nl1 + 1) (nl2 - nl1 - 1)
+                in
+                let payload =
+                  String.sub contents (nl2 + 1)
+                    (String.length contents - nl2 - 1)
+                in
+                match String.split_on_char ' ' header with
+                | [ m; bytes; sum ]
+                  when m = magic
+                       && int_of_string_opt bytes
+                          = Some (String.length payload)
+                       && sum = checksum payload -> (
+                    match
+                      String.length key_line >= 4
+                      && String.sub key_line 0 4 = "key "
+                    with
+                    | false -> Corrupt
+                    | true ->
+                        let desc =
+                          String.sub key_line 4 (String.length key_line - 4)
+                        in
+                        if desc <> Key.description key then
+                          (* digest collision: someone else's entry *)
+                          Miss
+                        else (
+                          match Codec.decode payload with
+                          | Some p -> Hit p
+                          | None -> Corrupt))
+                | _ -> Corrupt)))
+
+let store ~dir key payload =
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let body = Codec.encode payload in
+    let contents =
+      Printf.sprintf "%s %d %s\nkey %s\n%s" magic (String.length body)
+        (checksum body) (Key.description key) body
+    in
+    let tmp =
+      Filename.concat dir
+        (Printf.sprintf ".%s.%d.tmp" (Key.digest key) (Unix.getpid ()))
+    in
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc contents);
+    Sys.rename tmp (path ~dir key)
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let remove ~dir key =
+  try if Sys.file_exists (path ~dir key) then Sys.remove (path ~dir key)
+  with Sys_error _ -> ()
+
+let entry_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> [||]
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".entry")
+      |> List.sort compare |> Array.of_list
+
+let clear ~dir =
+  let files = entry_files dir in
+  Array.fold_left
+    (fun n f ->
+      match Sys.remove (Filename.concat dir f) with
+      | () -> n + 1
+      | exception Sys_error _ -> n)
+    0 files
+
+type stats = { entries : int; bytes : int }
+
+let stats ~dir =
+  let files = entry_files dir in
+  Array.fold_left
+    (fun acc f ->
+      let size =
+        try (Unix.stat (Filename.concat dir f)).Unix.st_size
+        with Unix.Unix_error _ | Sys_error _ -> 0
+      in
+      { entries = acc.entries + 1; bytes = acc.bytes + size })
+    { entries = 0; bytes = 0 }
+    files
+
+let solvers ~dir =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun f ->
+      let base = Filename.chop_suffix f ".entry" in
+      let solver =
+        match String.rindex_opt base '-' with
+        | Some i -> String.sub base 0 i
+        | None -> base
+      in
+      Hashtbl.replace tbl solver
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl solver)))
+    (entry_files dir);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,47 @@
+(** The on-disk entry store: one self-checking file per cache entry.
+
+    File layout (all text):
+    {v
+    bfly-cache/1 <payload-bytes> <payload-checksum-hex>
+    key <full key description>
+    <payload...>
+    v}
+
+    Reads validate the magic line, the byte count, the FNV-1a checksum and
+    the embedded key description before the payload is even parsed; any
+    mismatch is reported as {!Corrupt} (a description mismatch — a digest
+    collision — as {!Miss}), never as data. Writes go through a temp file
+    in the same directory followed by [Sys.rename], so concurrent readers
+    only ever see complete entries and a crash cannot leave a torn one.
+
+    All I/O failures are absorbed: a read error is a {!Miss}, a write
+    error a no-op — the cache accelerates solvers, it must never take one
+    down. *)
+
+type load_result =
+  | Hit of Codec.payload
+  | Miss
+  | Corrupt  (** present but unreadable: checksum, framing or parse error *)
+
+(** [load ~dir key] reads and validates the entry for [key]. *)
+val load : dir:string -> Key.t -> load_result
+
+(** [store ~dir key payload] atomically (re)writes the entry, creating
+    [dir] if needed. Best-effort: I/O errors are swallowed. *)
+val store : dir:string -> Key.t -> Codec.payload -> unit
+
+(** [remove ~dir key] deletes the entry if present. *)
+val remove : dir:string -> Key.t -> unit
+
+(** [clear ~dir] deletes every [*.entry] file; returns how many. *)
+val clear : dir:string -> int
+
+type stats = { entries : int; bytes : int }
+
+(** Entry count and total size of the store ([{entries = 0; bytes = 0}]
+    when the directory does not exist). *)
+val stats : dir:string -> stats
+
+(** [solvers ~dir] is the per-solver entry count, sorted by solver id —
+    parsed from the filenames, so it is O(entries) with no file reads. *)
+val solvers : dir:string -> (string * int) list

@@ -1,0 +1,54 @@
+type t = int64
+
+(* FNV-1a, 64-bit *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let seed = fnv_offset
+
+let byte (h : t) (b : int) : t =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+(* tags keep differently-typed streams from colliding *)
+let tag_int = 0x01
+let tag_string = 0x02
+let tag_array = 0x03
+let tag_bitset = 0x04
+let tag_graph = 0x05
+
+let raw_int h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := byte !h ((v lsr (8 * shift)) land 0xff)
+  done;
+  !h
+
+let int h v = raw_int (byte h tag_int) v
+
+let string h s =
+  let h = ref (raw_int (byte h tag_string) (String.length s)) in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h
+
+let int_array h a =
+  let h = ref (raw_int (byte h tag_array) (Array.length a)) in
+  Array.iter (fun v -> h := raw_int !h v) a;
+  !h
+
+let bitset h s =
+  let module Bitset = Bfly_graph.Bitset in
+  let h = byte h tag_bitset in
+  let h = raw_int h (Bitset.capacity s) in
+  let h = raw_int h (Bitset.cardinal s) in
+  Bitset.fold s h (fun acc i -> raw_int acc i)
+
+let graph h g =
+  let module G = Bfly_graph.Graph in
+  let edges = G.edges g in
+  Array.sort compare edges;
+  let h = byte h tag_graph in
+  let h = raw_int h (G.n_nodes g) in
+  let h = raw_int h (Array.length edges) in
+  Array.fold_left (fun acc (u, v) -> raw_int (raw_int acc u) v) h edges
+
+let to_hex h = Printf.sprintf "%016Lx" h

@@ -1,0 +1,81 @@
+type node = {
+  digest : string;
+  payload : Codec.payload;
+  mutable prev : node option; (* toward most-recent *)
+  mutable next : node option; (* toward least-recent *)
+}
+
+type t = {
+  mutable capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+}
+
+let create ~capacity = { capacity; table = Hashtbl.create 64; head = None; tail = None }
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some nx -> nx.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t digest =
+  match Hashtbl.find_opt t.table digest with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      Some n.payload
+
+let evict_over t =
+  let evicted = ref 0 in
+  while Hashtbl.length t.table > t.capacity do
+    match t.tail with
+    | None -> Hashtbl.reset t.table (* unreachable: list tracks the table *)
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.table n.digest;
+        incr evicted
+  done;
+  !evicted
+
+let add t digest payload =
+  if t.capacity = 0 then 0
+  else begin
+    (match Hashtbl.find_opt t.table digest with
+    | Some old -> unlink t old; Hashtbl.remove t.table digest
+    | None -> ());
+    let n = { digest; payload; prev = None; next = None } in
+    push_front t n;
+    Hashtbl.replace t.table digest n;
+    evict_over t
+  end
+
+let remove t digest =
+  match Hashtbl.find_opt t.table digest with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table digest
+
+let length t = Hashtbl.length t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let set_capacity t k =
+  t.capacity <- max 0 k;
+  evict_over t

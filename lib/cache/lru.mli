@@ -1,0 +1,37 @@
+(** Bounded in-memory LRU of decoded cache payloads.
+
+    The memory tier in front of {!Disk}: recently served entries skip the
+    filesystem (and its re-parse) entirely. Keys are entry digests;
+    values are {!Codec.payload}s, which are immutable — integration sites
+    rebuild fresh witnesses from them on every hit, so shared storage here
+    can never be mutated by a caller.
+
+    Exact LRU via an intrusive doubly-linked list: [find], [add] and
+    [remove] are O(1). Not synchronized — {!Store} serializes access. *)
+
+type t
+
+(** [create ~capacity] — an empty LRU holding at most [capacity] entries.
+    [capacity = 0] makes every operation a no-op. *)
+val create : capacity:int -> t
+
+(** [find t digest] returns the payload and marks it most recently used. *)
+val find : t -> string -> Codec.payload option
+
+(** [add t digest payload] inserts (or refreshes) the entry and returns
+    how many entries were evicted to make room (0 or 1; more after
+    {!set_capacity} shrinks). *)
+val add : t -> string -> Codec.payload -> int
+
+(** Remove one entry if present (used when a hit fails verification). *)
+val remove : t -> string -> unit
+
+(** Number of live entries. *)
+val length : t -> int
+
+(** Drop every entry. *)
+val clear : t -> unit
+
+(** [set_capacity t k] rebounds the LRU, evicting least-recent entries
+    down to the new capacity; returns the number evicted. *)
+val set_capacity : t -> int -> int

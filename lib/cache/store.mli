@@ -1,0 +1,67 @@
+(** The cache front door: verified lookup, store, and maintenance.
+
+    Two tiers — an in-memory {!Lru} over the on-disk {!Disk} store — behind
+    one process-global, mutex-serialized entry point. The design rule is
+    {e verify-on-hit}: a cached entry is only ever served after the
+    caller's [verify] function has re-validated its witness from first
+    principles (recounted cut capacity, re-measured expansion, re-evaluated
+    closed form — the same checks [Bfly_check.Invariants] applies to live
+    solver output). An entry that fails decoding or verification is
+    evicted from both tiers and transparently recomputed; a corrupted or
+    stale store can cost time, never correctness.
+
+    Metrics (in {!Bfly_obs.Metrics}): counters [cache.hit] (with
+    [cache.hit.mem] / [cache.hit.disk] breakdown), [cache.miss],
+    [cache.evict] (LRU evictions plus bad-entry removals),
+    [cache.verify_fail]; timers [cache.lookup] and [cache.store]. Lookups
+    against a disabled cache ({!Config.enabled} [= false]) count nothing
+    and touch nothing. *)
+
+(** [lookup ~key ~decode ~verify] serves a verified entry, or [None] on
+    miss (counting [cache.miss]). [decode] rebuilds the typed result from
+    a payload; [verify] must re-validate it from first principles. A
+    decode or verify failure evicts the entry and returns [None]. *)
+val lookup :
+  key:Key.t ->
+  decode:(Codec.payload -> 'a option) ->
+  verify:('a -> bool) ->
+  'a option
+
+(** [put ~key ~encode v] stores a freshly computed result in both tiers.
+    No-op when the cache is disabled. *)
+val put : key:Key.t -> encode:('a -> Codec.payload) -> 'a -> unit
+
+(** [memoize ~key ~encode ~decode ~verify ~compute] — {!lookup}, falling
+    back to [compute] + {!put} on a miss. The common integration shape:
+    solvers wrap their body in one [memoize] call. *)
+val memoize :
+  key:Key.t ->
+  encode:('a -> Codec.payload) ->
+  decode:(Codec.payload -> 'a option) ->
+  verify:('a -> bool) ->
+  compute:(unit -> 'a) ->
+  'a
+
+(** {1 Maintenance} *)
+
+(** Drop the in-memory tier (tests; also used after [cache clear]). *)
+val reset_memory : unit -> unit
+
+(** Number of entries currently in the in-memory tier. *)
+val memory_length : unit -> int
+
+(** Delete every on-disk entry and drop the memory tier; returns the
+    number of files removed. *)
+val clear : unit -> int
+
+type stats = {
+  enabled : bool;
+  dir : string;
+  memory_entries : int;
+  memory_capacity : int;
+  disk : Disk.stats;
+  solvers : (string * int) list;  (** per-solver on-disk entry counts *)
+}
+
+(** A point-in-time view of both tiers and the active configuration. *)
+val stats : unit -> stats

@@ -9,7 +9,11 @@
     wrong, and it is not the theorem. *)
 
 type check = { name : string; ok : bool; detail : string }
+(** One named theorem check with a human-readable account of what was
+    compared. *)
 
+(** [check_json c] is the [{"name":..,"ok":..,"detail":..}] rendering used
+    by [bfly_tool check]. *)
 val check_json : check -> Bfly_obs.Json.t
 
 (** Lemma 3.2 on [W_n], [n = 2^log_n]: the {!Bfly_core.Bw.wrapped} bracket

@@ -41,6 +41,9 @@ type summary = {
   counterexamples : counterexample list;
 }
 
+(** JSON renderings of the report types, as embedded in the
+    [bfly_tool check] summary document. *)
+
 val counterexample_json : counterexample -> Bfly_obs.Json.t
 val summary_json : summary -> Bfly_obs.Json.t
 

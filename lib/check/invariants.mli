@@ -8,7 +8,9 @@
     test cannot see. *)
 
 type result = Pass | Fail of string
+(** A validation verdict; [Fail] carries the first-principles discrepancy. *)
 
+(** [is_pass r] is [true] iff [r] is [Pass]. *)
 val is_pass : result -> bool
 
 (** [message r] is [Some m] for failures. *)

@@ -194,10 +194,60 @@ let mos_pullback_cut b params =
 
 let c_candidates = Bfly_obs.Metrics.counter "constructions.mos.candidates"
 
+(* ---- result cache for the pullback sweep ----
+   The instance is fully determined by [log n]; the sweep is deterministic
+   (sequential-order tie-breaking), so entries are keyed on
+   (log n, max_classes). Hits are re-verified from first principles: the
+   closed-form predicted cost is re-evaluated for the cached parameters,
+   the witness side must be an exact bisection, and its boundary is
+   recounted on the butterfly graph. *)
+
+let pullback_encode (({ t1; t3; r1; r3 } : mos_params), cost, side) =
+  Bfly_cache.Codec.
+    [
+      ("t1", Int t1);
+      ("t3", Int t3);
+      ("r1", Int r1);
+      ("r3", Int r3);
+      ("cost", Int cost);
+      ("witness", bits side);
+    ]
+
+let pullback_decode b payload =
+  let open Bfly_cache.Codec in
+  match
+    ( get_int payload "t1",
+      get_int payload "t3",
+      get_int payload "r1",
+      get_int payload "r3",
+      get_int payload "cost",
+      get_bits payload "witness" ~capacity:(Butterfly.size b) )
+  with
+  | Some t1, Some t3, Some r1, Some r3, Some cost, Some side ->
+      Some ({ t1; t3; r1; r3 }, cost, side)
+  | _ -> None
+
+let pullback_verify b (params, cost, side) =
+  match mos_predicted_cost b params with
+  | exception Invalid_argument _ -> false
+  | None -> false
+  | Some predicted ->
+      predicted = cost
+      && Bitset.cardinal side = Butterfly.size b / 2
+      && Bfly_graph.Traverse.boundary_edges (Butterfly.graph b) side = cost
+
 let best_mos_pullback ?(max_classes = 256) b =
   let ell = Butterfly.log_n b in
   if ell < 2 then invalid_arg "Constructions.best_mos_pullback: log n < 2";
   Bfly_obs.Span.time ~name:"constructions.mos_pullback" @@ fun () ->
+  let key =
+    Bfly_cache.Key.make ~solver:"cuts.constructions.best_mos_pullback"
+      ~salt:"mos-pullback/1"
+      ~params:[ ("max_classes", string_of_int max_classes) ]
+      ~fingerprint:
+        Bfly_cache.Fingerprint.(int (string seed "butterfly") ell)
+  in
+  let compute () =
   (* the (t1, t3) window choices are independent — sweep them across the
      domain pool, scanning each window's (r1, r3) grid locally; ties keep
      the earliest candidate in the sequential enumeration order, so the
@@ -240,5 +290,9 @@ let best_mos_pullback ?(max_classes = 256) b =
       ~f:best_in_window ~combine:keep_earlier
   in
   match best with
-  | None -> invalid_arg "Constructions.best_mos_pullback: no feasible parameters"
+  | None ->
+      invalid_arg "Constructions.best_mos_pullback: no feasible parameters"
   | Some (params, cost) -> (params, cost, mos_pullback_cut b params)
+  in
+  Bfly_cache.Store.memoize ~key ~encode:pullback_encode
+    ~decode:(pullback_decode b) ~verify:(pullback_verify b) ~compute

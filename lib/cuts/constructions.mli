@@ -60,7 +60,11 @@ val mos_pullback_cut : Bfly_networks.Butterfly.t -> mos_params -> Bfly_graph.Bit
     broken toward the earliest window in sequential enumeration order, so
     the result is independent of [BFLY_DOMAINS]. Records the
     [constructions.mos.candidates] counter and the
-    [constructions.mos_pullback] timer in {!Bfly_obs.Metrics}.
+    [constructions.mos_pullback] timer in {!Bfly_obs.Metrics}. The sweep
+    result persists in the {!Bfly_cache} store keyed on
+    [(log n, max_classes)]; a cached entry is only served after its
+    closed-form cost is re-derived from the cached parameters and its
+    witness side re-checked (exact bisection, recounted boundary).
     @raise Invalid_argument when [log n < 2] (no valid parameters). *)
 val best_mos_pullback :
   ?max_classes:int ->

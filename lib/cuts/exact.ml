@@ -253,10 +253,65 @@ let c_nodes = Metrics.counter "exact.bb.nodes"
 let c_prefixes = Metrics.counter "exact.bb.prefixes"
 let g_best = Metrics.gauge "exact.bb.best_capacity"
 
+(* ---- result cache ----
+   A successful run — bounded or not — returns the global minimum over the
+   feasible cuts (a bounded run that finds nothing raises instead), so
+   entries are keyed on (graph, u) only and the [upper_bound] constraint is
+   re-applied at serve time. Only successful runs are stored. *)
+
+module Cache = Bfly_cache.Store
+module Key = Bfly_cache.Key
+module Codec = Bfly_cache.Codec
+module Fp = Bfly_cache.Fingerprint
+
+let cache_key ?u g =
+  let fp = Fp.graph Fp.seed g in
+  let fp, u_param =
+    match u with
+    | None -> (Fp.string fp "all", "all")
+    | Some s -> (Fp.bitset fp s, Printf.sprintf "k%d" (Bitset.cardinal s))
+  in
+  Key.make ~solver:"cuts.exact.bisection_width" ~salt:"exact/1"
+    ~params:[ ("u", u_param) ] ~fingerprint:fp
+
+let cache_encode (c, side) =
+  [ ("value", Codec.Int c); ("witness", Codec.bits side) ]
+
+let cache_decode n payload =
+  match
+    (Codec.get_int payload "value", Codec.get_bits payload "witness" ~capacity:n)
+  with
+  | Some c, Some side -> Some (c, side)
+  | _ -> None
+
+(* verify-on-hit: recount the witness from first principles — balanced
+   split of [u] and capacity equal to the stored value *)
+let cache_verify ?u g (c, side) =
+  let n = G.n_nodes g in
+  let u_tot, in_u =
+    match u with
+    | None -> (n, Bitset.cardinal side)
+    | Some s -> (Bitset.cardinal s, Bitset.cardinal (Bitset.inter side s))
+  in
+  in_u >= u_tot / 2
+  && in_u <= (u_tot + 1) / 2
+  && Traverse.boundary_edges g side = c
+
 let bisection_width ?u ?upper_bound g =
   let n = G.n_nodes g in
   if n = 0 then invalid_arg "Exact: empty graph";
   Span.time ~name:"exact.bisection_width" @@ fun () ->
+  let key = cache_key ?u g in
+  match
+    Cache.lookup ~key ~decode:(cache_decode n) ~verify:(cache_verify ?u g)
+  with
+  | Some (c, side) -> (
+      match upper_bound with
+      | Some b when c > b ->
+          invalid_arg
+            "Exact.bisection_width: no cut at or below the given upper bound"
+      | _ -> (c, side))
+  | None ->
   let init = match upper_bound with Some b -> b + 1 | None -> max_int in
   let bb = make_bb g u init in
   (* initialize sum_min: all zero counts -> 0; fix node order.(0) to side A *)
@@ -295,7 +350,9 @@ let bisection_width ?u ?upper_bound g =
   | Some (c, _) -> Metrics.set g_best (float_of_int c)
   | None -> ());
   match !(bb.witness) with
-  | Some (c, side) -> (c, side)
+  | Some (c, side) ->
+      Cache.put ~key ~encode:cache_encode (c, side);
+      (c, side)
   | None -> (
       (* no cut better than the provided upper bound was found; fall back to
          reporting the bound with an exhaustive witness only if feasible *)

@@ -24,7 +24,15 @@
     against the globally best cut found so far. The returned value is
     independent of [BFLY_DOMAINS]. Records [exact.bb.nodes] (search nodes
     visited) and [exact.bb.prefixes] counters, the [exact.bb.best_capacity]
-    gauge and the [exact.bisection_width] timer in {!Bfly_obs.Metrics}. *)
+    gauge and the [exact.bisection_width] timer in {!Bfly_obs.Metrics}.
+
+    Results persist in the {!Bfly_cache} result store, keyed on the
+    canonical graph fingerprint and [u] (but {e not} [upper_bound]: a
+    successful run always returns the global minimum, so the bound is
+    merely re-applied when a cached entry is served — a cached value above
+    the bound raises the same [Invalid_argument] a live search would).
+    Cached witnesses are re-verified (balance and recounted capacity)
+    before being served; on a hit the B&B counters are untouched. *)
 val bisection_width :
   ?u:Bfly_graph.Bitset.t ->
   ?upper_bound:int ->

@@ -27,6 +27,46 @@ let record_kernel ~kernel ~restarts ~capacity =
     (Metrics.gauge ("heuristics." ^ kernel ^ ".best_capacity"))
     (float_of_int capacity)
 
+(* ---- result cache ----
+   Heuristic results are deterministic in (graph, params, restart seeds):
+   the seeds are drawn from the caller's rng *before* the cache is
+   consulted — exactly as they are drawn before dispatch — so a hit leaves
+   the rng stream in the same state as a computed run and returns the same
+   cut that run would have produced. The seeds are part of the key, never
+   guessed. Entries are re-verified on hit: balanced side, recounted
+   capacity. *)
+
+module Cache = Bfly_cache.Store
+module Key = Bfly_cache.Key
+module Codec = Bfly_cache.Codec
+module Fp = Bfly_cache.Fingerprint
+
+let cut_encode (c, side) =
+  [ ("value", Codec.Int c); ("witness", Codec.bits side) ]
+
+let cut_decode n payload =
+  match
+    (Codec.get_int payload "value", Codec.get_bits payload "witness" ~capacity:n)
+  with
+  | Some c, Some side -> Some (c, side)
+  | _ -> None
+
+let cut_verify g (c, side) =
+  let n = G.n_nodes g in
+  let card = Bitset.cardinal side in
+  card >= n / 2
+  && card <= (n + 1) / 2
+  && Bfly_graph.Traverse.boundary_edges g side = c
+
+let cached_kernel ~kernel ~salt ~params ~seeds g compute =
+  let key =
+    Key.make ~solver:("cuts.heuristics." ^ kernel) ~salt ~params
+      ~fingerprint:(Fp.int_array (Fp.graph Fp.seed g) seeds)
+  in
+  Cache.memoize ~key ~encode:cut_encode
+    ~decode:(cut_decode (G.n_nodes g))
+    ~verify:(cut_verify g) ~compute
+
 let random_balanced_side ~rng n =
   let perm = Bfly_graph.Perm.random ~rng n in
   let side = Bitset.create n in
@@ -101,6 +141,10 @@ let kernighan_lin ?rng ?(restarts = 4) g =
   Span.time ~name:"heuristics.kl" @@ fun () ->
   let n = G.n_nodes g in
   let seeds = derive_seeds rng restarts in
+  cached_kernel ~kernel:"kl" ~salt:"kl/1"
+    ~params:[ ("restarts", string_of_int restarts) ]
+    ~seeds g
+  @@ fun () ->
   let restart i =
     let rng = Random.State.make [| 0x6b6c; seeds.(i) |] in
     let st = State.create g (random_balanced_side ~rng n) in
@@ -225,6 +269,10 @@ let fiduccia_mattheyses ?rng ?(restarts = 4) g =
   Span.time ~name:"heuristics.fm" @@ fun () ->
   let n = G.n_nodes g in
   let seeds = derive_seeds rng restarts in
+  cached_kernel ~kernel:"fm" ~salt:"fm/1"
+    ~params:[ ("restarts", string_of_int restarts) ]
+    ~seeds g
+  @@ fun () ->
   let restart i =
     let rng = Random.State.make [| 0x666d; seeds.(i) |] in
     let st = State.create g (random_balanced_side ~rng n) in
@@ -240,6 +288,10 @@ let fiduccia_mattheyses ?rng ?(restarts = 4) g =
 (* ------------------------------------------------------------------ *)
 
 let spectral g =
+  (* fully deterministic (fixed start vector, fixed iteration count):
+     keyed on the graph alone *)
+  cached_kernel ~kernel:"spectral" ~salt:"spectral/1" ~params:[] ~seeds:[||] g
+  @@ fun () ->
   let n = G.n_nodes g in
   let c = float_of_int (G.max_degree g + 1) in
   let v = Array.init n (fun i -> Float.of_int ((i * 2654435761) land 0xffff) -. 32768.) in
@@ -322,6 +374,11 @@ let annealing ?rng ?steps ?(restarts = 1) g =
   let n = G.n_nodes g in
   let steps = match steps with Some s -> s | None -> min 2_000_000 (400 * n) in
   let seeds = derive_seeds rng restarts in
+  cached_kernel ~kernel:"sa" ~salt:"sa/1"
+    ~params:
+      [ ("restarts", string_of_int restarts); ("steps", string_of_int steps) ]
+    ~seeds g
+  @@ fun () ->
   let restart i =
     anneal_once ~rng:(Random.State.make [| 0x5a5a; seeds.(i) |]) ~steps g
   in

@@ -12,7 +12,16 @@
     toward the earliest restart, so a fixed [rng] seed gives identical
     results at any [BFLY_DOMAINS] setting. Each solver records its work in
     {!Bfly_obs.Metrics} under [heuristics.<kernel>.*] and a timer span of
-    the same stem (e.g. [heuristics.kl.restarts], [heuristics.kl]). *)
+    the same stem (e.g. [heuristics.kl.restarts], [heuristics.kl]).
+
+    Because results are deterministic in (graph, parameters, derived
+    seeds), every kernel persists its result in the {!Bfly_cache} store
+    keyed on exactly those. The seeds are drawn from [rng] {e before} the
+    cache is consulted — the same draws a computed run makes — so a hit
+    returns the identical cut {e and} leaves the caller's rng stream in
+    the identical state. Cached cuts are re-verified (balance, recounted
+    capacity) before being served; the [heuristics.<kernel>.*] counters
+    only advance on actual compute. *)
 
 val kernighan_lin :
   ?rng:Random.State.t ->

@@ -44,7 +44,41 @@ let exact_min g ~k score =
       Array.iter (Bitset.add side) subset;
       (c, side)
 
+(* ---- result cache for the exact minimizers ----
+   Exhaustive enumeration is deterministic in (graph, k), so entries are
+   keyed on exactly that. Hits are re-verified from first principles: the
+   cached witness must have cardinality [k] and its expansion — recounted
+   with the same definitional measure the solver minimizes — must equal
+   the cached optimum. The annealing minimizers below are deliberately
+   not cached: they consume the caller's rng throughout their loop, so a
+   served hit could not leave the rng stream in the computed-run state. *)
+
+let cached_exact ~measure ~salt ~recount g ~k compute =
+  let open Bfly_cache in
+  let key =
+    Key.make
+      ~solver:("expansion." ^ measure)
+      ~salt
+      ~params:[ ("k", string_of_int k) ]
+      ~fingerprint:(Fingerprint.graph Fingerprint.seed g)
+  in
+  let encode (c, side) =
+    [ ("value", Codec.Int c); ("witness", Codec.bits side) ]
+  in
+  let decode payload =
+    match
+      ( Codec.get_int payload "value",
+        Codec.get_bits payload "witness" ~capacity:(G.n_nodes g) )
+    with
+    | Some c, Some side -> Some (c, side)
+    | _ -> None
+  in
+  let verify (c, side) = Bitset.cardinal side = k && recount g side = c in
+  Store.memoize ~key ~encode ~decode ~verify ~compute
+
 let ee_exact g ~k =
+  cached_exact ~measure:"ee_exact" ~salt:"ee/1" ~recount:edge_expansion g ~k
+  @@ fun () ->
   exact_min g ~k (fun member subset ->
       Array.fold_left
         (fun acc v ->
@@ -52,6 +86,8 @@ let ee_exact g ~k =
         0 subset)
 
 let ne_exact g ~k =
+  cached_exact ~measure:"ne_exact" ~salt:"ne/1" ~recount:node_expansion g ~k
+  @@ fun () ->
   exact_min g ~k (fun member subset ->
       let seen = Hashtbl.create 16 in
       Array.iter

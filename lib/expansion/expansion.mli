@@ -4,7 +4,13 @@
 
     Exact values come from (parallel) enumeration of all k-subsets —
     exponential, intended for the small instances of experiments E5–E8;
-    an annealing minimizer provides upper-bound witnesses beyond that. *)
+    an annealing minimizer provides upper-bound witnesses beyond that.
+
+    The exact minimizers persist their results in the {!Bfly_cache} store
+    keyed on [(graph, k)]; cached witnesses are re-verified (cardinality
+    and re-measured expansion) before being served. The annealing
+    minimizers are not cached: they consume [rng] throughout their run, so
+    serving a stored result would desynchronize the caller's rng stream. *)
 
 (** [edge_expansion g s] is [C(S, S̄)]. *)
 val edge_expansion : Bfly_graph.Graph.t -> Bfly_graph.Bitset.t -> int

@@ -14,20 +14,63 @@ let capacity_at ~j ~a ~b ~m2_in_a =
   let n_mix = (a * (j - b)) + ((j - a) * b) in
   n_mix + (2 * max 0 (n_ss - m2_in_a)) + (2 * max 0 (m2_in_a - n_ss - n_mix))
 
-let bw_m2 j =
-  if j < 1 then invalid_arg "Mos_analysis.bw_m2: j must be >= 1";
+let balanced_middles m2 =
+  if m2 mod 2 = 0 then [ m2 / 2 ] else [ m2 / 2; (m2 / 2) + 1 ]
+
+(* The scan returns its argmin so a cached entry carries a witness:
+   on a hit, [capacity_at] re-derives the value from the witness before
+   it is served. *)
+let bw_m2_scan j =
   let m2 = j * j in
-  let best = ref max_int in
+  let best = ref (max_int, 0, 0, 0) in
   for a = 0 to j do
     for b = 0 to j do
       List.iter
         (fun m2_in_a ->
           let c = capacity_at ~j ~a ~b ~m2_in_a in
-          if c < !best then best := c)
-        (if m2 mod 2 = 0 then [ m2 / 2 ] else [ m2 / 2; (m2 / 2) + 1 ])
+          let bc, _, _, _ = !best in
+          if c < bc then best := (c, a, b, m2_in_a))
+        (balanced_middles m2)
     done
   done;
   !best
+
+let bw_m2_verify j (v, a, b, m2_in_a) =
+  0 <= a && a <= j && 0 <= b && b <= j
+  && List.mem m2_in_a (balanced_middles (j * j))
+  && capacity_at ~j ~a ~b ~m2_in_a = v
+
+let bw_m2 j =
+  if j < 1 then invalid_arg "Mos_analysis.bw_m2: j must be >= 1";
+  let open Bfly_cache in
+  let key =
+    Key.make ~solver:"mos.bw_m2" ~salt:"bw_m2/1"
+      ~params:[ ("j", string_of_int j) ]
+      ~fingerprint:(Fingerprint.int Fingerprint.seed j)
+  in
+  let encode (v, a, b, m2_in_a) =
+    [
+      ("value", Codec.Int v);
+      ("a", Codec.Int a);
+      ("b", Codec.Int b);
+      ("m2_in_a", Codec.Int m2_in_a);
+    ]
+  in
+  let decode payload =
+    match
+      ( Codec.get_int payload "value",
+        Codec.get_int payload "a",
+        Codec.get_int payload "b",
+        Codec.get_int payload "m2_in_a" )
+    with
+    | Some v, Some a, Some b, Some m -> Some (v, a, b, m)
+    | _ -> None
+  in
+  let v, _, _, _ =
+    Store.memoize ~key ~encode ~decode ~verify:(bw_m2_verify j)
+      ~compute:(fun () -> bw_m2_scan j)
+  in
+  v
 
 let bw_m2_brute j =
   if j > 4 then invalid_arg "Mos_analysis.bw_m2_brute: j too large";

@@ -20,7 +20,10 @@ val f_argmin : float
 val capacity_at : j:int -> a:int -> b:int -> m2_in_a:int -> int
 
 (** [bw_m2 j] is the exact [BW(MOS_{j,j}, M2)]: the minimum of
-    {!capacity_at} over all [(a, b)] and both balanced middle counts. *)
+    {!capacity_at} over all [(a, b)] and both balanced middle counts.
+    The scan's argmin persists in the {!Bfly_cache} store keyed on [j];
+    a cached entry is served only after {!capacity_at} re-derives its
+    value from the cached [(a, b, m2_in_a)] witness. *)
 val bw_m2 : int -> int
 
 (** [bw_m2_brute j] computes the same by exhaustive search over all cuts of

@@ -35,9 +35,13 @@ val timer : string -> timer
 (** {1 Updates} *)
 
 val incr : counter -> unit
+(** [incr c] adds 1 to [c]. *)
+
 val add : counter -> int -> unit
+(** [add c n] adds [n] (which must be non-negative) to [c]. *)
 
 val set : gauge -> float -> unit
+(** [set g v] overwrites [g] with [v]. *)
 
 val record : timer -> ns:int -> unit
 (** [record t ~ns] folds one span of [ns] nanoseconds into [t]. Negative
@@ -47,11 +51,16 @@ val record : timer -> ns:int -> unit
 (** {1 Reads} *)
 
 val counter_value : counter -> int
+(** Current value of a counter (atomic read). *)
+
 val gauge_value : gauge -> float
+(** Last value written to a gauge. *)
 
 type timer_stat = { count : int; total_ns : int; max_ns : int }
+(** Aggregate of every span recorded into one timer. *)
 
 val timer_stat : timer -> timer_stat
+(** Current aggregate of a timer. *)
 
 type snapshot = {
   counters : (string * int) list;

@@ -1,0 +1,399 @@
+(* Tests for the persistent content-addressed result cache (lib/cache):
+   key derivation, the two-tier store, verify-on-hit eviction, the
+   BFLY_CACHE=off bypass, and the solver integrations (exact, heuristics,
+   MOS pullback, expansion, bw_m2) — including the rng-stream and
+   counter-delta guarantees the integrations document. *)
+
+module Store = Bfly_cache.Store
+module Config = Bfly_cache.Config
+module Key = Bfly_cache.Key
+module Codec = Bfly_cache.Codec
+module Fp = Bfly_cache.Fingerprint
+module Metrics = Bfly_obs.Metrics
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Butterfly = Bfly_networks.Butterfly
+open Tu
+
+let counter name = Metrics.counter_value (Metrics.counter name)
+
+(* run [f] and return (result, named counter delta) *)
+let delta name f =
+  let v0 = counter name in
+  let r = f () in
+  (r, counter name - v0)
+
+(* Each case runs against its own empty on-disk store and a clean memory
+   tier, then restores the previous configuration — cases can't see each
+   other's entries and the rest of the test binary can't see theirs. *)
+let fresh_id = ref 0
+
+let with_fresh_cache f =
+  incr fresh_id;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bfly-cache-test-%d-%d" (Unix.getpid ()) !fresh_id)
+  in
+  let was_enabled = Config.enabled () in
+  let old_dir = Config.dir () in
+  let old_cap = Config.lru_capacity () in
+  let restore () =
+    Config.set_enabled true;
+    Config.set_dir dir;
+    ignore (Store.clear ());
+    (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ());
+    Config.set_enabled was_enabled;
+    Config.set_dir old_dir;
+    Config.set_lru_capacity old_cap;
+    Store.reset_memory ()
+  in
+  Config.set_enabled true;
+  Config.set_dir dir;
+  Config.set_lru_capacity 512;
+  Store.reset_memory ();
+  match f dir with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e
+
+(* a small graph worth caching: B_4, 12 nodes *)
+let b4_graph () = Butterfly.graph (Butterfly.of_inputs 4)
+
+(* ---- store primitives ---- *)
+
+let int_key ?(solver = "test.solver") ?(salt = "s/1") ?(params = []) tag =
+  Key.make ~solver ~salt ~params ~fingerprint:(Fp.int Fp.seed tag)
+
+let int_encode v = [ ("value", Codec.Int v) ]
+let int_decode payload = Codec.get_int payload "value"
+
+let memo_int ?verify key v =
+  let verify = match verify with Some f -> f | None -> fun _ -> true in
+  Store.memoize ~key ~encode:int_encode ~decode:int_decode ~verify
+    ~compute:(fun () -> v)
+
+let test_memoize_hit () =
+  with_fresh_cache @@ fun _ ->
+  let key = int_key 1 in
+  let computes = ref 0 in
+  let run () =
+    Store.memoize ~key ~encode:int_encode ~decode:int_decode
+      ~verify:(fun _ -> true)
+      ~compute:(fun () ->
+        incr computes;
+        42)
+  in
+  let v1, miss1 = delta "cache.miss" run in
+  let v2, hit2 = delta "cache.hit" run in
+  check "first computes" 42 v1;
+  check "second serves" 42 v2;
+  check "one compute only" 1 !computes;
+  check "first missed" 1 miss1;
+  check "second hit" 1 hit2
+
+let test_disk_tier_round_trip () =
+  with_fresh_cache @@ fun _ ->
+  let key = int_key 2 in
+  ignore (memo_int key 7);
+  Store.reset_memory ();
+  let v, disk_hits = delta "cache.hit.disk" (fun () -> memo_int key 7) in
+  check "served" 7 v;
+  check "from disk" 1 disk_hits;
+  (* the disk hit promoted the entry back into memory *)
+  let v, mem_hits = delta "cache.hit.mem" (fun () -> memo_int key 0) in
+  check "served again" 7 v;
+  check "from memory" 1 mem_hits
+
+let test_key_sensitivity () =
+  let base = Key.digest (int_key 1) in
+  checkb "same inputs, same digest" true
+    (Key.digest (int_key 1) = base);
+  checkb "fingerprint changes digest" false
+    (Key.digest (int_key 2) = base);
+  checkb "solver changes digest" false
+    (Key.digest (int_key ~solver:"test.other" 1) = base);
+  checkb "salt changes digest" false
+    (Key.digest (int_key ~salt:"s/2" 1) = base);
+  checkb "params change digest" false
+    (Key.digest (int_key ~params:[ ("k", "3") ] 1) = base)
+
+let test_graph_fingerprint_canonical () =
+  (* same edge set presented in different orders must fingerprint alike *)
+  let edges = [ (0, 1); (1, 2); (2, 3); (0, 3); (1, 3) ] in
+  let g1 = G.of_edge_list ~n:4 edges in
+  let g2 = G.of_edge_list ~n:4 (List.rev edges) in
+  checkb "order-independent" true
+    (Fp.graph Fp.seed g1 = Fp.graph Fp.seed g2);
+  let g3 = G.of_edge_list ~n:4 [ (0, 1); (1, 2); (2, 3); (0, 3); (0, 2) ] in
+  checkb "different edges differ" false
+    (Fp.graph Fp.seed g1 = Fp.graph Fp.seed g3)
+
+let test_corrupt_entry_recomputed () =
+  with_fresh_cache @@ fun dir ->
+  let key = int_key 3 in
+  ignore (memo_int key 11);
+  Store.reset_memory ();
+  (* flip payload bytes on disk: checksum mismatch -> Corrupt *)
+  let file = Filename.concat dir (Key.filename key) in
+  let contents = In_channel.with_open_bin file In_channel.input_all in
+  let corrupted =
+    String.map (fun c -> if c = '1' then '9' else c) contents
+  in
+  Out_channel.with_open_bin file (fun oc -> output_string oc corrupted);
+  let v, fails = delta "cache.verify_fail" (fun () -> memo_int key 11) in
+  check "recomputed" 11 v;
+  checkb "corruption detected" true (fails >= 1);
+  (* the bad entry was evicted and replaced; next lookup serves clean *)
+  Store.reset_memory ();
+  let v, hits = delta "cache.hit" (fun () -> memo_int key 0) in
+  check "replacement serves" 11 v;
+  check "clean hit" 1 hits
+
+let test_verify_failure_evicts () =
+  with_fresh_cache @@ fun _ ->
+  let key = int_key 4 in
+  ignore (memo_int key 5);
+  Store.reset_memory ();
+  (* a verifier that rejects the (decodable) entry forces recompute *)
+  let v, fails =
+    delta "cache.verify_fail" (fun () ->
+        Store.memoize ~key ~encode:int_encode ~decode:int_decode
+          ~verify:(fun v -> v > 100)
+          ~compute:(fun () -> 200))
+  in
+  check "recomputed past bad witness" 200 v;
+  check "verify failure counted" 1 fails
+
+let test_env_off_bypasses () =
+  with_fresh_cache @@ fun dir ->
+  let key = int_key 5 in
+  Unix.putenv "BFLY_CACHE" "off";
+  Config.reload ();
+  (* reload also re-read BFLY_CACHE_DIR; point back at this case's dir *)
+  Config.set_dir dir;
+  let finish () =
+    Unix.putenv "BFLY_CACHE" "1";
+    Config.reload ();
+    Config.set_enabled true;
+    Config.set_dir dir;
+    Config.set_lru_capacity 512
+  in
+  (match
+     checkb "env disables" false (Config.enabled ());
+     let computes = ref 0 in
+     let run () =
+       Store.memoize ~key ~encode:int_encode ~decode:int_decode
+         ~verify:(fun _ -> true)
+         ~compute:(fun () ->
+           incr computes;
+           9)
+     in
+     let v1, hits = delta "cache.hit" (fun () -> ignore (run ()); run ()) in
+     check "still computes" 9 v1;
+     check "computed both times" 2 !computes;
+     check "no hits counted" 0 hits;
+     check "stored nothing" 0 (Store.stats ()).disk.entries
+   with
+  | () -> finish ()
+  | exception e ->
+      finish ();
+      raise e);
+  checkb "re-enabled" true (Config.enabled ())
+
+let test_lru_eviction () =
+  with_fresh_cache @@ fun _ ->
+  Config.set_lru_capacity 2;
+  let _, evicted =
+    delta "cache.evict" (fun () ->
+        ignore (memo_int (int_key 10) 1);
+        ignore (memo_int (int_key 11) 2);
+        ignore (memo_int (int_key 12) 3))
+  in
+  checkb "memory bounded" true (Store.memory_length () <= 2);
+  checkb "eviction counted" true (evicted >= 1);
+  (* the evicted entry is still on disk *)
+  let v, disk_hits = delta "cache.hit.disk" (fun () -> memo_int (int_key 10) 0) in
+  check "evicted entry served from disk" 1 v;
+  check "disk hit" 1 disk_hits
+
+(* ---- solver integrations ---- *)
+
+let test_exact_warm_identity () =
+  with_fresh_cache @@ fun _ ->
+  let g = b4_graph () in
+  let (c1, s1), cold_nodes =
+    delta "exact.bb.nodes" (fun () -> Bfly_cuts.Exact.bisection_width g)
+  in
+  let (c2, s2), warm_nodes =
+    delta "exact.bb.nodes" (fun () -> Bfly_cuts.Exact.bisection_width g)
+  in
+  check "same width" c1 c2;
+  checkb "identical witness" true (Bitset.equal s1 s2);
+  checkb "cold run searched" true (cold_nodes > 0);
+  check "warm run searched nothing" 0 warm_nodes
+
+let test_exact_upper_bound_semantics () =
+  with_fresh_cache @@ fun _ ->
+  let g = b4_graph () in
+  let c, _ = Bfly_cuts.Exact.bisection_width g in
+  (* a satisfiable bound is served from cache *)
+  let (c', _), hits =
+    delta "cache.hit" (fun () ->
+        Bfly_cuts.Exact.bisection_width ~upper_bound:c g)
+  in
+  check "bound satisfied from cache" c c';
+  check "served as hit" 1 hits;
+  (* an unsatisfiable bound raises the same error warm as cold *)
+  checkb "unsatisfiable bound still raises" true
+    (match Bfly_cuts.Exact.bisection_width ~upper_bound:(c - 1) g with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_exact_u_in_key () =
+  with_fresh_cache @@ fun _ ->
+  let g = b4_graph () in
+  let u = Bitset.create (G.n_nodes g) in
+  List.iter (Bitset.add u) [ 0; 1; 2; 3 ];
+  let c_all, _ = Bfly_cuts.Exact.bisection_width g in
+  let (c_u, _), misses =
+    delta "cache.miss" (fun () -> Bfly_cuts.Exact.bisection_width ~u g)
+  in
+  check "distinct u misses" 1 misses;
+  (* U-bisection of the inputs only: a different problem, typically a
+     different optimum; either way both warm lookups stay consistent *)
+  let c_all', _ = Bfly_cuts.Exact.bisection_width g in
+  let c_u', _ = Bfly_cuts.Exact.bisection_width ~u g in
+  check "full-bisection stable" c_all c_all';
+  check "u-bisection stable" c_u c_u'
+
+let test_heuristic_rng_stream_preserved () =
+  with_fresh_cache @@ fun _ ->
+  let g = b4_graph () in
+  let run () =
+    let rng = Random.State.make [| 0xfeed |] in
+    let r = Bfly_cuts.Heuristics.kernighan_lin ~rng ~restarts:2 g in
+    (r, Random.State.bits rng)
+  in
+  let (c1, s1), draw1 = run () in
+  let ((c2, s2), draw2), hits = delta "cache.hit" (fun () -> run ()) in
+  check "same capacity" c1 c2;
+  checkb "same witness" true (Bitset.equal s1 s2);
+  check "warm run hit" 1 hits;
+  check "rng stream position identical after hit" draw1 draw2
+
+let test_heuristic_params_in_key () =
+  with_fresh_cache @@ fun _ ->
+  let g = b4_graph () in
+  let run restarts =
+    Bfly_cuts.Heuristics.fiduccia_mattheyses
+      ~rng:(Random.State.make [| 0xabc |])
+      ~restarts g
+  in
+  ignore (run 2);
+  let _, misses = delta "cache.miss" (fun () -> run 3) in
+  check "different restarts is a different key" 1 misses;
+  let _, hits = delta "cache.hit" (fun () -> run 2) in
+  check "original key still hot" 1 hits
+
+let test_spectral_and_sa_cached () =
+  with_fresh_cache @@ fun _ ->
+  let g = b4_graph () in
+  let c1, _ = Bfly_cuts.Heuristics.spectral g in
+  let (c2, _), hits = delta "cache.hit" (fun () -> Bfly_cuts.Heuristics.spectral g) in
+  check "spectral stable" c1 c2;
+  check "spectral cached" 1 hits;
+  let sa () =
+    Bfly_cuts.Heuristics.annealing
+      ~rng:(Random.State.make [| 0x5a |])
+      ~steps:500 g
+  in
+  let c3, _ = sa () in
+  let (c4, _), hits = delta "cache.hit" (fun () -> sa ()) in
+  check "annealing stable" c3 c4;
+  check "annealing cached" 1 hits
+
+let test_pullback_and_bw_m2_cached () =
+  with_fresh_cache @@ fun _ ->
+  let b = Butterfly.of_inputs 16 in
+  let p1, cost1, s1 = Bfly_cuts.Constructions.best_mos_pullback b in
+  let (p2, cost2, s2), hits =
+    delta "cache.hit" (fun () -> Bfly_cuts.Constructions.best_mos_pullback b)
+  in
+  checkb "same parameters" true (p1 = p2);
+  check "same cost" cost1 cost2;
+  checkb "same witness" true (Bitset.equal s1 s2);
+  check "pullback cached" 1 hits;
+  let v1 = Bfly_mos.Mos_analysis.bw_m2 17 in
+  let v2, hits = delta "cache.hit" (fun () -> Bfly_mos.Mos_analysis.bw_m2 17) in
+  check "bw_m2 stable" v1 v2;
+  check "bw_m2 cached" 1 hits
+
+let test_expansion_cached () =
+  with_fresh_cache @@ fun _ ->
+  let g = b4_graph () in
+  let ee1, ew1 = Bfly_expansion.Expansion.ee_exact g ~k:3 in
+  let (ee2, ew2), hits =
+    delta "cache.hit" (fun () -> Bfly_expansion.Expansion.ee_exact g ~k:3)
+  in
+  check "EE stable" ee1 ee2;
+  checkb "EE witness stable" true (Bitset.equal ew1 ew2);
+  check "EE cached" 1 hits;
+  let ne1, _ = Bfly_expansion.Expansion.ne_exact g ~k:3 in
+  let (ne2, _), hits =
+    delta "cache.hit" (fun () -> Bfly_expansion.Expansion.ne_exact g ~k:3)
+  in
+  check "NE stable" ne1 ne2;
+  check "NE cached" 1 hits;
+  (* k is part of the key *)
+  let _, misses =
+    delta "cache.miss" (fun () -> Bfly_expansion.Expansion.ee_exact g ~k:4)
+  in
+  check "different k misses" 1 misses
+
+let test_fuzzer_agrees_cache_on_off () =
+  with_fresh_cache @@ fun _ ->
+  (* the differential-oracle suite must produce the identical document on
+     a cold cache, a warm cache, and with the cache disabled *)
+  let doc ~enabled =
+    Config.set_enabled enabled;
+    let json, ok = Bfly_check.Run.execute ~seed:11 ~rounds:2 ~smoke:true in
+    checkb "suite passes" true ok;
+    Bfly_obs.Json.to_string json
+  in
+  let cold = doc ~enabled:true in
+  let warm = doc ~enabled:true in
+  let off = doc ~enabled:false in
+  checkb "cold = warm" true (String.equal cold warm);
+  checkb "warm = off" true (String.equal warm off)
+
+let suite =
+  [
+    case "memoize: computes once, then serves" test_memoize_hit;
+    case "disk tier round trip and promotion" test_disk_tier_round_trip;
+    case "key digest tracks every component" test_key_sensitivity;
+    case "graph fingerprint is edge-order canonical"
+      test_graph_fingerprint_canonical;
+    case "corrupted entry detected and recomputed" test_corrupt_entry_recomputed;
+    case "verify failure evicts and recomputes" test_verify_failure_evicts;
+    case "BFLY_CACHE=off bypasses both tiers" test_env_off_bypasses;
+    case "LRU bounds memory; evicted entries stay on disk" test_lru_eviction;
+    case "exact: warm hit is identical, zero search nodes"
+      test_exact_warm_identity;
+    case "exact: upper_bound re-applied at serve time"
+      test_exact_upper_bound_semantics;
+    case "exact: u-subset is part of the key" test_exact_u_in_key;
+    case "heuristics: hit preserves caller's rng stream"
+      test_heuristic_rng_stream_preserved;
+    case "heuristics: parameters are part of the key"
+      test_heuristic_params_in_key;
+    case "heuristics: spectral and annealing cached" test_spectral_and_sa_cached;
+    case "pullback sweep and bw_m2 cached" test_pullback_and_bw_m2_cached;
+    case "expansion: exact minimizers cached per (graph, k)"
+      test_expansion_cached;
+    slow_case "differential suite agrees cache on/warm/off"
+      test_fuzzer_agrees_cache_on_off;
+  ]

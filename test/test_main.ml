@@ -11,6 +11,7 @@ let () =
       ("networks-misc", Test_networks_misc.suite);
       ("multibutterfly", Test_multibutterfly.suite);
       ("cuts", Test_cuts.suite);
+      ("cache", Test_cache.suite);
       ("flow-and-layout", Test_flow_layout.suite);
       ("generators", Test_generators.suite);
       ("level-cut", Test_level_cut.suite);
