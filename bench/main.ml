@@ -31,10 +31,16 @@ module Span = Bfly_obs.Span
 
 (* ---- command line ---- *)
 
-let usage = "usage: main.exe [--json FILE] [--values FILE] [--smoke]"
+let usage =
+  "usage: main.exe [--json FILE] [--values FILE] [--smoke] [--deadline D] \
+   [--chaos]"
 
-let json_file, values_file, smoke =
-  let json_file = ref None and values_file = ref None and smoke = ref false in
+let json_file, values_file, smoke, deadline, chaos =
+  let json_file = ref None
+  and values_file = ref None
+  and smoke = ref false
+  and deadline = ref None
+  and chaos = ref false in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
@@ -43,18 +49,29 @@ let json_file, values_file, smoke =
     | "--values" :: file :: rest ->
         values_file := Some file;
         parse rest
-    | [ "--json" ] | [ "--values" ] ->
+    | "--deadline" :: d :: rest -> (
+        match Bfly_resil.Budget.of_string d with
+        | Ok b ->
+            deadline := Some b;
+            parse rest
+        | Error e ->
+            Printf.eprintf "bad --deadline: %s\n%s\n" e usage;
+            exit 2)
+    | [ "--json" ] | [ "--values" ] | [ "--deadline" ] ->
         prerr_endline usage;
         exit 2
     | "--smoke" :: rest ->
         smoke := true;
+        parse rest
+    | "--chaos" :: rest ->
+        chaos := true;
         parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n%s\n" arg usage;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (!json_file, !values_file, !smoke)
+  (!json_file, !values_file, !smoke, !deadline, !chaos)
 
 (* experiments cheap enough to gate every CI run on *)
 let smoke_experiments = [ "E2"; "E4"; "E10"; "E14"; "F1" ]
@@ -77,7 +94,13 @@ let run_experiments () =
       let hit0 = Metrics.counter_value c_hit in
       let miss0 = Metrics.counter_value c_miss in
       let t0 = Span.now_ns () in
-      let out = f () in
+      let out =
+        (* chaos mode: an injected fault escaping an experiment must not
+           kill the whole bench run *)
+        try f ()
+        with Bfly_resil.Fault.Injected m ->
+          Printf.sprintf "(survived injected fault: %s)\n" m
+      in
       let wall_ns = Span.now_ns () - t0 in
       let hits = Metrics.counter_value c_hit - hit0 in
       let misses = Metrics.counter_value c_miss - miss0 in
@@ -214,6 +237,11 @@ let json_document ~experiments ~kernels =
       ("schema", Json.Str "bfly-bench/1");
       ("generated_at", Json.Str (iso8601_utc ()));
       ("mode", Json.Str (if smoke then "smoke" else "full"));
+      ("chaos", Json.Bool chaos);
+      ( "deadline",
+        match deadline with
+        | None -> Json.Null
+        | Some b -> Json.Str (Bfly_resil.Budget.to_string b) );
       ("domains", Json.Int (Bfly_graph.Parallel.domain_count ()));
       ( "bfly_domains_env",
         match Sys.getenv_opt "BFLY_DOMAINS" with
@@ -273,7 +301,22 @@ let write_doc file doc =
   Printf.printf "\nwrote %s\n" file
 
 let () =
-  let experiments = run_experiments () in
+  (* [--deadline] supervises the reproduction stage through the ambient
+     cancel token (cooperating solvers degrade when it fires); [--chaos]
+     additionally arms fault injection around it. The Bechamel stage runs
+     outside both — timings of degraded kernels would be meaningless. *)
+  let under_deadline f =
+    match deadline with
+    | None -> f ()
+    | Some budget ->
+        Bfly_resil.Cancel.with_ambient (Bfly_resil.Cancel.create ~budget ()) f
+  in
+  let experiments =
+    if chaos then
+      Bfly_resil.Fault.scope ~seed:42 Bfly_resil.Fault.all (fun () ->
+          under_deadline run_experiments)
+    else under_deadline run_experiments
+  in
   let kernels = run_micro () in
   (match json_file with
   | None -> ()

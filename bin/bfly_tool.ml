@@ -12,6 +12,8 @@ module G = Bfly_graph.Graph
 module B = Bfly_networks.Butterfly
 module W = Bfly_networks.Wrapped
 module Ccc = Bfly_networks.Ccc
+module Budget = Bfly_resil.Budget
+module Cancel = Bfly_resil.Cancel
 
 type network = Butterfly | Wrapped | Cube_connected_cycles
 
@@ -91,6 +93,36 @@ let no_cache_arg =
 
 let set_cache no_cache = if no_cache then Bfly_cache.Config.set_enabled false
 
+(* ---- --deadline ---- *)
+
+(* Solver subcommands accept [--deadline]: install an ambient
+   Bfly_resil.Cancel token for the duration of the run, so every
+   cooperating solver on the call chain (heuristics, MOS pullback sweep,
+   supervised exact search) degrades gracefully when it fires. *)
+
+let budget_conv =
+  let parse s =
+    match Budget.of_string s with Ok b -> Ok b | Error e -> Error (`Msg e)
+  in
+  let print ppf b = Format.pp_print_string ppf (Budget.to_string b) in
+  Arg.conv (parse, print)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some budget_conv) None
+    & info [ "deadline" ] ~docv:"DURATION"
+        ~doc:
+          "Wall-clock budget for this run (e.g. 250ms, 1.5s, 2m; a bare \
+           number means seconds). When it expires, cooperating solvers stop \
+           refining and return their best certified result so far instead \
+           of running to completion.")
+
+let supervised deadline f =
+  match deadline with
+  | None -> f ()
+  | Some budget -> Cancel.with_ambient (Cancel.create ~budget ()) f
+
 (* ---- info ---- *)
 
 let info_run metrics net n =
@@ -115,10 +147,11 @@ let info_cmd =
 
 (* ---- bisect ---- *)
 
-let bisect_run metrics no_cache net n dot =
+let bisect_run metrics no_cache deadline net n dot =
   set_cache no_cache;
   finishing metrics @@
-  handle
+  handle @@
+  supervised deadline @@ fun () ->
     (match log2_exact n with
     | None -> Error "n must be a power of two"
     | Some _ -> (
@@ -148,14 +181,17 @@ let bisect_cmd =
   in
   Cmd.v
     (Cmd.info "bisect" ~doc:"Bisection-width bracket (Theorem 2.20, Lemmas 3.2, 3.3)")
-    Term.(const bisect_run $ metrics_arg $ no_cache_arg $ net_arg $ n_arg $ dot)
+    Term.(
+      const bisect_run $ metrics_arg $ no_cache_arg $ deadline_arg $ net_arg
+      $ n_arg $ dot)
 
 (* ---- expansion ---- *)
 
-let expansion_run metrics no_cache net n k exact =
+let expansion_run metrics no_cache deadline net n k exact =
   set_cache no_cache;
   finishing metrics @@
-  handle
+  handle @@
+  supervised deadline @@ fun () ->
     (match graph_of net n with
     | Error e -> Error e
     | Ok (g, name) ->
@@ -185,8 +221,8 @@ let expansion_cmd =
   Cmd.v
     (Cmd.info "expansion" ~doc:"Edge/node expansion (Section 4)")
     Term.(
-      const expansion_run $ metrics_arg $ no_cache_arg $ net_arg $ n_arg $ k
-      $ exact)
+      const expansion_run $ metrics_arg $ no_cache_arg $ deadline_arg
+      $ net_arg $ n_arg $ k $ exact)
 
 (* ---- render ---- *)
 
@@ -312,14 +348,105 @@ let layout_cmd =
     (Cmd.info "layout" ~doc:"VLSI grid layout area of B_n (Sections 1.1-1.2)")
     Term.(const layout_run $ metrics_arg $ n)
 
+(* ---- bw ---- *)
+
+let bw_exact_run metrics no_cache net n deadline max_nodes resume =
+  set_cache no_cache;
+  finishing metrics @@
+  handle
+    (match graph_of net n with
+    | Error e -> Error e
+    | Ok (g, name) -> (
+        if (match max_nodes with Some k -> k < 1 | None -> false) then
+          Error "max-nodes must be >= 1"
+        else
+          let budget =
+            match (deadline, max_nodes) with
+            | None, None -> None
+            | _ ->
+                let wall_s =
+                  Option.bind deadline (fun b ->
+                      Option.map
+                        (fun ns -> float_of_int ns /. 1e9)
+                        (Budget.wall_ns b))
+                in
+                Some (Budget.make ?wall_s ?steps:max_nodes ())
+          in
+          let cancel =
+            Option.map (fun budget -> Cancel.create ~budget ()) budget
+          in
+          match Bfly_cuts.Exact.bisection_width_supervised ?cancel ~resume g with
+          | Bfly_cuts.Exact.Complete (v, witness) -> (
+              match Bfly_check.Invariants.bisection_cut g ~value:v ~witness with
+              | Bfly_check.Invariants.Fail m ->
+                  Error (Printf.sprintf "result failed validation: %s" m)
+              | Bfly_check.Invariants.Pass ->
+                  Printf.printf "%s: BW = %d\n" name v;
+                  Ok ())
+          | Bfly_cuts.Exact.Interval { lower; upper; witness; reason } -> (
+              match
+                Bfly_check.Invariants.bisection_interval g ~lower ~upper
+                  ~witness
+              with
+              | Bfly_check.Invariants.Fail m ->
+                  Error (Printf.sprintf "certified interval failed validation: %s" m)
+              | Bfly_check.Invariants.Pass ->
+                  Printf.printf
+                    "%s: BW in [%d, %d] (interrupted: %s%s)\n" name lower
+                    upper reason
+                    (if Bfly_cache.Config.enabled () then
+                       "; checkpoint saved, rerun with --resume to continue"
+                     else "");
+                  Ok ())))
+
+let bw_exact_cmd =
+  let max_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"K"
+          ~doc:
+            "Step budget: stop after about $(docv) search nodes and return \
+             a certified interval.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the checkpoint a previous interrupted run stored \
+             in the result cache, exploring only the remaining frontier. \
+             The completed value is identical to an uninterrupted run's.")
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:
+         "Exact bisection width under a budget: runs the supervised \
+          branch-and-bound engine, which returns the exact value — or, if \
+          the deadline or node budget fires first, a certified interval \
+          [lower, upper] with a real witness cut achieving upper, plus a \
+          checkpoint that $(b,--resume) continues from. Every result is \
+          re-validated before being printed.")
+    Term.(
+      const bw_exact_run $ metrics_arg $ no_cache_arg $ net_arg $ n_arg
+      $ deadline_arg $ max_nodes $ resume)
+
+let bw_cmd =
+  Cmd.group
+    (Cmd.info "bw"
+       ~doc:
+         "Bisection-width solvers with supervision (deadlines, budgets, \
+          checkpoint/resume)")
+    [ bw_exact_cmd ]
+
 (* ---- check ---- *)
 
-let check_run metrics no_cache seed rounds smoke =
+let check_run metrics no_cache seed rounds smoke chaos =
   set_cache no_cache;
   finishing metrics @@
   if rounds < 1 then handle (Error "rounds must be >= 1")
   else begin
-    let json, ok = Bfly_check.Run.execute ~seed ~rounds ~smoke in
+    let json, ok = Bfly_check.Run.execute ~chaos ~seed ~rounds ~smoke () in
     print_endline (Bfly_obs.Json.to_string json);
     if ok then 0 else 1
   end
@@ -337,6 +464,16 @@ let check_cmd =
     Arg.(value & flag & info [ "smoke" ]
            ~doc:"Cheap CI-gate subset: smallest families, at most 5 rounds.")
   in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Run the fuzzing stage under fault injection (seeded by \
+             $(b,--seed)): random disk-I/O errors, cache-entry corruption, \
+             worker-domain exceptions and deadline expiries. Oracle \
+             verdicts must be unchanged and the domain pool must survive.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Differential oracle suite: cross-check every solver against \
@@ -344,12 +481,16 @@ let check_cmd =
              structured instances; print a machine-readable summary, exit \
              non-zero on any discrepancy")
     Term.(
-      const check_run $ metrics_arg $ no_cache_arg $ seed $ rounds $ smoke)
+      const check_run $ metrics_arg $ no_cache_arg $ seed $ rounds $ smoke
+      $ chaos)
 
 (* ---- cache ---- *)
 
 let cache_stats_run metrics =
   finishing metrics @@
+  (* stale tmp files (orphaned by crashed writers) are swept here too, so
+     `cache stats` doubles as the manual cleanup entry point *)
+  let swept = Bfly_cache.Store.sweep_tmp () in
   let s = Bfly_cache.Store.stats () in
   Printf.printf "cache %s, dir %s\n"
     (if s.Bfly_cache.Store.enabled then "enabled" else "disabled")
@@ -357,6 +498,8 @@ let cache_stats_run metrics =
   Printf.printf "  memory: %d entries (capacity %d)\n" s.memory_entries
     s.memory_capacity;
   Printf.printf "  disk:   %d entries, %d bytes\n" s.disk.entries s.disk.bytes;
+  Printf.printf "  tmp:    %d in-flight temp files (%d stale swept)\n"
+    s.disk.tmp swept;
   List.iter
     (fun (solver, count) -> Printf.printf "    %-44s %d\n" solver count)
     s.solvers;
@@ -469,7 +612,7 @@ let () =
        (Cmd.group
           (Cmd.info "bfly_tool" ~version:"1.0.0" ~doc)
           [
-            info_cmd; bisect_cmd; expansion_cmd; render_cmd; route_cmd;
-            mos_cmd; iosep_cmd; layout_cmd; check_cmd; experiments_cmd;
-            cache_cmd;
+            info_cmd; bisect_cmd; bw_cmd; expansion_cmd; render_cmd;
+            route_cmd; mos_cmd; iosep_cmd; layout_cmd; check_cmd;
+            experiments_cmd; cache_cmd;
           ]))

@@ -1,3 +1,5 @@
+module Fault = Bfly_resil.Fault
+
 type load_result = Hit of Codec.payload | Miss | Corrupt
 
 let magic = "bfly-cache/1"
@@ -13,10 +15,14 @@ let read_file file =
 let load ~dir key =
   let file = path ~dir key in
   if not (Sys.file_exists file) then Miss
+  else if Fault.fire Fault.Disk_io then Miss
   else
     match read_file file with
     | None -> Miss
     | Some contents -> (
+        let contents =
+          if Fault.fire Fault.Corrupt then Fault.corrupt contents else contents
+        in
         (* header line, key line, payload *)
         match String.index_opt contents '\n' with
         | None -> Corrupt
@@ -56,9 +62,56 @@ let load ~dir key =
                           | None -> Corrupt))
                 | _ -> Corrupt)))
 
+(* ---- orphaned temp files ----
+   A crash between writing the temp file and renaming it — or a failing
+   rename — would otherwise leak `.<digest>.<pid>.tmp` files forever. A
+   failed rename cleans up its own temp file; temp files orphaned by a
+   dead process are swept (age-gated, so live concurrent writers are left
+   alone) the first time each directory is stored into, and on demand via
+   [sweep_tmp]. *)
+
+let c_tmp_swept = Bfly_obs.Metrics.counter "cache.tmp_swept"
+
+let is_tmp_file f =
+  String.length f > 0 && f.[0] = '.' && Filename.check_suffix f ".tmp"
+
+let tmp_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files -> List.filter is_tmp_file (Array.to_list files)
+
+let sweep_tmp ?(max_age_s = 600.) ~dir () =
+  let now = Unix.gettimeofday () in
+  List.fold_left
+    (fun n f ->
+      let file = Filename.concat dir f in
+      match Unix.stat file with
+      | exception (Unix.Unix_error _ | Sys_error _) -> n
+      | st ->
+          if now -. st.Unix.st_mtime >= max_age_s then (
+            match Sys.remove file with
+            | () ->
+                Bfly_obs.Metrics.incr c_tmp_swept;
+                n + 1
+            | exception Sys_error _ -> n)
+          else n)
+    0 (tmp_files dir)
+
+let swept_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
+let swept_lock = Mutex.create ()
+
+let sweep_on_open dir =
+  Mutex.lock swept_lock;
+  let fresh = not (Hashtbl.mem swept_dirs dir) in
+  if fresh then Hashtbl.replace swept_dirs dir ();
+  Mutex.unlock swept_lock;
+  if fresh then ignore (sweep_tmp ~dir ())
+
 let store ~dir key payload =
   try
+    if Fault.fire Fault.Disk_io then raise (Sys_error "injected disk fault");
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    sweep_on_open dir;
     let body = Codec.encode payload in
     let contents =
       Printf.sprintf "%s %d %s\nkey %s\n%s" magic (String.length body)
@@ -69,7 +122,10 @@ let store ~dir key payload =
         (Printf.sprintf ".%s.%d.tmp" (Key.digest key) (Unix.getpid ()))
     in
     Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc contents);
-    Sys.rename tmp (path ~dir key)
+    try Sys.rename tmp (path ~dir key)
+    with e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
   with Sys_error _ | Unix.Unix_error _ -> ()
 
 let remove ~dir key =
@@ -93,7 +149,7 @@ let clear ~dir =
       | exception Sys_error _ -> n)
     0 files
 
-type stats = { entries : int; bytes : int }
+type stats = { entries : int; bytes : int; tmp : int }
 
 let stats ~dir =
   let files = entry_files dir in
@@ -103,8 +159,8 @@ let stats ~dir =
         try (Unix.stat (Filename.concat dir f)).Unix.st_size
         with Unix.Unix_error _ | Sys_error _ -> 0
       in
-      { entries = acc.entries + 1; bytes = acc.bytes + size })
-    { entries = 0; bytes = 0 }
+      { acc with entries = acc.entries + 1; bytes = acc.bytes + size })
+    { entries = 0; bytes = 0; tmp = List.length (tmp_files dir) }
     files
 
 let solvers ~dir =

@@ -16,7 +16,19 @@
 
     All I/O failures are absorbed: a read error is a {!Miss}, a write
     error a no-op — the cache accelerates solvers, it must never take one
-    down. *)
+    down.
+
+    Temp-file hygiene: a failed rename removes its own temp file, and
+    temp files orphaned by a dead process are swept — age-gated, so
+    concurrent live writers are untouched — the first time each directory
+    is stored into, and on demand via {!sweep_tmp} (counter
+    [cache.tmp_swept]).
+
+    Chaos: when {!Bfly_resil.Fault} injection is armed, a [Disk_io] fault
+    turns a load into a {!Miss} or a store into a no-op (simulated
+    filesystem error), and a [Corrupt] fault mangles loaded bytes before
+    parsing — which the checksum then catches, exercising the
+    verify-and-evict path. *)
 
 type load_result =
   | Hit of Codec.payload
@@ -36,11 +48,17 @@ val remove : dir:string -> Key.t -> unit
 (** [clear ~dir] deletes every [*.entry] file; returns how many. *)
 val clear : dir:string -> int
 
-type stats = { entries : int; bytes : int }
+type stats = { entries : int; bytes : int; tmp : int }
 
-(** Entry count and total size of the store ([{entries = 0; bytes = 0}]
-    when the directory does not exist). *)
+(** Entry count, total size, and orphaned temp-file count of the store
+    (all zero when the directory does not exist). *)
 val stats : dir:string -> stats
+
+(** [sweep_tmp ?max_age_s ~dir] removes temp files older than
+    [max_age_s] seconds (default 600 — long enough that any live writer
+    has long since renamed its file away) and returns how many were
+    removed. *)
+val sweep_tmp : ?max_age_s:float -> dir:string -> unit -> int
 
 (** [solvers ~dir] is the per-solver entry count, sorted by solver id —
     parsed from the filenames, so it is O(entries) with no file reads. *)

@@ -78,6 +78,12 @@ let memoize ~key ~encode ~decode ~verify ~compute =
       put ~key ~encode v;
       v
 
+let drop ~key =
+  locked (fun () -> Lru.remove lru (Key.digest key));
+  Disk.remove ~dir:(Config.dir ()) key
+
+let sweep_tmp ?max_age_s () = Disk.sweep_tmp ?max_age_s ~dir:(Config.dir ()) ()
+
 let reset_memory () = locked (fun () -> Lru.clear lru)
 let memory_length () = locked (fun () -> Lru.length lru)
 

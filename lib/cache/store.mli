@@ -42,7 +42,16 @@ val memoize :
   compute:(unit -> 'a) ->
   'a
 
+(** [drop ~key] removes one entry from both tiers (used e.g. to retire a
+    branch-and-bound checkpoint once its search completes). *)
+val drop : key:Key.t -> unit
+
 (** {1 Maintenance} *)
+
+(** [sweep_tmp ?max_age_s ()] sweeps orphaned temp files from the
+    configured cache directory (see {!Disk.sweep_tmp}); returns how many
+    were removed. *)
+val sweep_tmp : ?max_age_s:float -> unit -> int
 
 (** Drop the in-memory tier (tests; also used after [cache clear]). *)
 val reset_memory : unit -> unit

@@ -1,7 +1,10 @@
 module G = Bfly_graph.Graph
 module Gen = Bfly_graph.Generators
+module Parallel = Bfly_graph.Parallel
 module Metrics = Bfly_obs.Metrics
 module Json = Bfly_obs.Json
+module Cancel = Bfly_resil.Cancel
+module Fault = Bfly_resil.Fault
 
 type counterexample = {
   oracle : string;
@@ -21,6 +24,10 @@ type summary = {
   passed : int;
   skipped : int;
   failed : int;
+  chaos : bool;
+  faults_injected : int;
+  crashes_survived : int;
+  pool_stable : bool;
   counterexamples : counterexample list;
 }
 
@@ -49,6 +56,10 @@ let summary_json s =
       ("passed", Json.Int s.passed);
       ("skipped", Json.Int s.skipped);
       ("failed", Json.Int s.failed);
+      ("chaos", Json.Bool s.chaos);
+      ("faults_injected", Json.Int s.faults_injected);
+      ("crashes_survived", Json.Int s.crashes_survived);
+      ("pool_stable", Json.Bool s.pool_stable);
       ("counterexamples", Json.List (List.map counterexample_json s.counterexamples));
     ]
 
@@ -172,13 +183,34 @@ let failures_counter = Metrics.counter "check.fuzz.failures"
 let oracle_rng ~seed ~round ~index =
   Random.State.make [| seed; round; index; 0x0b5e55ed |]
 
-let run ?(oracles = Oracle.all) ~seed ~rounds () =
+let crashes_counter = Metrics.counter "check.fuzz.crashes_survived"
+
+let run ?(oracles = Oracle.all) ?(chaos = false) ~seed ~rounds () =
   Bfly_obs.Span.time ~name:"check.fuzz" @@ fun () ->
+  let pool_before = Parallel.pool_size () in
+  let faults_before = Fault.injected_total () in
   let oracle_runs = ref 0
   and passed = ref 0
   and skipped = ref 0
   and failed = ref 0
+  and crashes = ref 0
   and counterexamples = ref [] in
+  (* In chaos mode each oracle invocation runs under its own fresh ambient
+     cancel token (so an injected deadline expiry latches a token and
+     exercises graceful degradation in the heuristics) and an escaped
+     injected fault counts as a survived crash, not a discrepancy — the
+     property under test is that the process, the domain pool and the
+     cache all outlive the fault. *)
+  let invoke oracle ~rng g =
+    if not chaos then oracle.Oracle.run ~rng g
+    else
+      Cancel.with_ambient (Cancel.create ()) @@ fun () ->
+      try oracle.Oracle.run ~rng g with
+      | Fault.Injected m | Cancel.Cancelled m ->
+          incr crashes;
+          Metrics.incr crashes_counter;
+          Oracle.Skip (Printf.sprintf "survived injected fault: %s" m)
+  in
   for round = 1 to rounds do
     Metrics.incr rounds_counter;
     let inst_rng = Random.State.make [| seed; round |] in
@@ -189,7 +221,7 @@ let run ?(oracles = Oracle.all) ~seed ~rounds () =
         incr oracle_runs;
         Metrics.incr runs_counter;
         let fresh_rng () = oracle_rng ~seed ~round ~index in
-        match oracle.Oracle.run ~rng:(fresh_rng ()) g with
+        match invoke oracle ~rng:(fresh_rng ()) g with
         | Oracle.Pass -> incr passed
         | Oracle.Skip _ ->
             incr skipped;
@@ -197,9 +229,7 @@ let run ?(oracles = Oracle.all) ~seed ~rounds () =
         | Oracle.Fail message ->
             incr failed;
             Metrics.incr failures_counter;
-            let rerun cand =
-              oracle.Oracle.run ~rng:(fresh_rng ()) (graph_of cand)
-            in
+            let rerun cand = invoke oracle ~rng:(fresh_rng ()) (graph_of cand) in
             let min_inst, min_msg, shrink_steps =
               shrink ~rerun ~budget:500 inst message
             in
@@ -224,5 +254,10 @@ let run ?(oracles = Oracle.all) ~seed ~rounds () =
     passed = !passed;
     skipped = !skipped;
     failed = !failed;
+    chaos;
+    faults_injected = Fault.injected_total () - faults_before;
+    crashes_survived = !crashes;
+    (* the pool never legitimately shrinks: rescued workers stay alive *)
+    pool_stable = Parallel.pool_size () >= pool_before;
     counterexamples = List.rev !counterexamples;
   }

@@ -38,6 +38,12 @@ type summary = {
   passed : int;
   skipped : int;
   failed : int;
+  chaos : bool;  (** whether this run injected faults *)
+  faults_injected : int;  (** faults fired during the run (chaos mode) *)
+  crashes_survived : int;
+      (** oracle runs that raised an injected fault and were absorbed *)
+  pool_stable : bool;
+      (** the {!Bfly_graph.Parallel} pool did not shrink across the run *)
   counterexamples : counterexample list;
 }
 
@@ -47,7 +53,22 @@ type summary = {
 val counterexample_json : counterexample -> Bfly_obs.Json.t
 val summary_json : summary -> Bfly_obs.Json.t
 
-(** [run ?oracles ~seed ~rounds ()] — [oracles] defaults to {!Oracle.all};
-    the parameter exists so tests can aim the machinery at a deliberately
-    broken solver and watch it get caught. *)
-val run : ?oracles:Oracle.t list -> seed:int -> rounds:int -> unit -> summary
+(** [run ?oracles ?chaos ~seed ~rounds ()] — [oracles] defaults to
+    {!Oracle.all}; the parameter exists so tests can aim the machinery at
+    a deliberately broken solver and watch it get caught.
+
+    With [chaos] (default [false]) the caller is expected to have armed
+    {!Bfly_resil.Fault} (see {!Run.execute}); each oracle invocation then
+    runs under a fresh ambient {!Bfly_resil.Cancel} token, and an injected
+    fault escaping an oracle is counted in [crashes_survived] (the run
+    carries on) instead of failing. Oracle verdicts reached despite
+    injected disk errors, cache corruption, worker crashes and deadline
+    expiries must still all pass: faults may cost work, never
+    correctness. *)
+val run :
+  ?oracles:Oracle.t list ->
+  ?chaos:bool ->
+  seed:int ->
+  rounds:int ->
+  unit ->
+  summary

@@ -32,6 +32,20 @@ let bisection_cut ?u g ~value ~witness =
       else Pass
   end
 
+let bisection_interval ?u g ~lower ~upper ~witness =
+  if lower > upper then fail "empty interval: lower %d > upper %d" lower upper
+  else if lower < 0 then fail "negative lower bound %d" lower
+  else
+    (* the upper end must be realized: the witness is a real bisecting cut
+       of exactly that capacity, so BW <= upper holds unconditionally *)
+    bisection_cut ?u g ~value:upper ~witness
+
+let outcome_of_supervised ?u g = function
+  | Bfly_cuts.Exact.Complete (value, witness) ->
+      bisection_cut ?u g ~value ~witness
+  | Bfly_cuts.Exact.Interval { lower; upper; witness; reason = _ } ->
+      bisection_interval ?u g ~lower ~upper ~witness
+
 let expansion_witness ~kind g ~k ~value ~witness =
   if Bitset.capacity witness <> G.n_nodes g then
     fail "witness universe %d does not match node count %d"

@@ -29,6 +29,31 @@ val bisection_cut :
   witness:Bfly_graph.Bitset.t ->
   result
 
+(** [bisection_interval ?u g ~lower ~upper ~witness] validates a certified
+    interval from an interrupted supervised search: the interval is
+    non-empty and non-negative, and [witness] is a real cut bisecting [u]
+    whose recounted capacity is exactly [upper] — so [BW <= upper] holds by
+    construction. (The lower end is the solver's pruning certificate and
+    cannot be recomputed cheaply; the complementary soundness check —
+    [lower <= BW] — is exercised by the differential oracles on instances
+    small enough to solve exactly.) *)
+val bisection_interval :
+  ?u:Bfly_graph.Bitset.t ->
+  Bfly_graph.Graph.t ->
+  lower:int ->
+  upper:int ->
+  witness:Bfly_graph.Bitset.t ->
+  result
+
+(** [outcome_of_supervised ?u g outcome] dispatches a
+    {!Bfly_cuts.Exact.outcome} to {!bisection_cut} ([Complete]) or
+    {!bisection_interval} ([Interval]). *)
+val outcome_of_supervised :
+  ?u:Bfly_graph.Bitset.t ->
+  Bfly_graph.Graph.t ->
+  Bfly_cuts.Exact.outcome ->
+  result
+
 (** [expansion_witness ~kind g ~k ~value ~witness] checks [|witness| = k]
     and that its recounted edge boundary ([`Edge]) or neighborhood size
     ([`Node]) equals [value]. *)

@@ -115,6 +115,51 @@ let heuristics_respect_exact =
             | Invariants.Fail m -> fail "%s: %s" name m)
         Pass solvers)
 
+(* The supervised engine under an artificially tiny step budget must (a)
+   certify only intervals that really contain the exact answer, with a
+   witness achieving the upper end, and (b) once resumed to completion,
+   agree with the unsupervised engine exactly. The budget doubles each
+   attempt so the loop terminates even when checkpoints cannot persist
+   (cache disabled) or an injected deadline keeps firing (chaos mode). *)
+let supervised_vs_exact =
+  let module Cancel = Bfly_resil.Cancel in
+  let module Budget = Bfly_resil.Budget in
+  make "supervised_vs_exact" ~max_nodes:12 (fun ~rng g ->
+      let n = G.n_nodes g in
+      (* a random U gives this oracle its own cache key, so the supervised
+         engine actually searches under the tiny budget instead of being
+         served whatever a sibling oracle already cached for the plain
+         bisection of [g] *)
+      let u = Bitset.create n in
+      let size = 2 + Random.State.int rng (n - 1) in
+      let p = Bfly_graph.Perm.random ~rng n in
+      for i = 0 to size - 1 do
+        Bitset.add u (Bfly_graph.Perm.apply p i)
+      done;
+      (* brute force, cache-free ground truth *)
+      let v_exact, _ = Reference.bisection_width ~u g in
+      let rec attempt steps tries =
+        if tries = 0 then Skip "budget never sufficed (chaos?)"
+        else
+          let cancel = Cancel.create ~budget:(Budget.make ~steps ()) () in
+          match Exact.bisection_width_supervised ~u ~cancel ~resume:true g with
+          | Exact.Complete (v, witness) ->
+              if v <> v_exact then
+                fail "supervised completed at %d, reference %d" v v_exact
+              else
+                of_invariant (Invariants.bisection_cut ~u g ~value:v ~witness)
+          | Exact.Interval { lower; upper; witness; reason = _ } ->
+              if not (lower <= v_exact && v_exact <= upper) then
+                fail "certified interval [%d, %d] misses the exact value %d"
+                  lower upper v_exact
+              else
+                seq
+                  (of_invariant
+                     (Invariants.bisection_interval ~u g ~lower ~upper ~witness))
+                  (fun () -> attempt (2 * steps) (tries - 1))
+      in
+      attempt 64 24)
+
 let expansion_vs_reference =
   make "expansion_vs_reference" ~max_nodes:12 (fun ~rng g ->
       let n = G.n_nodes g in
@@ -155,6 +200,7 @@ let all =
     bb_vs_exhaustive;
     parallel_vs_sequential;
     u_bisection_vs_reference;
+    supervised_vs_exact;
     heuristics_respect_exact;
     expansion_vs_reference;
     anneal_vs_exact;

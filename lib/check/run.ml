@@ -95,12 +95,19 @@ let family_agreement ~smoke ~seed =
   in
   agreements @ embeddings
 
-let execute ~seed ~rounds ~smoke =
+let execute ?(chaos = false) ~seed ~rounds ~smoke () =
   let rounds = if smoke then min rounds 5 else rounds in
+  (* the family/bound checks always run fault-free: they are exactness
+     claims about the paper, not resilience claims about the machinery *)
   let families = Bounds.all ~smoke @ family_agreement ~smoke ~seed in
-  let fuzz = Fuzzer.run ~seed ~rounds () in
+  let fuzz =
+    if chaos then
+      Bfly_resil.Fault.scope ~rate:0.05 ~seed Bfly_resil.Fault.all (fun () ->
+          Fuzzer.run ~chaos ~seed ~rounds ())
+    else Fuzzer.run ~seed ~rounds ()
+  in
   let families_ok = List.for_all (fun c -> c.Bounds.ok) families in
-  let ok = families_ok && fuzz.Fuzzer.failed = 0 in
+  let ok = families_ok && fuzz.Fuzzer.failed = 0 && fuzz.Fuzzer.pool_stable in
   let json =
     Json.Obj
       [
@@ -108,6 +115,7 @@ let execute ~seed ~rounds ~smoke =
         ("seed", Json.Int seed);
         ("rounds", Json.Int rounds);
         ("smoke", Json.Bool smoke);
+        ("chaos", Json.Bool chaos);
         ("families", Json.List (List.map Bounds.check_json families));
         ("fuzz", Fuzzer.summary_json fuzz);
         ("ok", Json.Bool ok);

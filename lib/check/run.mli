@@ -15,7 +15,19 @@
     restarts. *)
 val family_agreement : smoke:bool -> seed:int -> Bounds.check list
 
-(** [execute ~seed ~rounds ~smoke] runs everything. [smoke] restricts the
-    bound and family checks to the cheapest instances and caps fuzz rounds
-    at 5. Returns the summary JSON and whether every check passed. *)
-val execute : seed:int -> rounds:int -> smoke:bool -> Bfly_obs.Json.t * bool
+(** [execute ?chaos ~seed ~rounds ~smoke ()] runs everything. [smoke]
+    restricts the bound and family checks to the cheapest instances and
+    caps fuzz rounds at 5. With [chaos] (default [false]) the fuzzing
+    stage — and only it; the theorem checks stay fault-free — runs inside
+    {!Bfly_resil.Fault.scope} with every fault class armed at rate 0.05,
+    seeded by [seed]: injected disk errors, cache corruption, worker
+    crashes and deadline expiries must not change any oracle verdict nor
+    shrink the domain pool. Returns the summary JSON and whether every
+    check passed. *)
+val execute :
+  ?chaos:bool ->
+  seed:int ->
+  rounds:int ->
+  smoke:bool ->
+  unit ->
+  Bfly_obs.Json.t * bool

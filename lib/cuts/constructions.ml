@@ -5,6 +5,7 @@ module Butterfly = Bfly_networks.Butterfly
 module Wrapped = Bfly_networks.Wrapped
 module Ccc = Bfly_networks.Ccc
 module Hypercube = Bfly_networks.Hypercube
+module Cancel = Bfly_resil.Cancel
 
 type mos_params = { t1 : int; t3 : int; r1 : int; r3 : int }
 
@@ -236,7 +237,8 @@ let pullback_verify b (params, cost, side) =
       && Bitset.cardinal side = Butterfly.size b / 2
       && Bfly_graph.Traverse.boundary_edges (Butterfly.graph b) side = cost
 
-let best_mos_pullback ?(max_classes = 256) b =
+let best_mos_pullback ?(max_classes = 256) ?cancel b =
+  let cancel = Cancel.resolve cancel in
   let ell = Butterfly.log_n b in
   if ell < 2 then invalid_arg "Constructions.best_mos_pullback: log n < 2";
   Bfly_obs.Span.time ~name:"constructions.mos_pullback" @@ fun () ->
@@ -260,7 +262,10 @@ let best_mos_pullback ?(max_classes = 256) b =
   in
   let best_in_window idx =
     let t1, t3 = windows.(idx) in
-    if 1 lsl t1 > max_classes || 1 lsl t3 > max_classes then None
+    (* window 0 is always scanned even under an expired token, so a
+       degraded sweep still returns a real (if sub-optimal) cut *)
+    if idx > 0 && Cancel.stop cancel then None
+    else if 1 lsl t1 > max_classes || 1 lsl t3 > max_classes then None
     else begin
       let best = ref None in
       let scanned = ref 0 in
@@ -294,5 +299,15 @@ let best_mos_pullback ?(max_classes = 256) b =
       invalid_arg "Constructions.best_mos_pullback: no feasible parameters"
   | Some (params, cost) -> (params, cost, mos_pullback_cut b params)
   in
-  Bfly_cache.Store.memoize ~key ~encode:pullback_encode
-    ~decode:(pullback_decode b) ~verify:(pullback_verify b) ~compute
+  match
+    Bfly_cache.Store.lookup ~key ~decode:(pullback_decode b)
+      ~verify:(pullback_verify b)
+  with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      (* a sweep truncated by cancellation must not be cached as if it had
+         covered every window *)
+      if not (Cancel.stop cancel) then
+        Bfly_cache.Store.put ~key ~encode:pullback_encode v;
+      v

@@ -65,8 +65,15 @@ val mos_pullback_cut : Bfly_networks.Butterfly.t -> mos_params -> Bfly_graph.Bit
     [(log n, max_classes)]; a cached entry is only served after its
     closed-form cost is re-derived from the cached parameters and its
     witness side re-checked (exact bisection, recounted boundary).
+
+    Under a triggered {!Bfly_resil.Cancel} token ([?cancel], falling back
+    to the ambient token) the sweep degrades gracefully: window 0 is
+    always scanned, remaining windows are skipped, and the (possibly
+    sub-optimal but still exactly-realized) best of the scanned windows
+    is returned without being written to the cache.
     @raise Invalid_argument when [log n < 2] (no valid parameters). *)
 val best_mos_pullback :
   ?max_classes:int ->
+  ?cancel:Bfly_resil.Cancel.t ->
   Bfly_networks.Butterfly.t ->
   mos_params * int * Bfly_graph.Bitset.t

@@ -39,6 +39,59 @@ val bisection_width :
   Bfly_graph.Graph.t ->
   int * Bfly_graph.Bitset.t
 
+(** Result of a supervised run: either the exact answer, or — when the
+    {!Bfly_resil.Cancel} token fired mid-search — a {e certified}
+    interval: [witness] is a real cut of capacity [upper] (so
+    [BW <= upper]), and no cut anywhere has capacity below [lower]
+    (completed subtrees are covered by the incumbent's pruning threshold,
+    pending subtrees by their recomputed root bounds). [reason] is the
+    token's trigger reason. *)
+type outcome =
+  | Complete of int * Bfly_graph.Bitset.t
+  | Interval of {
+      lower : int;
+      upper : int;
+      witness : Bfly_graph.Bitset.t;
+      reason : string;
+    }
+
+(** [bisection_width_supervised ?u ?upper_bound ?cancel ?resume g] is
+    {!bisection_width} under a {!Bfly_resil.Cancel} token ([?cancel],
+    falling back to the ambient token): the search polls every 256
+    visited nodes, charges them to the token's step budget, and on
+    trigger degrades to a certified {!Interval} instead of running to
+    completion.
+
+    Interrupted unbounded runs {e checkpoint}: the open frontier (the
+    top-level prefix codes not yet fully explored) and the incumbent are
+    stored through {!Bfly_cache} under a separate solver id
+    ([cuts.exact.checkpoint]). With [resume] (default [false]) a later
+    call reloads that frontier and explores only what remains; because
+    the search's answer is independent of exploration order, a resumed
+    run completes to the {e identical} value an uninterrupted run
+    returns, and the checkpoint is retired on completion. Runs primed
+    with [upper_bound] never checkpoint (their pruning is relative to the
+    bound, which a resume could not soundly reuse).
+
+    The frontier shrinks monotonically across resumes (a subtree, once
+    completed, never reappears) and cancellation is honored everywhere —
+    including inside the first pending subtree, which on large instances
+    can by itself dwarf any budget — so a single run never promises to
+    complete a subtree. A resume loop therefore terminates once its
+    budget suffices to finish at least one pending subtree per run;
+    growing the budget between resumes (as the differential oracles do)
+    always reaches that point. A [Complete] is returned (and cached) even
+    under an expired token when the interval closes ([lower >= upper]).
+    Counters: [exact.bb.interrupted], [resil.checkpoint.stored],
+    [resil.checkpoint.resumed]. *)
+val bisection_width_supervised :
+  ?u:Bfly_graph.Bitset.t ->
+  ?upper_bound:int ->
+  ?cancel:Bfly_resil.Cancel.t ->
+  ?resume:bool ->
+  Bfly_graph.Graph.t ->
+  outcome
+
 (** [bisection_width_exhaustive ?u g] enumerates every side set of the
     required balance. Exponential without pruning; only for graphs of at
     most ~26 nodes. Used in tests as an oracle for {!bisection_width}. *)

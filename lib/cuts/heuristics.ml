@@ -4,6 +4,7 @@ module Parallel = Bfly_graph.Parallel
 module Metrics = Bfly_obs.Metrics
 module Span = Bfly_obs.Span
 module State = Cut.State
+module Cancel = Bfly_resil.Cancel
 
 let default_rng () = Random.State.make [| 0x5eed |]
 
@@ -58,14 +59,22 @@ let cut_verify g (c, side) =
   && card <= (n + 1) / 2
   && Bfly_graph.Traverse.boundary_edges g side = c
 
-let cached_kernel ~kernel ~salt ~params ~seeds g compute =
+let cached_kernel ~kernel ~salt ~params ~seeds ~cancel g compute =
   let key =
     Key.make ~solver:("cuts.heuristics." ^ kernel) ~salt ~params
       ~fingerprint:(Fp.int_array (Fp.graph Fp.seed g) seeds)
   in
-  Cache.memoize ~key ~encode:cut_encode
-    ~decode:(cut_decode (G.n_nodes g))
-    ~verify:(cut_verify g) ~compute
+  match
+    Cache.lookup ~key ~decode:(cut_decode (G.n_nodes g)) ~verify:(cut_verify g)
+  with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      (* a result degraded by cancellation is still a valid cut, but it must
+         not poison the cache: a later uninterrupted run would be served the
+         degraded value as if it were the converged one *)
+      if not (Cancel.stop cancel) then Cache.put ~key ~encode:cut_encode v;
+      v
 
 let random_balanced_side ~rng n =
   let perm = Bfly_graph.Perm.random ~rng n in
@@ -136,20 +145,21 @@ let kl_pass g st =
     !swaps;
   !best_cap < start_cap
 
-let kernighan_lin ?rng ?(restarts = 4) g =
+let kernighan_lin ?rng ?(restarts = 4) ?cancel g =
   let rng = match rng with Some r -> r | None -> default_rng () in
+  let cancel = Cancel.resolve cancel in
   Span.time ~name:"heuristics.kl" @@ fun () ->
   let n = G.n_nodes g in
   let seeds = derive_seeds rng restarts in
   cached_kernel ~kernel:"kl" ~salt:"kl/1"
     ~params:[ ("restarts", string_of_int restarts) ]
-    ~seeds g
+    ~seeds ~cancel g
   @@ fun () ->
   let restart i =
     let rng = Random.State.make [| 0x6b6c; seeds.(i) |] in
     let st = State.create g (random_balanced_side ~rng n) in
     let improving = ref true in
-    while !improving do
+    while !improving && not (Cancel.stop cancel) do
       improving := kl_pass g st
     done;
     (State.capacity st, State.side st)
@@ -258,25 +268,26 @@ let fm_pass g st =
   List.iteri (fun i v -> if total - i > !best_len then State.flip st v) !moves;
   !best_cap < start_cap
 
-let fm_descend g st =
+let fm_descend ?cancel g st =
   let improving = ref true in
-  while !improving do
+  while !improving && not (Cancel.stop cancel) do
     improving := fm_pass g st
   done
 
-let fiduccia_mattheyses ?rng ?(restarts = 4) g =
+let fiduccia_mattheyses ?rng ?(restarts = 4) ?cancel g =
   let rng = match rng with Some r -> r | None -> default_rng () in
+  let cancel = Cancel.resolve cancel in
   Span.time ~name:"heuristics.fm" @@ fun () ->
   let n = G.n_nodes g in
   let seeds = derive_seeds rng restarts in
   cached_kernel ~kernel:"fm" ~salt:"fm/1"
     ~params:[ ("restarts", string_of_int restarts) ]
-    ~seeds g
+    ~seeds ~cancel g
   @@ fun () ->
   let restart i =
     let rng = Random.State.make [| 0x666d; seeds.(i) |] in
     let st = State.create g (random_balanced_side ~rng n) in
-    fm_descend g st;
+    fm_descend ?cancel g st;
     (State.capacity st, State.side st)
   in
   let c, side = Parallel.best_of ~compare:by_capacity ~restarts restart in
@@ -289,8 +300,10 @@ let fiduccia_mattheyses ?rng ?(restarts = 4) g =
 
 let spectral g =
   (* fully deterministic (fixed start vector, fixed iteration count):
-     keyed on the graph alone *)
-  cached_kernel ~kernel:"spectral" ~salt:"spectral/1" ~params:[] ~seeds:[||] g
+     keyed on the graph alone. Deliberately not cancellable — it is cheap
+     and its determinism anchors the portfolio even under tight budgets. *)
+  cached_kernel ~kernel:"spectral" ~salt:"spectral/1" ~params:[] ~seeds:[||]
+    ~cancel:None g
   @@ fun () ->
   let n = G.n_nodes g in
   let c = float_of_int (G.max_degree g + 1) in
@@ -333,7 +346,7 @@ let spectral g =
 (* Simulated annealing                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let anneal_once ~rng ~steps g =
+let anneal_once ?cancel ~rng ~steps g =
   let n = G.n_nodes g in
   let side = random_balanced_side ~rng n in
   let st = State.create g side in
@@ -346,7 +359,9 @@ let anneal_once ~rng ~steps g =
   let best_cap = ref (State.capacity st) in
   let best_side = ref (State.side st) in
   let t0 = 3.0 and t1 = 0.05 in
+  (try
   for step = 0 to steps - 1 do
+    if step land 1023 = 1023 && Cancel.stop cancel then raise Exit;
     let temp = t0 *. ((t1 /. t0) ** (float_of_int step /. float_of_int steps)) in
     let ia = Random.State.int rng (Array.length a_arr) in
     let ib = Random.State.int rng (Array.length b_arr) in
@@ -365,11 +380,13 @@ let anneal_once ~rng ~steps g =
         best_side := State.side st
       end
     end
-  done;
+  done
+  with Exit -> ());
   (!best_cap, !best_side)
 
-let annealing ?rng ?steps ?(restarts = 1) g =
+let annealing ?rng ?steps ?(restarts = 1) ?cancel g =
   let rng = match rng with Some r -> r | None -> default_rng () in
+  let cancel = Cancel.resolve cancel in
   Span.time ~name:"heuristics.sa" @@ fun () ->
   let n = G.n_nodes g in
   let steps = match steps with Some s -> s | None -> min 2_000_000 (400 * n) in
@@ -377,17 +394,22 @@ let annealing ?rng ?steps ?(restarts = 1) g =
   cached_kernel ~kernel:"sa" ~salt:"sa/1"
     ~params:
       [ ("restarts", string_of_int restarts); ("steps", string_of_int steps) ]
-    ~seeds g
+    ~seeds ~cancel g
   @@ fun () ->
   let restart i =
-    anneal_once ~rng:(Random.State.make [| 0x5a5a; seeds.(i) |]) ~steps g
+    anneal_once ?cancel ~rng:(Random.State.make [| 0x5a5a; seeds.(i) |]) ~steps g
   in
   let c, side = Parallel.best_of ~compare:by_capacity ~restarts restart in
   record_kernel ~kernel:"sa" ~restarts ~capacity:c;
   (c, side)
 
-let best_of ?rng g =
+let best_of ?rng ?cancel g =
   let rng = match rng with Some r -> r | None -> default_rng () in
+  (* resolve the ambient token once, here, so every member sees the same
+     token even when run on pool domains (the ambient slot is global, but
+     resolving eagerly keeps the portfolio's behavior independent of when
+     each member happens to start) *)
+  let cancel = Cancel.resolve cancel in
   Span.time ~name:"heuristics.portfolio" @@ fun () ->
   let n = G.n_nodes g in
   (* each method gets its own rng seeded up front, so the portfolio can run
@@ -399,15 +421,16 @@ let best_of ?rng g =
   let candidates =
     if n <= 2000 then
       [|
-        ("kernighan-lin", fun () -> kernighan_lin ~rng:(seeded 0) g);
-        ("fiduccia-mattheyses", fun () -> fiduccia_mattheyses ~rng:(seeded 1) g);
+        ("kernighan-lin", fun () -> kernighan_lin ~rng:(seeded 0) ?cancel g);
+        ( "fiduccia-mattheyses",
+          fun () -> fiduccia_mattheyses ~rng:(seeded 1) ?cancel g );
         ("spectral", fun () -> spectral g);
-        ("annealing", fun () -> annealing ~rng:(seeded 3) g);
+        ("annealing", fun () -> annealing ~rng:(seeded 3) ?cancel g);
       |]
     else
       [|
         ( "fiduccia-mattheyses",
-          fun () -> fiduccia_mattheyses ~rng:(seeded 1) ~restarts:2 g );
+          fun () -> fiduccia_mattheyses ~rng:(seeded 1) ~restarts:2 ?cancel g );
         ("spectral", fun () -> spectral g);
       |]
   in

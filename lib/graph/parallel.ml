@@ -1,17 +1,39 @@
 module Metrics = Bfly_obs.Metrics
+module Cancel = Bfly_resil.Cancel
+module Fault = Bfly_resil.Fault
 
 let c_spawned = Metrics.counter "parallel.domains_spawned"
 let c_batches = Metrics.counter "parallel.batches"
 let c_tasks = Metrics.counter "parallel.tasks"
+let c_rescued = Metrics.counter "parallel.workers_rescued"
+let c_skipped = Metrics.counter "parallel.tasks_skipped"
+let c_bad_env = Metrics.counter "parallel.bad_domains_env"
 let g_pool = Metrics.gauge "parallel.pool_size"
+
+let default_domain_count () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let warned_bad_env = Atomic.make false
 
 let domain_count () =
   match Sys.getenv_opt "BFLY_DOMAINS" with
-  | Some "" | None -> max 1 (min 8 (Domain.recommended_domain_count ()))
+  | Some "" | None -> default_domain_count ()
   | Some s -> (
-      match int_of_string_opt s with
+      match int_of_string_opt (String.trim s) with
       | Some d when d >= 1 -> d
-      | _ -> 1)
+      | _ ->
+          (* garbage (or a non-positive count) must not silently degrade to
+             a sequential run: fall back to the documented default, telling
+             the user once *)
+          if Atomic.compare_and_set warned_bad_env false true then begin
+            Metrics.incr c_bad_env;
+            Printf.eprintf
+              "bfly: ignoring invalid BFLY_DOMAINS=%S (want a positive \
+               integer); using %d domains\n\
+               %!"
+              s
+              (default_domain_count ())
+          end;
+          default_domain_count ())
 
 (* ------------------------------------------------------------------ *)
 (* The pool: spawned once, fed through a mutex/condition queue,        *)
@@ -22,6 +44,8 @@ type batch = {
   mutable remaining : int; (* guarded by [pool.mutex] *)
   finished : Condition.t; (* broadcast when [remaining] hits 0 *)
   mutable failure : exn option; (* first exception raised by a task *)
+  cancel : Cancel.t option; (* not-yet-started jobs are skipped once triggered *)
+  mutable skipped : int; (* guarded by [pool.mutex] *)
 }
 
 type pool = {
@@ -54,7 +78,11 @@ let rec worker_loop () =
       Mutex.unlock pool.mutex
   | Some job ->
       Mutex.unlock pool.mutex;
-      job ();
+      (* a raising job must not kill the domain: the pool would silently
+         shrink until nothing drains the queue. Batch jobs record their own
+         failures before re-raising is even possible, so anything caught
+         here is rescued bookkeeping, not a lost error. *)
+      (try job () with _ -> Metrics.incr c_rescued);
       worker_loop ()
 
 let shutdown () =
@@ -92,22 +120,53 @@ let ensure_workers target =
    the queue is empty and its stragglers are running on other domains.
    A task may itself call [run_tasks]: the nested submitter drains like
    any other, so nesting cannot deadlock. *)
-let run_tasks tasks =
+let run_tasks ?cancel tasks =
   let n = Array.length tasks in
   if n = 0 then ()
-  else if n = 1 then tasks.(0) ()
+  else if n = 1 then begin
+    if Cancel.stop cancel then begin
+      Metrics.incr c_skipped;
+      raise
+        (Cancel.Cancelled
+           (Option.value ~default:"cancelled"
+              (Option.bind cancel Cancel.reason)))
+    end;
+    tasks.(0) ()
+  end
   else begin
-    let batch = { remaining = n; finished = Condition.create (); failure = None } in
+    let batch =
+      {
+        remaining = n;
+        finished = Condition.create ();
+        failure = None;
+        cancel;
+        skipped = 0;
+      }
+    in
     let wrap job () =
-      (try job ()
-       with e ->
-         Mutex.lock pool.mutex;
-         if batch.failure = None then batch.failure <- Some e;
-         Mutex.unlock pool.mutex);
-      Mutex.lock pool.mutex;
-      batch.remaining <- batch.remaining - 1;
-      if batch.remaining = 0 then Condition.broadcast batch.finished;
-      Mutex.unlock pool.mutex
+      if Cancel.stop batch.cancel then begin
+        (* the batch was cancelled before this job started: skip the work
+           but keep the bookkeeping, so the batch still completes *)
+        Metrics.incr c_skipped;
+        Mutex.lock pool.mutex;
+        batch.skipped <- batch.skipped + 1;
+        batch.remaining <- batch.remaining - 1;
+        if batch.remaining = 0 then Condition.broadcast batch.finished;
+        Mutex.unlock pool.mutex
+      end
+      else begin
+        (try
+           Fault.maybe_raise Fault.Worker;
+           job ()
+         with e ->
+           Mutex.lock pool.mutex;
+           if batch.failure = None then batch.failure <- Some e;
+           Mutex.unlock pool.mutex);
+        Mutex.lock pool.mutex;
+        batch.remaining <- batch.remaining - 1;
+        if batch.remaining = 0 then Condition.broadcast batch.finished;
+        Mutex.unlock pool.mutex
+      end
     in
     Metrics.incr c_batches;
     Metrics.add c_tasks n;
@@ -120,7 +179,10 @@ let run_tasks tasks =
         match Queue.take_opt pool.queue with
         | Some job ->
             Mutex.unlock pool.mutex;
-            job ();
+            (* wrapped jobs are total — they record failures instead of
+               raising — but the lock discipline must survive even if that
+               ever changes *)
+            (try job () with _ -> Metrics.incr c_rescued);
             Mutex.lock pool.mutex;
             drive ()
         | None ->
@@ -129,7 +191,14 @@ let run_tasks tasks =
     in
     drive ();
     Mutex.unlock pool.mutex;
-    match batch.failure with Some e -> raise e | None -> ()
+    match batch.failure with
+    | Some e -> raise e
+    | None ->
+        if batch.skipped > 0 then
+          raise
+            (Cancel.Cancelled
+               (Option.value ~default:"cancelled"
+                  (Option.bind cancel Cancel.reason)))
   end
 
 (* ------------------------------------------------------------------ *)

@@ -24,8 +24,11 @@
     [BFLY_DOMAINS] overrides the worker count: [1] forces fully inline
     sequential execution (no pool traffic at all, e.g. for profiling);
     unset or empty defaults to [Domain.recommended_domain_count], capped
-    at 8. The pool grows if a later call requests more domains than have
-    been spawned; it never shrinks before exit.
+    at 8. A value that is not a positive integer (e.g. ["abc"], ["0"]) is
+    ignored in favor of that same default, with a one-time warning on
+    stderr and a [parallel.bad_domains_env] counter tick. The pool grows
+    if a later call requests more domains than have been spawned; it
+    never shrinks before exit.
 
     Do not set [BFLY_DOMAINS] above the physical core count: OCaml 5
     minor collections synchronize every running domain, so an
@@ -33,11 +36,24 @@
     path (results stay identical either way). The default never
     oversubscribes.
 
+    {2 Supervision}
+
+    Tasks that raise never kill their worker domain: the exception is
+    recorded as the batch's failure (re-raised to the submitter once the
+    batch completes) and the worker survives to serve the next batch, so
+    the pool cannot silently shrink. {!run_tasks} additionally accepts a
+    {!Bfly_resil.Cancel} token: jobs not yet started when it triggers are
+    skipped (counted in [parallel.tasks_skipped]) and the call raises
+    [Cancel.Cancelled] once the batch has drained. In chaos runs,
+    {!Bfly_resil.Fault.Worker} faults surface here as per-task
+    exceptions, exercising exactly that recovery path.
+
     {2 Observability}
 
     The pool reports through {!Bfly_obs.Metrics}: counters
-    [parallel.domains_spawned], [parallel.batches], [parallel.tasks] and
-    gauge [parallel.pool_size]. *)
+    [parallel.domains_spawned], [parallel.batches], [parallel.tasks],
+    [parallel.tasks_skipped], [parallel.workers_rescued],
+    [parallel.bad_domains_env] and gauge [parallel.pool_size]. *)
 
 val domain_count : unit -> int
 (** Number of domains (including the calling one) the combinators below
@@ -74,6 +90,17 @@ val best_of : ?compare:('a -> 'a -> int) -> restarts:int -> (int -> 'a) -> 'a
     sequential first-wins restart loop would select. This is the engine
     under the parallel restarts of [Bfly_cuts.Heuristics]. Raises
     [Invalid_argument] when [restarts < 1]. *)
+
+val run_tasks : ?cancel:Bfly_resil.Cancel.t -> (unit -> unit) array -> unit
+(** [run_tasks ?cancel tasks] runs every task to completion on the pool
+    (the caller helps drain the queue; nested submissions are safe). If a
+    task raises, the first such exception is re-raised to the caller
+    {e after} the batch drains — the worker domains survive. If [cancel]
+    triggers mid-batch, tasks that have not yet started are skipped and
+    [Bfly_resil.Cancel.Cancelled] is raised once the batch drains (a
+    recorded task failure takes precedence). Tasks already running are
+    never interrupted — cancellation within a task is the task's own,
+    cooperative, business. *)
 
 val run_chunks : lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list
 (** [run_chunks ~lo ~hi work] splits [lo, hi) into one contiguous chunk

@@ -1,0 +1,64 @@
+type t = { wall_ns : int option; steps : int option }
+
+let unlimited = { wall_ns = None; steps = None }
+let is_unlimited b = b.wall_ns = None && b.steps = None
+
+let make ?wall_s ?steps () =
+  let wall_ns =
+    match wall_s with
+    | None -> None
+    | Some s when s > 0. -> Some (int_of_float (s *. 1e9))
+    | Some _ -> invalid_arg "Budget.make: wall_s must be positive"
+  in
+  let steps =
+    match steps with
+    | None -> None
+    | Some k when k > 0 -> Some k
+    | Some _ -> invalid_arg "Budget.make: steps must be positive"
+  in
+  { wall_ns; steps }
+
+let wall_ns b = b.wall_ns
+let steps b = b.steps
+
+let of_string s =
+  let s = String.trim s in
+  let split_suffix suffix =
+    if Filename.check_suffix s suffix then
+      Some (String.sub s 0 (String.length s - String.length suffix))
+    else None
+  in
+  let scaled num scale =
+    match float_of_string_opt (String.trim num) with
+    | Some v when v > 0. -> Ok (make ~wall_s:(v *. scale) ())
+    | _ -> Error (Printf.sprintf "cannot parse deadline %S" s)
+  in
+  if s = "" then Error "empty deadline"
+  else
+    match split_suffix "ms" with
+    | Some num -> scaled num 1e-3
+    | None -> (
+        match split_suffix "s" with
+        | Some num -> scaled num 1.
+        | None -> (
+            match split_suffix "m" with
+            | Some num -> scaled num 60.
+            | None -> (
+                match split_suffix "h" with
+                | Some num -> scaled num 3600.
+                | None -> scaled s 1.)))
+
+let to_string b =
+  match (b.wall_ns, b.steps) with
+  | None, None -> "unlimited"
+  | wall, steps ->
+      let parts =
+        (match wall with
+        | Some ns -> [ Printf.sprintf "%gs" (float_of_int ns /. 1e9) ]
+        | None -> [])
+        @
+        match steps with
+        | Some k -> [ Printf.sprintf "%d steps" k ]
+        | None -> []
+      in
+      String.concat ", " parts

@@ -1,0 +1,32 @@
+(** Resource budgets for supervised solver runs.
+
+    A budget limits how much a single solver invocation may consume: a
+    wall-clock allowance, a step allowance (search nodes visited,
+    heuristic passes — whatever the solver counts through
+    {!Cancel.add_steps}), or both. The budget itself is inert data;
+    {!Cancel.create} turns it into a live token whose deadline starts
+    ticking at creation. *)
+
+type t
+
+val unlimited : t
+(** No wall-clock limit, no step limit. *)
+
+val is_unlimited : t -> bool
+
+(** [make ?wall_s ?steps ()] — a budget of [wall_s] seconds and/or
+    [steps] solver steps. Raises [Invalid_argument] on non-positive
+    values. *)
+val make : ?wall_s:float -> ?steps:int -> unit -> t
+
+val wall_ns : t -> int option
+(** Wall-clock allowance in nanoseconds, if any. *)
+
+val steps : t -> int option
+(** Step allowance, if any. *)
+
+(** [of_string s] parses a human deadline: ["250ms"], ["1.5s"], ["2m"],
+    ["1h"]; a bare number means seconds. *)
+val of_string : string -> (t, string) result
+
+val to_string : t -> string

@@ -1,0 +1,77 @@
+module Metrics = Bfly_obs.Metrics
+module Span = Bfly_obs.Span
+
+type t = {
+  state : string option Atomic.t; (* Some reason once cancelled; latched *)
+  deadline_ns : int option; (* absolute, on the monotonic clock *)
+  max_steps : int option;
+  steps : int Atomic.t;
+}
+
+exception Cancelled of string
+
+let c_cancelled = Metrics.counter "resil.cancel.cancelled"
+let c_deadline = Metrics.counter "resil.cancel.deadline_expired"
+let c_steps = Metrics.counter "resil.cancel.steps_exhausted"
+let c_injected = Metrics.counter "resil.cancel.injected"
+
+let create ?(budget = Budget.unlimited) () =
+  {
+    state = Atomic.make None;
+    deadline_ns =
+      (match Budget.wall_ns budget with
+      | None -> None
+      | Some w -> Some (Span.now_ns () + w));
+    max_steps = Budget.steps budget;
+    steps = Atomic.make 0;
+  }
+
+let latch t reason counter =
+  if Atomic.compare_and_set t.state None (Some reason) then
+    Metrics.incr counter
+
+let cancel ?(reason = "cancelled") t = latch t reason c_cancelled
+
+let triggered t =
+  match Atomic.get t.state with
+  | Some _ -> true
+  | None -> (
+      match t.deadline_ns with
+      | Some d when Span.now_ns () > d ->
+          latch t "deadline expired" c_deadline;
+          true
+      | _ -> (
+          match t.max_steps with
+          | Some m when Atomic.get t.steps >= m ->
+              latch t "step budget exhausted" c_steps;
+              true
+          | _ ->
+              Fault.fire Fault.Deadline
+              && begin
+                   latch t "injected deadline expiry" c_injected;
+                   true
+                 end))
+
+let reason t = Atomic.get t.state
+let add_steps t n = ignore (Atomic.fetch_and_add t.steps n)
+let steps t = Atomic.get t.steps
+
+let check t =
+  if triggered t then
+    raise (Cancelled (Option.value ~default:"cancelled" (Atomic.get t.state)))
+
+(* ---- ambient token ----
+   One process-global slot, so a CLI-level --deadline can reach every
+   cooperating solver without threading a token through each signature. *)
+
+let ambient_slot : t option Atomic.t = Atomic.make None
+let ambient () = Atomic.get ambient_slot
+let set_ambient t = Atomic.set ambient_slot t
+
+let with_ambient t f =
+  let saved = Atomic.get ambient_slot in
+  Atomic.set ambient_slot (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set ambient_slot saved) f
+
+let resolve = function Some t -> Some t | None -> Atomic.get ambient_slot
+let stop = function None -> false | Some t -> triggered t

@@ -1,0 +1,71 @@
+(** Cooperative cancellation tokens.
+
+    A token is created from a {!Budget} (its wall-clock deadline starts
+    ticking immediately) and handed to a solver, which {e polls}
+    {!triggered} at safe points and winds down when it fires — releasing
+    its invariants, reporting whatever certified partial result it has.
+    Nothing is ever interrupted asynchronously.
+
+    Tokens latch: once triggered — by an explicit {!cancel}, an expired
+    deadline, an exhausted step budget, or an injected {!Fault.Deadline}
+    fault — they stay triggered, and {!reason} says why.
+
+    All operations are lock-free and safe from any domain; one token is
+    routinely shared by every worker of a parallel solve.
+
+    Metrics: counters [resil.cancel.cancelled],
+    [resil.cancel.deadline_expired], [resil.cancel.steps_exhausted],
+    [resil.cancel.injected] count the first trigger of each token by
+    cause. *)
+
+type t
+
+exception Cancelled of string
+(** Raised by {!check}, and by batch combinators that abandoned work
+    because a token fired. The payload is the {!reason}. *)
+
+(** [create ?budget ()] — a live token; [budget] defaults to
+    {!Budget.unlimited} (the token then only triggers via {!cancel} or
+    fault injection). *)
+val create : ?budget:Budget.t -> unit -> t
+
+val cancel : ?reason:string -> t -> unit
+(** Trigger the token explicitly. Idempotent; the first reason wins. *)
+
+val triggered : t -> bool
+(** Poll the token. Checks, in order: the latch, the wall-clock deadline,
+    the step budget, and (in chaos runs) injected deadline expiry. *)
+
+val reason : t -> string option
+(** Why the token triggered, once it has. *)
+
+val add_steps : t -> int -> unit
+(** Charge [n] units of work against the step budget. Solvers batch this
+    (e.g. every 256 search nodes) to keep the shared counter cool. *)
+
+val steps : t -> int
+
+val check : t -> unit
+(** [check t] raises {!Cancelled} iff the token has triggered. *)
+
+(** {2 Ambient token}
+
+    A process-global slot so [bfly_tool --deadline] can supervise every
+    cooperating solver a subcommand reaches without new parameters on
+    each call chain. Solvers resolve their [?cancel] argument with
+    {!resolve}: an explicit token wins, otherwise the ambient one (if
+    any) applies. *)
+
+val ambient : unit -> t option
+val set_ambient : t option -> unit
+
+(** [with_ambient t f] runs [f] with [t] as the ambient token, restoring
+    the previous one afterwards (even on raise). *)
+val with_ambient : t -> (unit -> 'a) -> 'a
+
+val resolve : t option -> t option
+(** [resolve explicit] is [explicit] if given, else {!ambient}. *)
+
+val stop : t option -> bool
+(** [stop c] is [false] for [None], else [triggered]. The poll most
+    solver loops want. *)

@@ -1,0 +1,96 @@
+module Metrics = Bfly_obs.Metrics
+
+type kind = Disk_io | Corrupt | Worker | Deadline
+
+exception Injected of string
+
+let kind_name = function
+  | Disk_io -> "disk_io"
+  | Corrupt -> "corrupt"
+  | Worker -> "worker"
+  | Deadline -> "deadline"
+
+let all = [ Disk_io; Corrupt; Worker; Deadline ]
+
+type config = {
+  seed : int;
+  rate : float;
+  disk_io : bool;
+  corrupt : bool;
+  worker : bool;
+  deadline : bool;
+}
+
+let config : config option Atomic.t = Atomic.make None
+let draws = Atomic.make 0
+let injected = Atomic.make 0
+
+let configure ?(rate = 0.05) ~seed kinds =
+  if rate < 0. || rate > 1. then
+    invalid_arg "Fault.configure: rate must be in [0, 1]";
+  Atomic.set draws 0;
+  Atomic.set config
+    (Some
+       {
+         seed;
+         rate;
+         disk_io = List.mem Disk_io kinds;
+         corrupt = List.mem Corrupt kinds;
+         worker = List.mem Worker kinds;
+         deadline = List.mem Deadline kinds;
+       })
+
+let disable () = Atomic.set config None
+let enabled () = Atomic.get config <> None
+
+let kind_active cfg = function
+  | Disk_io -> cfg.disk_io
+  | Corrupt -> cfg.corrupt
+  | Worker -> cfg.worker
+  | Deadline -> cfg.deadline
+
+let active kind =
+  match Atomic.get config with
+  | None -> false
+  | Some cfg -> kind_active cfg kind
+
+let c_injected kind = Metrics.counter ("resil.fault.injected." ^ kind_name kind)
+
+let fire kind =
+  match Atomic.get config with
+  | None -> false
+  | Some cfg ->
+      kind_active cfg kind
+      && begin
+           (* each armed decision consumes one draw from a seeded stream, so
+              a fixed seed produces a reproducible firing pattern (up to
+              domain interleaving of the shared draw counter) *)
+           let i = Atomic.fetch_and_add draws 1 in
+           let h = Hashtbl.hash (cfg.seed, i, kind_name kind) in
+           let u = float_of_int (h land 0x3FFFFFFF) /. 1073741824.0 in
+           u < cfg.rate
+           && begin
+                Atomic.incr injected;
+                Metrics.incr (c_injected kind);
+                true
+              end
+         end
+
+let maybe_raise kind =
+  if fire kind then raise (Injected ("injected " ^ kind_name kind ^ " fault"))
+
+let injected_total () = Atomic.get injected
+
+let scope ?rate ~seed kinds f =
+  let saved = Atomic.get config in
+  configure ?rate ~seed kinds;
+  Fun.protect ~finally:(fun () -> Atomic.set config saved) f
+
+let corrupt s =
+  if String.length s = 0 then "x"
+  else begin
+    let b = Bytes.of_string s in
+    let i = String.length s / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b
+  end

@@ -1,0 +1,55 @@
+(** Deterministic fault injection for chaos testing.
+
+    When configured, cooperating subsystems ask {!fire} at their hazard
+    points — the disk cache before I/O ({!Disk_io}, {!Corrupt}), the
+    domain pool before running a task ({!Worker}), a {!Cancel} token at
+    its poll sites ({!Deadline}) — and simulate the corresponding failure
+    when it returns [true]. Firing decisions are drawn from a stream
+    seeded by [configure ~seed], so a chaos run is reproducible up to
+    domain interleaving of the shared draw counter.
+
+    Injection is process-global and {e off by default}; production code
+    pays one atomic read per hazard point when disabled. Each injected
+    fault increments [resil.fault.injected.<kind>] in
+    {!Bfly_obs.Metrics}. *)
+
+type kind =
+  | Disk_io  (** cache store/load raises a filesystem error *)
+  | Corrupt  (** a loaded cache entry has its bytes mangled *)
+  | Worker  (** a pool task raises {!Injected} mid-batch *)
+  | Deadline  (** a cancel token reports spurious deadline expiry *)
+
+exception Injected of string
+(** Raised by {!maybe_raise} (and by subsystems simulating a crash). *)
+
+val kind_name : kind -> string
+val all : kind list
+
+(** [configure ?rate ~seed kinds] arms injection for [kinds] at the given
+    firing probability per hazard point (default [0.05]). Resets the draw
+    stream. Raises [Invalid_argument] unless [0 <= rate <= 1]. *)
+val configure : ?rate:float -> seed:int -> kind list -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val active : kind -> bool
+(** Is this kind armed? (Cheap; does not consume a draw.) *)
+
+val fire : kind -> bool
+(** Consume one draw and report whether the fault fires. Always [false]
+    for unarmed kinds. *)
+
+val maybe_raise : kind -> unit
+(** Raise [Injected] if {!fire} does. *)
+
+(** [scope ?rate ~seed kinds f] runs [f] with injection armed, restoring
+    the previous configuration afterwards (even on raise). *)
+val scope : ?rate:float -> seed:int -> kind list -> (unit -> 'a) -> 'a
+
+val injected_total : unit -> int
+(** Faults injected since process start (all kinds). *)
+
+val corrupt : string -> string
+(** Deterministically mangle one byte — what a {!Corrupt} fault does to a
+    cache entry's contents. The result always differs from the input. *)

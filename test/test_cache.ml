@@ -354,13 +354,79 @@ let test_expansion_cached () =
   in
   check "different k misses" 1 misses
 
+(* ---- orphaned temp files (regression) ----
+   A writer that died between temp-file creation and rename used to leak
+   `.<digest>.<pid>.tmp` files forever. *)
+
+let test_tmp_sweep () =
+  with_fresh_cache @@ fun dir ->
+  ignore (memo_int (int_key 80) 1);
+  let orphan name =
+    Out_channel.with_open_bin (Filename.concat dir name) (fun oc ->
+        Out_channel.output_string oc "junk from a dead writer")
+  in
+  orphan ".deadbeef.99999.tmp";
+  orphan ".cafebabe.99998.tmp";
+  check "stats reports in-flight temp files" 2 (Store.stats ()).disk.tmp;
+  (* fresh temp files belong to live writers: the age-gated default sweep
+     must leave them alone *)
+  check "age-gated sweep spares fresh files" 0 (Store.sweep_tmp ());
+  check "both still present" 2 (Store.stats ()).disk.tmp;
+  (* with the age gate dropped they are stale by definition *)
+  check "zero-age sweep removes both" 2 (Store.sweep_tmp ~max_age_s:0. ());
+  check "none left" 0 (Store.stats ()).disk.tmp;
+  (* cache entries were never touched *)
+  check "entry survived the sweep" 1 (Store.stats ()).disk.entries
+
+(* ---- injected disk faults (chaos) ----
+   Faults may cost recomputation, never correctness: a corrupted read is
+   detected and refused, a failed read or write degrades to a miss. *)
+
+let test_injected_disk_faults () =
+  let module Fault = Bfly_resil.Fault in
+  with_fresh_cache @@ fun _ ->
+  let lookup key =
+    Store.lookup ~key ~decode:int_decode ~verify:(fun _ -> true)
+  in
+  (* corruption of the on-disk bytes is caught by the checksum/format
+     checks — a lookup never serves a corrupted payload *)
+  let k1 = int_key 81 in
+  ignore (memo_int k1 7);
+  Store.reset_memory ();
+  let v =
+    Fault.scope ~rate:1.0 ~seed:5 [ Fault.Corrupt ] (fun () -> lookup k1)
+  in
+  Alcotest.(check (option int)) "corrupted read is never served" None v;
+  Store.reset_memory ();
+  (match lookup k1 with
+  | None | Some 7 -> () (* evicted, or untouched when the flip hit the key line *)
+  | Some v -> Alcotest.failf "corruption leaked a wrong value %d" v);
+  (* an injected read error is just a miss; the entry survives *)
+  let k2 = int_key 82 in
+  ignore (memo_int k2 9);
+  Store.reset_memory ();
+  let v =
+    Fault.scope ~rate:1.0 ~seed:6 [ Fault.Disk_io ] (fun () -> lookup k2)
+  in
+  Alcotest.(check (option int)) "I/O fault reads as a miss" None v;
+  Store.reset_memory ();
+  Alcotest.(check (option int)) "entry intact after the fault" (Some 9)
+    (lookup k2);
+  (* an injected write error drops the store; nothing partial appears *)
+  let k3 = int_key 83 in
+  Fault.scope ~rate:1.0 ~seed:7 [ Fault.Disk_io ] (fun () ->
+      Store.put ~key:k3 ~encode:int_encode 11);
+  Store.reset_memory ();
+  Alcotest.(check (option int)) "failed store leaves no disk entry" None
+    (lookup k3)
+
 let test_fuzzer_agrees_cache_on_off () =
   with_fresh_cache @@ fun _ ->
   (* the differential-oracle suite must produce the identical document on
      a cold cache, a warm cache, and with the cache disabled *)
   let doc ~enabled =
     Config.set_enabled enabled;
-    let json, ok = Bfly_check.Run.execute ~seed:11 ~rounds:2 ~smoke:true in
+    let json, ok = Bfly_check.Run.execute ~seed:11 ~rounds:2 ~smoke:true () in
     checkb "suite passes" true ok;
     Bfly_obs.Json.to_string json
   in
@@ -394,6 +460,9 @@ let suite =
     case "pullback sweep and bw_m2 cached" test_pullback_and_bw_m2_cached;
     case "expansion: exact minimizers cached per (graph, k)"
       test_expansion_cached;
+    case "orphaned temp files swept, age-gated" test_tmp_sweep;
+    case "injected disk faults never change served values"
+      test_injected_disk_faults;
     slow_case "differential suite agrees cache on/warm/off"
       test_fuzzer_agrees_cache_on_off;
   ]

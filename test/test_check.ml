@@ -166,7 +166,7 @@ let test_bounds_smoke () =
     (Bounds.all ~smoke:true)
 
 let test_run_execute_smoke () =
-  let json, ok = Bfly_check.Run.execute ~seed:1 ~rounds:2 ~smoke:true in
+  let json, ok = Bfly_check.Run.execute ~seed:1 ~rounds:2 ~smoke:true () in
   checkb "smoke run passes" true ok;
   let s = Bfly_obs.Json.to_string json in
   checkb "summary mentions the tool" true

@@ -12,6 +12,7 @@ let () =
       ("multibutterfly", Test_multibutterfly.suite);
       ("cuts", Test_cuts.suite);
       ("cache", Test_cache.suite);
+      ("resil", Test_resil.suite);
       ("flow-and-layout", Test_flow_layout.suite);
       ("generators", Test_generators.suite);
       ("level-cut", Test_level_cut.suite);

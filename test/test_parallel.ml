@@ -10,13 +10,15 @@ open Tu
 
 (* Run [f] with BFLY_DOMAINS=d, restoring the previous value after. An
    empty string behaves as unset (the library treats "" as default). *)
-let with_domains d f =
+let with_domains_str s f =
   let old = Sys.getenv_opt "BFLY_DOMAINS" in
-  Unix.putenv "BFLY_DOMAINS" (string_of_int d);
+  Unix.putenv "BFLY_DOMAINS" s;
   Fun.protect
     ~finally:(fun () ->
       Unix.putenv "BFLY_DOMAINS" (match old with Some s -> s | None -> ""))
     f
+
+let with_domains d f = with_domains_str (string_of_int d) f
 
 let c_spawned = Metrics.counter "parallel.domains_spawned"
 
@@ -110,6 +112,64 @@ let test_exceptions_propagate () =
             (Parallel.map_range ~lo:0 ~hi:100 (fun i ->
                  if i = 63 then invalid_arg "boom" else i))))
 
+(* ---- workers survive failing tasks (regression) ----
+   A raising task used to kill its worker domain: the pool silently shrank
+   and later batches hung. Two failing batches back to back on a 2-domain
+   pool must leave the pool at full strength and computing correctly. *)
+
+let test_workers_survive_failing_batches () =
+  with_domains 2 (fun () ->
+      ignore (Parallel.map_range ~lo:0 ~hi:64 Fun.id);
+      let size0 = Parallel.pool_size () in
+      checkb "pool warmed" true (size0 >= 1);
+      for batch = 1 to 2 do
+        match
+          Parallel.map_range ~lo:0 ~hi:32 (fun i ->
+              if i mod 3 = 0 then failwith "injected task failure" else i)
+        with
+        | _ -> Alcotest.failf "batch %d should have raised" batch
+        | exception Failure _ -> ()
+      done;
+      check "pool at full strength after two failing batches" size0
+        (Parallel.pool_size ());
+      check "pool still computes correctly" 4950
+        (Parallel.reduce_range ~lo:0 ~hi:100 ~init:0 ~f:Fun.id ~combine:( + )))
+
+(* ---- BFLY_DOMAINS validation (regression) ----
+   Garbage ("abc") and non-positive ("0") values used to silently degrade
+   to a sequential run; they must fall back to the recommended default. *)
+
+let test_bad_domains_env () =
+  let dc s = with_domains_str s (fun () -> Parallel.domain_count ()) in
+  let default = dc "" in
+  checkb "default is positive" true (default >= 1);
+  check "garbage falls back to the default" default (dc "abc");
+  check "zero falls back to the default" default (dc "0");
+  check "negative falls back to the default" default (dc "-4");
+  check "valid count respected" 3 (dc "3");
+  check "surrounding whitespace tolerated" 3 (dc " 3 ")
+
+(* ---- cancellation: not-yet-started tasks are skipped ---- *)
+
+let test_run_tasks_cancelled () =
+  let module Cancel = Bfly_resil.Cancel in
+  with_domains 2 (fun () ->
+      let cancel = Cancel.create () in
+      Cancel.cancel ~reason:"test stop" cancel;
+      let ran = Atomic.make 0 in
+      (match
+         Parallel.run_tasks ~cancel
+           (Array.init 16 (fun _ () -> ignore (Atomic.fetch_and_add ran 1)))
+       with
+      | () -> Alcotest.fail "cancelled batch should raise"
+      | exception Cancel.Cancelled _ -> ());
+      check "no task ran under a pre-triggered token" 0 (Atomic.get ran);
+      (* an untriggered token lets everything through *)
+      let ran2 = Atomic.make 0 in
+      Parallel.run_tasks ~cancel:(Cancel.create ())
+        (Array.init 16 (fun _ () -> ignore (Atomic.fetch_and_add ran2 1)));
+      check "untriggered token runs every task" 16 (Atomic.get ran2))
+
 (* ---- heuristics: same seed, same capacities, any domain count ---- *)
 
 let test_heuristics_domain_invariant () =
@@ -148,6 +208,9 @@ let suite =
     case "nested batches don't deadlock" test_nested_batches;
     case "best_of ties to earliest restart" test_best_of;
     case "task exceptions propagate" test_exceptions_propagate;
+    case "workers survive failing batches" test_workers_survive_failing_batches;
+    case "invalid BFLY_DOMAINS falls back" test_bad_domains_env;
+    case "run_tasks skips under cancellation" test_run_tasks_cancelled;
     case "heuristics domain-invariant" test_heuristics_domain_invariant;
     case "exact solver domain-invariant" test_exact_domain_invariant;
   ]

@@ -1,0 +1,265 @@
+(* The bfly_resil supervision layer: budget parsing, cancel-token
+   semantics (latching, step budgets, the ambient slot), certified
+   intervals from interrupted searches, checkpoint/resume determinism,
+   cache-poisoning avoidance under cancellation, and fault injection —
+   including chaos rounds of the differential fuzzer per fault class. *)
+
+module Budget = Bfly_resil.Budget
+module Cancel = Bfly_resil.Cancel
+module Fault = Bfly_resil.Fault
+module Exact = Bfly_cuts.Exact
+module Heuristics = Bfly_cuts.Heuristics
+module Invariants = Bfly_check.Invariants
+module Store = Bfly_cache.Store
+module Config = Bfly_cache.Config
+module Metrics = Bfly_obs.Metrics
+module B = Bfly_networks.Butterfly
+open Tu
+
+let counter name = Metrics.counter_value (Metrics.counter name)
+
+(* Resume and chaos tests must not see (or leave) entries in whatever
+   store the rest of the binary uses; same discipline as test_cache. *)
+let fresh_id = ref 0
+
+let with_fresh_cache f =
+  incr fresh_id;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bfly-resil-test-%d-%d" (Unix.getpid ()) !fresh_id)
+  in
+  let was_enabled = Config.enabled () in
+  let old_dir = Config.dir () in
+  let restore () =
+    Config.set_enabled true;
+    Config.set_dir dir;
+    ignore (Store.clear ());
+    (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ());
+    Config.set_enabled was_enabled;
+    Config.set_dir old_dir;
+    Store.reset_memory ()
+  in
+  Config.set_enabled true;
+  Config.set_dir dir;
+  Store.reset_memory ();
+  match f () with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e
+
+let pass name r =
+  match r with
+  | Invariants.Pass -> ()
+  | Invariants.Fail m -> Alcotest.failf "%s: %s" name m
+
+(* ---- budgets ---- *)
+
+let wall_of s =
+  match Budget.of_string s with
+  | Ok b -> Budget.wall_ns b
+  | Error m -> Alcotest.failf "of_string %S: %s" s m
+
+let test_budget_parse () =
+  Alcotest.(check (option int)) "250ms" (Some 250_000_000) (wall_of "250ms");
+  Alcotest.(check (option int)) "1.5s" (Some 1_500_000_000) (wall_of "1.5s");
+  Alcotest.(check (option int)) "2m" (Some 120_000_000_000) (wall_of "2m");
+  Alcotest.(check (option int)) "1h" (Some 3_600_000_000_000) (wall_of "1h");
+  Alcotest.(check (option int)) "bare number is seconds" (Some 3_000_000_000)
+    (wall_of "3");
+  List.iter
+    (fun s ->
+      match Budget.of_string s with
+      | Ok _ -> Alcotest.failf "of_string %S should be rejected" s
+      | Error _ -> ())
+    [ ""; "abc"; "-1s"; "1.5.5s"; "10 parsecs" ];
+  (* roundtrip through the printer *)
+  Alcotest.(check (option int)) "to_string roundtrips" (Some 250_000_000)
+    (wall_of (Budget.to_string (Budget.make ~wall_s:0.25 ())))
+
+let test_budget_make () =
+  checkb "unlimited" true (Budget.is_unlimited Budget.unlimited);
+  let b = Budget.make ~steps:100 () in
+  checkb "steps budget is limited" false (Budget.is_unlimited b);
+  Alcotest.(check (option int)) "steps" (Some 100) (Budget.steps b);
+  Alcotest.(check (option int)) "no wall" None (Budget.wall_ns b);
+  List.iter
+    (fun mk ->
+      match mk () with
+      | (_ : Budget.t) -> Alcotest.fail "non-positive budget accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Budget.make ~wall_s:0. ());
+      (fun () -> Budget.make ~wall_s:(-1.) ());
+      (fun () -> Budget.make ~steps:0 ());
+    ]
+
+(* ---- cancel tokens ---- *)
+
+let test_cancel_latch () =
+  let t = Cancel.create () in
+  checkb "fresh token untriggered" false (Cancel.triggered t);
+  Alcotest.(check (option string)) "no reason yet" None (Cancel.reason t);
+  checkb "stop None" false (Cancel.stop None);
+  checkb "stop untriggered" false (Cancel.stop (Some t));
+  Cancel.cancel ~reason:"first" t;
+  checkb "triggered" true (Cancel.triggered t);
+  Cancel.cancel ~reason:"second" t;
+  Alcotest.(check (option string)) "latched; first reason wins" (Some "first")
+    (Cancel.reason t);
+  checkb "stop triggered" true (Cancel.stop (Some t));
+  Alcotest.check_raises "check raises with the reason"
+    (Cancel.Cancelled "first") (fun () -> Cancel.check t)
+
+let test_cancel_step_budget () =
+  let t = Cancel.create ~budget:(Budget.make ~steps:100 ()) () in
+  Cancel.add_steps t 64;
+  checkb "under budget" false (Cancel.triggered t);
+  Cancel.add_steps t 64;
+  check "steps accumulated" 128 (Cancel.steps t);
+  checkb "over budget" true (Cancel.triggered t);
+  checkb "budget trigger has a reason" true (Cancel.reason t <> None)
+
+let test_ambient () =
+  Cancel.set_ambient None;
+  checkb "no ambient by default" true (Cancel.resolve None = None);
+  let t = Cancel.create () in
+  let t2 = Cancel.create () in
+  Cancel.with_ambient t (fun () ->
+      (match Cancel.resolve None with
+      | Some t' -> checkb "ambient resolves" true (t' == t)
+      | None -> Alcotest.fail "ambient lost");
+      match Cancel.resolve (Some t2) with
+      | Some t' -> checkb "explicit beats ambient" true (t' == t2)
+      | None -> Alcotest.fail "explicit lost");
+  checkb "ambient restored" true (Cancel.ambient () = None)
+
+(* ---- interrupted search: certified interval ---- *)
+
+let test_interrupt_certified_interval () =
+  with_fresh_cache @@ fun () ->
+  let g = B.graph (B.of_inputs 8) in
+  let stored0 = counter "resil.checkpoint.stored" in
+  let cancel = Cancel.create ~budget:(Budget.make ~steps:64 ()) () in
+  match Exact.bisection_width_supervised ~cancel g with
+  | Complete _ -> Alcotest.fail "64 steps should not complete B_8"
+  | Interval { lower; upper; witness; reason } ->
+      checkb "a reason is reported" true (reason <> "");
+      checkb "interval contains the answer" true (lower <= 8 && 8 <= upper);
+      pass "certified interval"
+        (Invariants.bisection_interval g ~lower ~upper ~witness);
+      checkb "checkpoint stored" true
+        (counter "resil.checkpoint.stored" > stored0)
+
+(* ---- checkpoint/resume determinism ---- *)
+
+let test_resume_equals_uninterrupted () =
+  with_fresh_cache @@ fun () ->
+  let g = B.graph (B.of_inputs 8) in
+  let interrupted = ref 0 in
+  let resumed0 = counter "resil.checkpoint.resumed" in
+  (* grow the budget between resumes; per exact.mli this terminates once
+     one pending subtree fits in a single run's budget *)
+  let rec go steps tries =
+    if tries = 0 then Alcotest.fail "budget never sufficed"
+    else
+      let cancel = Cancel.create ~budget:(Budget.make ~steps ()) () in
+      match Exact.bisection_width_supervised ~cancel ~resume:true g with
+      | Complete (v, w) ->
+          pass "final cut" (Invariants.bisection_cut g ~value:v ~witness:w);
+          v
+      | Interval { lower; upper; witness; _ } ->
+          incr interrupted;
+          pass "intermediate interval"
+            (Invariants.bisection_interval g ~lower ~upper ~witness);
+          go (2 * steps) (tries - 1)
+  in
+  let v = go 64 24 in
+  check "resumed run completes to the exact answer" 8 v;
+  checkb "at least one run was interrupted" true (!interrupted >= 1);
+  checkb "checkpoints were actually resumed" true
+    (counter "resil.checkpoint.resumed" > resumed0);
+  (* the cached result now served is the same exact value *)
+  check "cached result agrees" 8 (fst (Exact.bisection_width g))
+
+(* ---- cancellation never poisons the cache ---- *)
+
+let test_cancelled_heuristic_not_cached () =
+  with_fresh_cache @@ fun () ->
+  let g = B.graph (B.of_inputs 4) in
+  let cancel = Cancel.create () in
+  Cancel.cancel ~reason:"pre-triggered" cancel;
+  let v, w = Heuristics.kernighan_lin ~rng:(rng 42) ~cancel g in
+  pass "degraded cut is still a real cut"
+    (Invariants.bisection_cut g ~value:v ~witness:w);
+  check "nothing written to the store" 0 (Store.stats ()).disk.entries;
+  (* an uninterrupted run converges, and only then persists *)
+  let v', _ = Heuristics.kernighan_lin ~rng:(rng 42) g in
+  checkb "converged run is at least as good" true (v' <= v);
+  checkb "converged run is cached" true ((Store.stats ()).disk.entries >= 1)
+
+(* ---- fault injection ---- *)
+
+let test_fault_units () =
+  checkb "injection off by default" false (Fault.enabled ());
+  checkb "disarmed kinds never fire" false (Fault.fire Fault.Worker);
+  let before = Fault.injected_total () in
+  Fault.scope ~rate:1.0 ~seed:3 [ Fault.Worker ] (fun () ->
+      checkb "armed inside scope" true (Fault.enabled ());
+      checkb "worker armed" true (Fault.active Fault.Worker);
+      checkb "disk not armed" false (Fault.active Fault.Disk_io);
+      checkb "rate 1.0 always fires" true (Fault.fire Fault.Worker);
+      match Fault.maybe_raise Fault.Worker with
+      | () -> Alcotest.fail "maybe_raise at rate 1.0 should raise"
+      | exception Fault.Injected _ -> ());
+  checkb "scope restores the disabled state" false (Fault.enabled ());
+  checkb "injections were counted" true (Fault.injected_total () > before);
+  (match Fault.configure ~rate:1.5 ~seed:0 [] with
+  | () -> Alcotest.fail "rate 1.5 accepted"
+  | exception Invalid_argument _ -> ());
+  let s = "some cached payload" in
+  let c = Fault.corrupt s in
+  checkb "corrupt changes the bytes" true (c <> s);
+  check "corrupt keeps the length" (String.length s) (String.length c)
+
+let test_injected_deadline () =
+  Fault.scope ~rate:1.0 ~seed:4 [ Fault.Deadline ] (fun () ->
+      let t = Cancel.create () in
+      checkb "token reports spurious expiry" true (Cancel.triggered t);
+      checkb "with a reason" true (Cancel.reason t <> None))
+
+(* ---- chaos rounds of the differential fuzzer, per fault class ---- *)
+
+let test_chaos_fuzzer_per_class () =
+  with_fresh_cache @@ fun () ->
+  List.iteri
+    (fun i kind ->
+      let name = Fault.kind_name kind in
+      let summary =
+        Fault.scope ~rate:0.1 ~seed:(100 + i) [ kind ] (fun () ->
+            Bfly_check.Fuzzer.run ~chaos:true ~seed:(200 + i) ~rounds:3 ())
+      in
+      check (name ^ ": no verdict changed") 0 summary.Bfly_check.Fuzzer.failed;
+      checkb (name ^ ": pool intact") true summary.Bfly_check.Fuzzer.pool_stable;
+      checkb (name ^ ": chaos flagged") true summary.Bfly_check.Fuzzer.chaos)
+    Fault.all
+
+let suite =
+  [
+    case "budget parsing" test_budget_parse;
+    case "budget construction" test_budget_make;
+    case "cancel tokens latch" test_cancel_latch;
+    case "step budgets trigger" test_cancel_step_budget;
+    case "ambient token resolution" test_ambient;
+    case "interrupt yields a certified interval" test_interrupt_certified_interval;
+    slow_case "resume completes to the uninterrupted answer"
+      test_resume_equals_uninterrupted;
+    case "cancelled heuristic is not cached" test_cancelled_heuristic_not_cached;
+    case "fault injection units" test_fault_units;
+    case "injected deadline expiry" test_injected_deadline;
+    slow_case "chaos fuzzer survives every fault class"
+      test_chaos_fuzzer_per_class;
+  ]
