@@ -17,7 +17,29 @@
    and warm-cache run of the same build, which ci.sh asserts with cmp.
    Each experiment object in the [--json] document also carries the
    cache.hit / cache.miss deltas it incurred, so a warm run is visibly
-   warm in the trajectory. *)
+   warm in the trajectory.
+
+   The [--json] document also embeds two deterministic regression anchors,
+   both captured BEFORE the Bechamel stage (whose timing-dependent
+   iteration counts pollute the process-wide cache counters):
+
+   - "gate": the exact.bb.nodes / cache.hit / cache.miss counter totals
+     after the reproduction + oracle stages — fixed for a fixed build,
+     domain count and (fresh) cache state;
+   - "check": the full differential-oracle summary
+     (seed 42, 5 rounds, smoke subset), deterministic by construction.
+
+   [--compare BASELINE.json] turns the harness into a CI gate: it re-runs
+   the deterministic stages only (reproduction + oracle; Bechamel is
+   skipped), diffs experiment outputs, gate counters and the check summary
+   against the committed baseline document, and exits non-zero on any
+   drift. Incompatible with --chaos / --deadline, which perturb the very
+   quantities being compared.
+
+   [--serve TRACE.ndjson] replays a newline-delimited request trace
+   through an in-process Bfly_serve server (same engine as `bfly_tool
+   serve`), printing one response line per request and a coalescing /
+   latency summary on stderr. *)
 
 open Bechamel
 open Toolkit
@@ -33,14 +55,16 @@ module Span = Bfly_obs.Span
 
 let usage =
   "usage: main.exe [--json FILE] [--values FILE] [--smoke] [--deadline D] \
-   [--chaos]"
+   [--chaos] [--compare BASELINE.json] [--serve TRACE.ndjson]"
 
-let json_file, values_file, smoke, deadline, chaos =
+let json_file, values_file, smoke, deadline, chaos, compare_file, serve_file =
   let json_file = ref None
   and values_file = ref None
   and smoke = ref false
   and deadline = ref None
-  and chaos = ref false in
+  and chaos = ref false
+  and compare_file = ref None
+  and serve_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
@@ -48,6 +72,12 @@ let json_file, values_file, smoke, deadline, chaos =
         parse rest
     | "--values" :: file :: rest ->
         values_file := Some file;
+        parse rest
+    | "--compare" :: file :: rest ->
+        compare_file := Some file;
+        parse rest
+    | "--serve" :: file :: rest ->
+        serve_file := Some file;
         parse rest
     | "--deadline" :: d :: rest -> (
         match Bfly_resil.Budget.of_string d with
@@ -57,7 +87,8 @@ let json_file, values_file, smoke, deadline, chaos =
         | Error e ->
             Printf.eprintf "bad --deadline: %s\n%s\n" e usage;
             exit 2)
-    | [ "--json" ] | [ "--values" ] | [ "--deadline" ] ->
+    | [ "--json" ] | [ "--values" ] | [ "--deadline" ] | [ "--compare" ]
+    | [ "--serve" ] ->
         prerr_endline usage;
         exit 2
     | "--smoke" :: rest ->
@@ -71,7 +102,19 @@ let json_file, values_file, smoke, deadline, chaos =
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (!json_file, !values_file, !smoke, !deadline, !chaos)
+  if !compare_file <> None && (!chaos || !deadline <> None) then begin
+    prerr_endline
+      "--compare is a determinism gate; --chaos / --deadline perturb the \
+       compared quantities and are not allowed with it";
+    exit 2
+  end;
+  ( !json_file,
+    !values_file,
+    !smoke,
+    !deadline,
+    !chaos,
+    !compare_file,
+    !serve_file )
 
 (* experiments cheap enough to gate every CI run on *)
 let smoke_experiments = [ "E2"; "E4"; "E10"; "E14"; "F1" ]
@@ -107,6 +150,33 @@ let run_experiments () =
       Printf.printf "\n--- %s ---\n%s%!" name out;
       (name, out, wall_ns, hits, misses))
     selected
+
+(* ---- deterministic regression anchors ---- *)
+
+(* The oracle battery runs with a fixed configuration in every mode, so
+   the embedded summary is comparable across smoke and full documents. *)
+let check_seed = 42
+let check_rounds = 5
+
+let run_check () =
+  print_endline "\n==============================================================";
+  Printf.printf " Differential oracle battery (seed %d, %d rounds, smoke)\n"
+    check_seed check_rounds;
+  print_endline "==============================================================";
+  let json, ok =
+    Bfly_check.Run.execute ~seed:check_seed ~rounds:check_rounds ~smoke:true ()
+  in
+  Printf.printf "%s\n%!" (if ok then "oracle: all checks passed" else "oracle: FAILURES");
+  (json, ok)
+
+(* Counter totals the CI gates key on; must be read before the Bechamel
+   stage, whose timing-dependent iteration counts keep ticking cache.hit. *)
+let gate_counters = [ "exact.bb.nodes"; "cache.hit"; "cache.miss" ]
+
+let gate_snapshot () =
+  List.map
+    (fun name -> (name, Metrics.counter_value (Metrics.counter name)))
+    gate_counters
 
 (* one Bechamel test per experiment kernel *)
 let micro_tests () =
@@ -231,10 +301,10 @@ let iso8601_utc () =
     (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
     t.Unix.tm_sec
 
-let json_document ~experiments ~kernels =
+let json_document ~experiments ~check ~gate ~kernels =
   Json.Obj
     [
-      ("schema", Json.Str "bfly-bench/1");
+      ("schema", Json.Str "bfly-bench/2");
       ("generated_at", Json.Str (iso8601_utc ()));
       ("mode", Json.Str (if smoke then "smoke" else "full"));
       ("chaos", Json.Bool chaos);
@@ -261,6 +331,9 @@ let json_document ~experiments ~kernels =
                    ("output", Json.Str out);
                  ])
              experiments) );
+      ( "gate",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) gate) );
+      ("check", check);
       ( "kernels",
         Json.List
           (List.map
@@ -300,27 +373,203 @@ let write_doc file doc =
       output_char oc '\n');
   Printf.printf "\nwrote %s\n" file
 
+(* ---- --compare: counter-based regression gate ---- *)
+
+(* Diff the deterministic fields of this build's run against a committed
+   baseline document: per-experiment measured outputs, the gate counter
+   totals, and the oracle summary. Timings, timestamps and Bechamel
+   estimates are never compared (and Bechamel never runs here). *)
+let compare_run baseline_file =
+  let baseline =
+    match In_channel.with_open_text baseline_file In_channel.input_all with
+    | exception Sys_error e ->
+        Printf.eprintf "cannot read baseline: %s\n" e;
+        exit 2
+    | text -> (
+        match Json.of_string text with
+        | Ok doc -> doc
+        | Error e ->
+            Printf.eprintf "baseline %s is not valid JSON: %s\n" baseline_file e;
+            exit 2)
+  in
+  let drifts = ref [] in
+  let drift fmt = Printf.ksprintf (fun m -> drifts := m :: !drifts) fmt in
+  let str_field name =
+    Option.bind (Json.member name baseline) Json.to_string_opt
+  in
+  (match str_field "schema" with
+  | Some "bfly-bench/2" -> ()
+  | Some other ->
+      Printf.eprintf
+        "baseline schema is %s, need bfly-bench/2 — regenerate the baseline \
+         with --json\n"
+        other;
+      exit 2
+  | None ->
+      Printf.eprintf "baseline has no schema field\n";
+      exit 2);
+  let mode = if smoke then "smoke" else "full" in
+  (match str_field "mode" with
+  | Some m when m = mode -> ()
+  | m ->
+      Printf.eprintf
+        "baseline mode is %s but this run is %s — pass%s --smoke to match\n"
+        (Option.value m ~default:"absent")
+        mode
+        (if smoke then " no" else "");
+      exit 2);
+  (match Option.bind (Json.member "domains" baseline) Json.to_int_opt with
+  | Some d when d <> Bfly_graph.Parallel.domain_count () ->
+      (* heuristic chunking (hence cache traffic) depends on the pool
+         width, so comparing across widths would flag phantom drift *)
+      Printf.eprintf
+        "baseline was generated with %d domains but this run has %d — set \
+         BFLY_DOMAINS to match\n"
+        d
+        (Bfly_graph.Parallel.domain_count ());
+      exit 2
+  | _ -> ());
+  let experiments = run_experiments () in
+  let check, check_ok = run_check () in
+  let gate = gate_snapshot () in
+  if not check_ok then drift "oracle battery reported failures in this build";
+  (* experiment outputs, matched by name *)
+  let baseline_experiments =
+    match Json.member "experiments" baseline with
+    | Some (Json.List l) ->
+        List.filter_map
+          (fun e ->
+            match
+              ( Option.bind (Json.member "name" e) Json.to_string_opt,
+                Option.bind (Json.member "output" e) Json.to_string_opt )
+            with
+            | Some n, Some o -> Some (n, o)
+            | _ -> None)
+          l
+    | _ ->
+        drift "baseline has no experiments list";
+        []
+  in
+  List.iter
+    (fun (name, out, _, _, _) ->
+      match List.assoc_opt name baseline_experiments with
+      | None -> drift "experiment %s missing from baseline" name
+      | Some base when base <> out ->
+          let first_diff a b =
+            let la = String.split_on_char '\n' a
+            and lb = String.split_on_char '\n' b in
+            let rec go i = function
+              | a :: ra, b :: rb ->
+                  if a = b then go (i + 1) (ra, rb)
+                  else Printf.sprintf "line %d: %S vs baseline %S" i a b
+              | a :: _, [] -> Printf.sprintf "extra line %d: %S" i a
+              | [], b :: _ -> Printf.sprintf "missing line %d: %S" i b
+              | [], [] -> "?"
+            in
+            go 1 (la, lb)
+          in
+          drift "experiment %s output drifted (%s)" name (first_diff out base)
+      | Some _ -> ())
+    experiments;
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun (n, _, _, _, _) -> n = name) experiments) then
+        drift "experiment %s in baseline but not produced by this build" name)
+    baseline_experiments;
+  (* gate counters *)
+  (match Json.member "gate" baseline with
+  | Some g ->
+      List.iter
+        (fun (name, v) ->
+          match Option.bind (Json.member name g) Json.to_int_opt with
+          | None -> drift "gate counter %s missing from baseline" name
+          | Some b when b <> v -> drift "gate counter %s = %d, baseline %d" name v b
+          | Some _ -> ())
+        gate
+  | None -> drift "baseline has no gate object");
+  (* oracle summary, as one canonical string *)
+  (match Json.member "check" baseline with
+  | Some b when Json.to_string b <> Json.to_string check ->
+      drift "oracle summary drifted from baseline (diff the check fields of \
+             the two documents)"
+  | Some _ -> ()
+  | None -> drift "baseline has no check object");
+  match List.rev !drifts with
+  | [] ->
+      Printf.printf
+        "\ncompare: OK — %d experiment outputs, %d gate counters and the \
+         oracle summary match %s\n"
+        (List.length experiments) (List.length gate) baseline_file;
+      0
+  | drifts ->
+      Printf.printf "\ncompare: %d drift(s) against %s\n" (List.length drifts)
+        baseline_file;
+      List.iter (fun d -> Printf.printf "  - %s\n" d) drifts;
+      1
+
+(* ---- --serve: in-process trace replay ---- *)
+
+let serve_replay trace_file =
+  let lines =
+    match In_channel.with_open_text trace_file In_channel.input_lines with
+    | exception Sys_error e ->
+        Printf.eprintf "cannot read trace: %s\n" e;
+        exit 2
+    | lines -> List.filter (fun l -> String.trim l <> "") lines
+  in
+  let server = Bfly_serve.Server.create () in
+  let replies = ref 0 in
+  let reply line =
+    incr replies;
+    print_endline line
+  in
+  let t0 = Span.now_ns () in
+  List.iter (Bfly_serve.Server.submit server ~reply) lines;
+  let batches = Bfly_serve.Server.run_pending server in
+  let wall_ms = float_of_int (Span.now_ns () - t0) /. 1e6 in
+  Printf.eprintf "replayed %d requests in %.1fms (%d batches): %s\n"
+    (List.length lines) wall_ms batches
+    (Bfly_serve.Server.summary server);
+  if !replies <> List.length lines then begin
+    Printf.eprintf "BUG: %d requests but %d responses\n" (List.length lines)
+      !replies;
+    exit 1
+  end;
+  0
+
 let () =
-  (* [--deadline] supervises the reproduction stage through the ambient
-     cancel token (cooperating solvers degrade when it fires); [--chaos]
-     additionally arms fault injection around it. The Bechamel stage runs
-     outside both — timings of degraded kernels would be meaningless. *)
-  let under_deadline f =
-    match deadline with
-    | None -> f ()
-    | Some budget ->
-        Bfly_resil.Cancel.with_ambient (Bfly_resil.Cancel.create ~budget ()) f
-  in
-  let experiments =
-    if chaos then
-      Bfly_resil.Fault.scope ~seed:42 Bfly_resil.Fault.all (fun () ->
-          under_deadline run_experiments)
-    else under_deadline run_experiments
-  in
-  let kernels = run_micro () in
-  (match json_file with
-  | None -> ()
-  | Some file -> write_doc file (json_document ~experiments ~kernels));
-  match values_file with
-  | None -> ()
-  | Some file -> write_doc file (values_document ~experiments)
+  match (serve_file, compare_file) with
+  | Some trace, _ -> exit (serve_replay trace)
+  | None, Some baseline -> exit (compare_run baseline)
+  | None, None ->
+      (* [--deadline] supervises the reproduction stage through the ambient
+         cancel token (cooperating solvers degrade when it fires); [--chaos]
+         additionally arms fault injection around it. The Bechamel stage and
+         the oracle battery run outside both — timings of degraded kernels
+         would be meaningless, and the embedded check summary must stay the
+         deterministic anchor --compare diffs against. *)
+      let under_deadline f =
+        match deadline with
+        | None -> f ()
+        | Some budget ->
+            Bfly_resil.Cancel.with_ambient
+              (Bfly_resil.Cancel.create ~budget ())
+              f
+      in
+      let experiments =
+        if chaos then
+          Bfly_resil.Fault.scope ~seed:42 Bfly_resil.Fault.all (fun () ->
+              under_deadline run_experiments)
+        else under_deadline run_experiments
+      in
+      let check, check_ok = run_check () in
+      let gate = gate_snapshot () in
+      let kernels = run_micro () in
+      (match json_file with
+      | None -> ()
+      | Some file ->
+          write_doc file (json_document ~experiments ~check ~gate ~kernels));
+      (match values_file with
+      | None -> ()
+      | Some file -> write_doc file (values_document ~experiments));
+      if not check_ok then exit 1

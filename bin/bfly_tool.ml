@@ -2,51 +2,35 @@
 
    bfly_tool info      <network> <n>       structural summary
    bfly_tool bisect    <network> <n>       bisection-width bracket
+   bfly_tool bw        <solver> ...        individual bisection solvers
    bfly_tool expansion <network> <n> -k K  expansion values
    bfly_tool render    <network> <n>       ASCII / DOT rendering
    bfly_tool route     <n>                 greedy routing simulation
-   bfly_tool experiments [IDS]             reproduce the paper's tables *)
+   bfly_tool serve                         batch query service (NDJSON)
+   bfly_tool experiments [IDS]             reproduce the paper's tables
+
+   The solver subcommands (bw, expansion, mos) execute through
+   Bfly_serve.Job — the same code path `bfly_tool serve` schedules — so a
+   served response's "output" field is byte-identical to the one-shot
+   subcommand's stdout by construction. *)
 
 open Cmdliner
 module G = Bfly_graph.Graph
 module B = Bfly_networks.Butterfly
-module W = Bfly_networks.Wrapped
-module Ccc = Bfly_networks.Ccc
 module Budget = Bfly_resil.Budget
 module Cancel = Bfly_resil.Cancel
-
-type network = Butterfly | Wrapped | Cube_connected_cycles
+module Job = Bfly_serve.Job
 
 let network_conv =
-  let parse = function
-    | "butterfly" | "b" | "bn" -> Ok Butterfly
-    | "wrapped" | "w" | "wn" -> Ok Wrapped
-    | "ccc" -> Ok Cube_connected_cycles
-    | s -> Error (`Msg (Printf.sprintf "unknown network %S (butterfly|wrapped|ccc)" s))
-  in
-  let print ppf = function
-    | Butterfly -> Format.fprintf ppf "butterfly"
-    | Wrapped -> Format.fprintf ppf "wrapped"
-    | Cube_connected_cycles -> Format.fprintf ppf "ccc"
-  in
+  let parse s = Result.map_error (fun m -> `Msg m) (Job.net_of_string s) in
+  let print ppf net = Format.pp_print_string ppf (Job.net_name net) in
   Arg.conv (parse, print)
 
 let log2_exact n =
   let rec go l v = if v = n then Some l else if v > n then None else go (l + 1) (2 * v) in
   if n < 1 then None else go 0 1
 
-let graph_of net n =
-  match log2_exact n with
-  | None -> Error "n must be a power of two"
-  | Some log_n -> (
-      match net with
-      | Butterfly -> Ok (B.graph (B.create ~log_n), Printf.sprintf "B_%d" n)
-      | Wrapped ->
-          if log_n < 2 then Error "wrapped butterfly needs n >= 4"
-          else Ok (W.graph (W.create ~log_n), Printf.sprintf "W_%d" n)
-      | Cube_connected_cycles ->
-          if log_n < 2 then Error "CCC needs n >= 4"
-          else Ok (Ccc.graph (Ccc.create ~log_n), Printf.sprintf "CCC_%d" n))
+let graph_of = Job.graph_of
 
 let net_arg =
   Arg.(required & pos 0 (some network_conv) None & info [] ~docv:"NETWORK")
@@ -123,6 +107,15 @@ let supervised deadline f =
   | None -> f ()
   | Some budget -> Cancel.with_ambient (Cancel.create ~budget ()) f
 
+(* The one-shot solver subcommands print exactly what Job.run returns, so
+   `bfly_tool serve` responses match them byte for byte. *)
+let run_job ?deadline spec =
+  match Job.run ?deadline spec with
+  | Ok out ->
+      print_string out;
+      Ok ()
+  | Error e -> Error e
+
 (* ---- info ---- *)
 
 let info_run metrics net n =
@@ -157,9 +150,9 @@ let bisect_run metrics no_cache deadline net n dot =
     | Some _ -> (
         let bracket =
           match net with
-          | Butterfly -> Ok (Bfly_core.Bw.butterfly ~use_heuristics:(n <= 64) n)
-          | Wrapped -> if n >= 4 then Ok (Bfly_core.Bw.wrapped n) else Error "n >= 4"
-          | Cube_connected_cycles ->
+          | Job.Butterfly -> Ok (Bfly_core.Bw.butterfly ~use_heuristics:(n <= 64) n)
+          | Job.Wrapped -> if n >= 4 then Ok (Bfly_core.Bw.wrapped n) else Error "n >= 4"
+          | Job.Ccc ->
               if n >= 4 then Ok (Bfly_core.Bw.ccc n) else Error "n >= 4"
         in
         match bracket with
@@ -187,42 +180,46 @@ let bisect_cmd =
 
 (* ---- expansion ---- *)
 
-let expansion_run metrics no_cache deadline net n k exact =
+let expansion_run metrics no_cache deadline net n k exact only seed =
   set_cache no_cache;
   finishing metrics @@
-  handle @@
-  supervised deadline @@ fun () ->
-    (match graph_of net n with
+  handle
+    (match
+       match only with
+       | None -> Ok `Both
+       | Some "ee" -> Ok `Ee
+       | Some "ne" -> Ok `Ne
+       | Some other ->
+           Error (Printf.sprintf "--only must be ee or ne, not %s" other)
+     with
     | Error e -> Error e
-    | Ok (g, name) ->
-        if k < 1 || k >= G.n_nodes g then Error "k out of range"
-        else begin
-          let ee, ne =
-            if exact then
-              ( fst (Bfly_expansion.Expansion.ee_exact g ~k),
-                fst (Bfly_expansion.Expansion.ne_exact g ~k) )
-            else
-              ( fst (Bfly_expansion.Expansion.ee_anneal g ~k),
-                fst (Bfly_expansion.Expansion.ne_anneal g ~k) )
-          in
-          Printf.printf "%s, k=%d: EE %s %d, NE %s %d\n" name k
-            (if exact then "=" else "<=")
-            ee
-            (if exact then "=" else "<=")
-            ne;
-          Ok ()
-        end)
+    | Ok kind ->
+        run_job ?deadline
+          (Job.Expansion { kind; net; n; k; exact; seed }))
 
 let expansion_cmd =
   let k = Arg.(required & opt (some int) None & info [ "k" ] ~docv:"K") in
   let exact =
     Arg.(value & flag & info [ "exact" ] ~doc:"Exact enumeration (small instances only).")
   in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"ee|ne"
+          ~doc:"Print only the edge (ee) or node (ne) expansion line.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for the annealer (ignored with $(b,--exact)).")
+  in
   Cmd.v
     (Cmd.info "expansion" ~doc:"Edge/node expansion (Section 4)")
     Term.(
       const expansion_run $ metrics_arg $ no_cache_arg $ deadline_arg
-      $ net_arg $ n_arg $ k $ exact)
+      $ net_arg $ n_arg $ k $ exact $ only $ seed)
 
 (* ---- render ---- *)
 
@@ -278,23 +275,15 @@ let route_cmd =
 
 (* ---- mos ---- *)
 
-let mos_run metrics no_cache j =
+let mos_run metrics no_cache deadline j =
   set_cache no_cache;
-  finishing metrics @@
-  if j < 1 then handle (Error "j must be >= 1")
-  else begin
-    let bw, density, ratio = Bfly_mos.Mos_analysis.convergence_row j in
-    Printf.printf
-      "BW(MOS_{%d,%d}, M2) = %d; density %.5f; sqrt(2)-1 = %.5f; ratio %.4f\n"
-      j j bw density Bfly_mos.Mos_analysis.f_min ratio;
-    0
-  end
+  finishing metrics @@ handle (run_job ?deadline (Job.Mos { j }))
 
 let mos_cmd =
   let j = Arg.(required & pos 0 (some int) None & info [] ~docv:"J") in
   Cmd.v
     (Cmd.info "mos" ~doc:"Mesh-of-stars M2-bisection width (Lemmas 2.17-2.19)")
-    Term.(const mos_run $ metrics_arg $ no_cache_arg $ j)
+    Term.(const mos_run $ metrics_arg $ no_cache_arg $ deadline_arg $ j)
 
 (* ---- iosep ---- *)
 
@@ -354,50 +343,17 @@ let bw_exact_run metrics no_cache net n deadline max_nodes resume =
   set_cache no_cache;
   finishing metrics @@
   handle
-    (match graph_of net n with
-    | Error e -> Error e
-    | Ok (g, name) -> (
-        if (match max_nodes with Some k -> k < 1 | None -> false) then
-          Error "max-nodes must be >= 1"
-        else
-          let budget =
-            match (deadline, max_nodes) with
-            | None, None -> None
-            | _ ->
-                let wall_s =
-                  Option.bind deadline (fun b ->
-                      Option.map
-                        (fun ns -> float_of_int ns /. 1e9)
-                        (Budget.wall_ns b))
-                in
-                Some (Budget.make ?wall_s ?steps:max_nodes ())
-          in
-          let cancel =
-            Option.map (fun budget -> Cancel.create ~budget ()) budget
-          in
-          match Bfly_cuts.Exact.bisection_width_supervised ?cancel ~resume g with
-          | Bfly_cuts.Exact.Complete (v, witness) -> (
-              match Bfly_check.Invariants.bisection_cut g ~value:v ~witness with
-              | Bfly_check.Invariants.Fail m ->
-                  Error (Printf.sprintf "result failed validation: %s" m)
-              | Bfly_check.Invariants.Pass ->
-                  Printf.printf "%s: BW = %d\n" name v;
-                  Ok ())
-          | Bfly_cuts.Exact.Interval { lower; upper; witness; reason } -> (
-              match
-                Bfly_check.Invariants.bisection_interval g ~lower ~upper
-                  ~witness
-              with
-              | Bfly_check.Invariants.Fail m ->
-                  Error (Printf.sprintf "certified interval failed validation: %s" m)
-              | Bfly_check.Invariants.Pass ->
-                  Printf.printf
-                    "%s: BW in [%d, %d] (interrupted: %s%s)\n" name lower
-                    upper reason
-                    (if Bfly_cache.Config.enabled () then
-                       "; checkpoint saved, rerun with --resume to continue"
-                     else "");
-                  Ok ())))
+    (run_job ?deadline
+       (Job.Bw
+          {
+            Job.solver = Job.Exact;
+            net;
+            n;
+            seed = 1;
+            restarts = 1;
+            max_nodes;
+            resume;
+          }))
 
 let bw_exact_cmd =
   let max_nodes =
@@ -431,13 +387,66 @@ let bw_exact_cmd =
       const bw_exact_run $ metrics_arg $ no_cache_arg $ net_arg $ n_arg
       $ deadline_arg $ max_nodes $ resume)
 
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"RNG seed for the heuristic's restarts (deterministic per seed).")
+
+let restarts_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "restarts" ] ~docv:"R"
+        ~doc:"Independent seeded restarts; the best cut found wins.")
+
+let bw_heuristic_run solver metrics no_cache net n deadline seed restarts =
+  set_cache no_cache;
+  finishing metrics @@
+  handle
+    (run_job ?deadline
+       (Job.Bw
+          {
+            Job.solver;
+            net;
+            n;
+            seed;
+            restarts;
+            max_nodes = None;
+            resume = false;
+          }))
+
+let bw_heuristic_cmd solver ~name ~doc =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (bw_heuristic_run solver)
+      $ metrics_arg $ no_cache_arg $ net_arg $ n_arg $ deadline_arg $ seed_arg
+      $ restarts_arg)
+
+let bw_kl_cmd =
+  bw_heuristic_cmd Job.Kl ~name:"kl"
+    ~doc:"Kernighan-Lin heuristic upper bound on the bisection width"
+
+let bw_fm_cmd =
+  bw_heuristic_cmd Job.Fm ~name:"fm"
+    ~doc:"Fiduccia-Mattheyses heuristic upper bound on the bisection width"
+
+let bw_sa_cmd =
+  bw_heuristic_cmd Job.Sa ~name:"sa"
+    ~doc:"Simulated-annealing heuristic upper bound on the bisection width"
+
+let bw_spectral_cmd =
+  bw_heuristic_cmd Job.Spectral ~name:"spectral"
+    ~doc:
+      "Spectral (Fiedler-vector) heuristic upper bound on the bisection \
+       width; deterministic, so --seed/--restarts are accepted but inert"
+
 let bw_cmd =
   Cmd.group
     (Cmd.info "bw"
        ~doc:
          "Bisection-width solvers with supervision (deadlines, budgets, \
           checkpoint/resume)")
-    [ bw_exact_cmd ]
+    [ bw_exact_cmd; bw_kl_cmd; bw_fm_cmd; bw_sa_cmd; bw_spectral_cmd ]
 
 (* ---- check ---- *)
 
@@ -574,6 +583,55 @@ let cache_cmd =
           BFLY_CACHE_DIR)")
     [ cache_stats_cmd; cache_clear_cmd; cache_warm_cmd ]
 
+(* ---- serve ---- *)
+
+let serve_run metrics no_cache socket queue =
+  set_cache no_cache;
+  finishing metrics @@
+  handle
+    (if (match queue with Some q -> q < 1 | None -> false) then
+       Error "queue must be >= 1"
+     else begin
+       let server = Bfly_serve.Server.create ?queue_bound:queue () in
+       (match socket with
+       | None -> Bfly_serve.Transport.stdio server
+       | Some path -> Bfly_serve.Transport.socket server ~path);
+       Printf.eprintf "%s\n" (Bfly_serve.Server.summary server);
+       Ok ()
+     end)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of serving \
+             stdin/stdout; any number of clients may connect concurrently.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: at most $(docv) requests queued (coalesced \
+             ones included); beyond it requests are rejected with \
+             \"overloaded\". Defaults to BFLY_SERVE_QUEUE, else 128.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Batch query service: newline-delimited JSON requests in, one JSON \
+          response line per request out. Duplicate in-flight requests \
+          coalesce into one solve; each response's output field is \
+          byte-identical to the matching one-shot subcommand's stdout. \
+          SIGTERM/SIGINT drain gracefully: queued work is answered, new \
+          work is rejected with \"draining\", then the process exits and \
+          logs a summary line to stderr.")
+    Term.(const serve_run $ metrics_arg $ no_cache_arg $ socket $ queue)
+
 (* ---- experiments ---- *)
 
 let experiments_run metrics no_cache ids =
@@ -614,5 +672,5 @@ let () =
           [
             info_cmd; bisect_cmd; bw_cmd; expansion_cmd; render_cmd;
             route_cmd; mos_cmd; iosep_cmd; layout_cmd; check_cmd;
-            experiments_cmd; cache_cmd;
+            serve_cmd; experiments_cmd; cache_cmd;
           ]))

@@ -1,113 +1,269 @@
 #!/bin/sh
-# Tier-1 CI gate: build, tests (which include the bench --smoke --json
-# pipeline as a runtest rule), and — where the toolchain provides odoc —
-# the documentation build, so broken odoc markup in the .mli files fails
-# the pipeline on dev machines even though minimal containers skip it.
+# Tier-1 CI pipeline, as named stages:
+#
+#   ./ci.sh              run every stage, in order
+#   ./ci.sh build fmt    run only the named stages
+#   ./ci.sh list         print the stage names and exit
+#
+# Stages (CI.md maps each gate to the invariant it protects):
+#
+#   build    dune build
+#   fmt      dune build @fmt (skipped when ocamlformat is not installed)
+#   runtest  dune runtest (alcotest/qcheck suites, bench+check smoke rules)
+#   check    differential-oracle smoke battery, fixed seed
+#   chaos    the same battery under fault injection — faults may cost
+#            work, never correctness
+#   doc      dune build @doc (skipped when odoc is not installed)
+#   serve    bfly_serve smoke: coalescing, one-shot byte-identity,
+#            admission control
+#   warm     warm-cache determinism: second bench run serves from cache,
+#            values byte-identical
+#   resume   interrupted exact search resumes to the uninterrupted value
+#   compare  bench --compare against the committed baseline: experiment
+#            outputs, gate counters and oracle summary must not drift
+#
+# Every run ends with a per-stage wall-clock summary.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== dune build =="
-dune build
+ALL_STAGES="build fmt runtest check chaos doc serve warm resume compare"
+BASELINE=BENCH_2026-08-06.json
 
-echo "== dune runtest =="
-dune runtest
-
-# Differential-oracle smoke gate. `dune runtest` already runs this via the
-# bin/dune rule; running it explicitly keeps a visible, non-cached pass in
-# the CI log and fails loudly (non-zero exit) on any solver disagreement.
-echo "== bfly_tool check --smoke =="
-dune exec -- bin/bfly_tool.exe check --smoke --seed 42 --rounds 5
-
-# Chaos gate: the same differential suite with every fault class armed
-# (disk I/O errors, corrupted cache entries, crashing pool tasks,
-# spurious deadline expiry) at a fixed seed. Faults may cost work, never
-# correctness: any changed oracle verdict, escaped injected exception, or
-# shrunken domain pool fails the run.
-echo "== bfly_tool check --smoke --chaos =="
-dune exec -- bin/bfly_tool.exe check --smoke --chaos --seed 7 --rounds 5
-
-if command -v odoc >/dev/null 2>&1; then
-  echo "== dune build @doc =="
-  dune build @doc
-else
-  echo "== odoc not installed; skipping @doc check =="
-fi
-
-# Warm-cache determinism gate: run the bench smoke suite twice against a
-# fresh result-cache directory. The second (warm) run must serve from the
-# cache — nonzero cache.hit, zero exact B&B search nodes — and both runs
-# must produce byte-identical measured values.
-echo "== warm-cache bench determinism =="
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
 
 extract() { # extract FIELD FILE -> first integer value of "FIELD":N
+  # the first occurrence in a bench JSON document is the pre-Bechamel
+  # "gate" snapshot, which is the deterministic one
   sed -n "s/.*\"$(printf '%s' "$1" | sed 's/\./\\./g')\":\([0-9][0-9]*\).*/\1/p" "$2" | head -n 1
 }
 
-BFLY_CACHE_DIR="$scratch/cache" dune exec -- bench/main.exe --smoke \
-  --json "$scratch/cold.json" --values "$scratch/cold-values.json" \
-  > "$scratch/cold.log"
-BFLY_CACHE_DIR="$scratch/cache" dune exec -- bench/main.exe --smoke \
-  --json "$scratch/warm.json" --values "$scratch/warm-values.json" \
-  > "$scratch/warm.log"
+# ---- stages ----
 
-cmp "$scratch/cold-values.json" "$scratch/warm-values.json" || {
-  echo "FAIL: warm-cache run changed measured values" >&2
-  exit 1
+stage_build() {
+  dune build
 }
 
-cold_nodes=$(extract 'exact.bb.nodes' "$scratch/cold.json")
-warm_nodes=$(extract 'exact.bb.nodes' "$scratch/warm.json")
-warm_hits=$(extract 'cache.hit' "$scratch/warm.json")
-warm_misses=$(extract 'cache.miss' "$scratch/warm.json")
-echo "cold: bb nodes $cold_nodes; warm: bb nodes $warm_nodes," \
-  "cache hits $warm_hits, misses $warm_misses"
-[ "$cold_nodes" -gt 0 ] || {
-  echo "FAIL: cold run did not search (bb nodes = $cold_nodes)" >&2
-  exit 1
-}
-[ "$warm_hits" -gt 0 ] || {
-  echo "FAIL: warm run had no cache hits" >&2
-  exit 1
-}
-[ "$warm_nodes" -eq 0 ] || {
-  echo "FAIL: warm run re-searched (bb nodes = $warm_nodes)" >&2
-  exit 1
+stage_fmt() {
+  if command -v ocamlformat >/dev/null 2>&1; then
+    dune build @fmt
+  else
+    echo "ocamlformat not installed; skipping @fmt check"
+  fi
 }
 
-# Deadline/resume determinism gate: an exact search interrupted by a step
-# budget must return a certified interval, and resuming from its
-# checkpoint must land on the same value an uninterrupted run computes.
-echo "== deadline/resume determinism =="
-baseline=$(BFLY_CACHE_DIR="$scratch/exact-a" dune exec -- \
-  bin/bfly_tool.exe bw exact butterfly 8)
-baseline_bw=${baseline##* = }
-echo "baseline: $baseline"
+stage_runtest() {
+  dune runtest
+}
 
-first=$(BFLY_CACHE_DIR="$scratch/exact-b" dune exec -- \
-  bin/bfly_tool.exe bw exact butterfly 8 --max-nodes 200)
-echo "budgeted: $first"
-case $first in
-*"BW in ["*)
-  resumed=$(BFLY_CACHE_DIR="$scratch/exact-b" dune exec -- \
-    bin/bfly_tool.exe bw exact butterfly 8 --resume)
-  echo "resumed:  $resumed"
-  resumed_bw=${resumed##* = }
-  [ "$resumed_bw" = "$baseline_bw" ] || {
-    echo "FAIL: resumed value '$resumed_bw' != baseline '$baseline_bw'" >&2
+# `dune runtest` already runs the smoke battery via the bin/dune rule;
+# running it explicitly keeps a visible, non-cached pass in the CI log and
+# fails loudly (non-zero exit) on any solver disagreement.
+stage_check() {
+  dune exec -- bin/bfly_tool.exe check --smoke --seed 42 --rounds 5
+}
+
+# Same differential suite with every fault class armed (disk I/O errors,
+# corrupted cache entries, crashing pool tasks, spurious deadline expiry)
+# at a fixed seed: any changed oracle verdict, escaped injected exception,
+# or shrunken domain pool fails the run.
+stage_chaos() {
+  dune exec -- bin/bfly_tool.exe check --smoke --chaos --seed 7 --rounds 5
+}
+
+stage_doc() {
+  if command -v odoc >/dev/null 2>&1; then
+    dune build @doc
+  else
+    echo "odoc not installed; skipping @doc check"
+  fi
+}
+
+# Query-service smoke: a small trace with six duplicate requests must
+# coalesce into one solve ("batch":6 on every copy), the served output
+# must be byte-identical to the one-shot subcommand's stdout, and a
+# shrunken admission bound must produce explicit "overloaded" rejections.
+stage_serve() {
+  trace="$scratch/serve-trace.ndjson"
+  out="$scratch/serve-out.ndjson"
+  : > "$trace"
+  i=1
+  while [ "$i" -le 6 ]; do
+    echo '{"id":"dup'"$i"'","job":"bw","solver":"kl","network":"butterfly","n":16,"seed":7}' >> "$trace"
+    i=$((i + 1))
+  done
+  echo '{"id":"spec","job":"bw","solver":"spectral","network":"butterfly","n":16}' >> "$trace"
+  echo '{"id":"mos","job":"mos","j":8}' >> "$trace"
+  echo '{"id":"stats","job":"stats"}' >> "$trace"
+
+  BFLY_CACHE_DIR="$scratch/serve-cache" dune exec -- bin/bfly_tool.exe serve \
+    < "$trace" > "$out" 2> "$scratch/serve-err.log"
+  cat "$scratch/serve-err.log"
+
+  ok_count=$(grep -c '"ok":true' "$out")
+  [ "$ok_count" -eq 9 ] || {
+    echo "FAIL: expected 9 ok responses, got $ok_count" >&2
+    cat "$out" >&2
     exit 1
   }
-  ;;
-*"BW = $baseline_bw"*)
-  # the budget sufficed outright; the determinism claim is trivially met
-  echo "budgeted run completed within budget"
-  ;;
-*)
-  echo "FAIL: unexpected budgeted output '$first'" >&2
-  exit 1
+  batch6=$(grep -c '"batch":6' "$out")
+  [ "$batch6" -eq 6 ] || {
+    echo "FAIL: 6 duplicate requests should coalesce into one solve of width 6 (got $batch6 responses with \"batch\":6)" >&2
+    cat "$out" >&2
+    exit 1
+  }
+
+  # byte-identity: the served output field must contain exactly the
+  # one-shot subcommand's stdout (JSON-escaped, trailing newline included)
+  oneshot=$(BFLY_CACHE_DIR="$scratch/serve-cache" dune exec -- \
+    bin/bfly_tool.exe bw spectral butterfly 16)
+  grep -F "\"output\":\"$oneshot\\n\"" "$out" > /dev/null || {
+    echo "FAIL: served output differs from one-shot '$oneshot'" >&2
+    cat "$out" >&2
+    exit 1
+  }
+
+  # admission control: 10 distinct jobs against a queue bound of 2 — the
+  # transport reads the whole burst before solving, so exactly 8 must be
+  # rejected with "overloaded"
+  : > "$trace"
+  j=1
+  while [ "$j" -le 10 ]; do
+    echo '{"id":"q'"$j"'","job":"mos","j":'"$j"'}' >> "$trace"
+    j=$((j + 1))
+  done
+  BFLY_CACHE_DIR="$scratch/serve-cache" dune exec -- \
+    bin/bfly_tool.exe serve --queue 2 < "$trace" > "$out" 2> /dev/null
+  rejected=$(grep -c '"error":"overloaded"' "$out")
+  [ "$rejected" -eq 8 ] || {
+    echo "FAIL: queue bound 2 against 10 requests should reject 8, got $rejected" >&2
+    cat "$out" >&2
+    exit 1
+  }
+  echo "serve: coalescing, byte-identity and admission control OK"
+}
+
+# Warm-cache determinism: run the bench smoke suite twice against a fresh
+# result-cache directory. The second (warm) run must serve from the cache
+# — nonzero cache.hit, zero exact B&B search nodes in the gate snapshot —
+# and both runs must produce byte-identical measured values.
+stage_warm() {
+  BFLY_CACHE_DIR="$scratch/cache" dune exec -- bench/main.exe --smoke \
+    --json "$scratch/cold.json" --values "$scratch/cold-values.json" \
+    > "$scratch/cold.log"
+  BFLY_CACHE_DIR="$scratch/cache" dune exec -- bench/main.exe --smoke \
+    --json "$scratch/warm.json" --values "$scratch/warm-values.json" \
+    > "$scratch/warm.log"
+
+  cmp "$scratch/cold-values.json" "$scratch/warm-values.json" || {
+    echo "FAIL: warm-cache run changed measured values" >&2
+    exit 1
+  }
+
+  cold_nodes=$(extract 'exact.bb.nodes' "$scratch/cold.json")
+  warm_nodes=$(extract 'exact.bb.nodes' "$scratch/warm.json")
+  warm_hits=$(extract 'cache.hit' "$scratch/warm.json")
+  warm_misses=$(extract 'cache.miss' "$scratch/warm.json")
+  echo "cold: bb nodes $cold_nodes; warm: bb nodes $warm_nodes," \
+    "cache hits $warm_hits, misses $warm_misses"
+  [ "$cold_nodes" -gt 0 ] || {
+    echo "FAIL: cold run did not search (bb nodes = $cold_nodes)" >&2
+    exit 1
+  }
+  [ "$warm_hits" -gt 0 ] || {
+    echo "FAIL: warm run had no cache hits" >&2
+    exit 1
+  }
+  [ "$warm_nodes" -eq 0 ] || {
+    echo "FAIL: warm run re-searched (bb nodes = $warm_nodes)" >&2
+    exit 1
+  }
+}
+
+# Deadline/resume determinism: an exact search interrupted by a step
+# budget must return a certified interval, and resuming from its
+# checkpoint must land on the same value an uninterrupted run computes.
+stage_resume() {
+  baseline=$(BFLY_CACHE_DIR="$scratch/exact-a" dune exec -- \
+    bin/bfly_tool.exe bw exact butterfly 8)
+  baseline_bw=${baseline##* = }
+  echo "baseline: $baseline"
+
+  first=$(BFLY_CACHE_DIR="$scratch/exact-b" dune exec -- \
+    bin/bfly_tool.exe bw exact butterfly 8 --max-nodes 200)
+  echo "budgeted: $first"
+  case $first in
+  *"BW in ["*)
+    resumed=$(BFLY_CACHE_DIR="$scratch/exact-b" dune exec -- \
+      bin/bfly_tool.exe bw exact butterfly 8 --resume)
+    echo "resumed:  $resumed"
+    resumed_bw=${resumed##* = }
+    [ "$resumed_bw" = "$baseline_bw" ] || {
+      echo "FAIL: resumed value '$resumed_bw' != baseline '$baseline_bw'" >&2
+      exit 1
+    }
+    ;;
+  *"BW = $baseline_bw"*)
+    # the budget sufficed outright; the determinism claim is trivially met
+    echo "budgeted run completed within budget"
+    ;;
+  *)
+    echo "FAIL: unexpected budgeted output '$first'" >&2
+    exit 1
+    ;;
+  esac
+}
+
+# Counter-based regression gate: re-run the deterministic bench stages
+# (full reproduction tables + oracle battery, no Bechamel) and diff
+# experiment outputs, gate counters and the oracle summary against the
+# committed baseline. The domain count and cache state are pinned because
+# both feed the compared counters.
+stage_compare() {
+  [ -f "$BASELINE" ] || {
+    echo "FAIL: committed baseline $BASELINE is missing" >&2
+    exit 1
+  }
+  BFLY_DOMAINS=1 BFLY_CACHE_DIR="$scratch/compare-cache" dune exec -- \
+    bench/main.exe --compare "$BASELINE" > "$scratch/compare.log" || {
+    tail -n 20 "$scratch/compare.log" >&2
+    exit 1
+  }
+  tail -n 1 "$scratch/compare.log"
+}
+
+# ---- driver ----
+
+case "${1-}" in
+list)
+  echo "$ALL_STAGES"
+  exit 0
   ;;
 esac
 
+stages="$*"
+[ -n "$stages" ] || stages=$ALL_STAGES
+for s in $stages; do
+  case " $ALL_STAGES " in
+  *" $s "*) ;;
+  *)
+    echo "unknown stage '$s' (available: $ALL_STAGES)" >&2
+    exit 2
+    ;;
+  esac
+done
+
+summary=""
+for s in $stages; do
+  echo "== $s =="
+  t0=$(date +%s)
+  "stage_$s"
+  t1=$(date +%s)
+  summary="$summary$(printf '  %-8s %4ds' "$s" $((t1 - t0)))
+"
+done
+
+echo "---- stage timings ----"
+printf '%s' "$summary"
 echo "CI OK"

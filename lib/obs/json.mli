@@ -1,11 +1,18 @@
-(** Minimal hand-rolled JSON values and serialization.
+(** Minimal hand-rolled JSON values, serialization and parsing.
 
     The observability layer ({!Metrics}, the bench harness's [--json] mode)
     emits machine-readable output without pulling in a JSON dependency; this
     module is the single shared emitter. It covers exactly the subset of
     JSON the repo produces: finite numbers, escaped strings, arrays and
-    objects. There is deliberately no parser — consumers of
-    [BENCH_<date>.json] files are external tooling. *)
+    objects.
+
+    {!of_string} is the matching parser. It exists for the two places the
+    repo {e consumes} JSON it produced itself: the [bfly_serve] request
+    protocol (newline-delimited request objects) and the bench harness's
+    [--compare] regression gate (reading a committed [BENCH_<date>.json]
+    baseline back in). It accepts standard JSON — numbers without a
+    fraction or exponent parse as {!Int}, everything else as {!Float} —
+    and rejects trailing garbage, so one request line is one value. *)
 
 (** A JSON value. Objects preserve the field order they were built with. *)
 type t =
@@ -28,3 +35,29 @@ val to_buffer : Buffer.t -> t -> unit
 
 val to_string : t -> string
 (** [to_string v] is the compact (single-line) serialization of [v]. *)
+
+val of_string : string -> (t, string) result
+(** [of_string s] parses one JSON value (surrounding whitespace allowed;
+    anything after the value is an error). Objects keep their field order;
+    duplicate keys are kept as-is (lookups see the first). [\uXXXX] escapes
+    decode to UTF-8, surrogate pairs included. Errors carry a byte offset,
+    e.g. ["trailing garbage at byte 12"]. Nesting is capped (512 levels) so
+    hostile request lines cannot overflow the stack. *)
+
+(** {1 Accessors}
+
+    Small total helpers for picking values out of parsed documents —
+    [None] on shape mismatch, never an exception. *)
+
+val member : string -> t -> t option
+(** [member k v] is the first [k] field of object [v]. *)
+
+val to_int_opt : t -> int option
+(** [Int n] (and integral [Float]) as [Some n]. *)
+
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+
+val to_list_opt : t -> t list option
+(** [List items] as [Some items]. *)

@@ -1,0 +1,40 @@
+type waiter = { id : string; reply : string -> unit; t0 : int }
+
+type batch = {
+  fp : string;
+  spec : Job.spec;
+  deadline : Bfly_resil.Budget.t option;
+  mutable waiters : waiter list;
+}
+
+type t = {
+  fifo : batch Queue.t;
+  by_fp : (string, batch) Hashtbl.t;
+  mutable requests : int;
+}
+
+let create () = { fifo = Queue.create (); by_fp = Hashtbl.create 64; requests = 0 }
+
+let add t ~fp ~spec ~deadline waiter =
+  t.requests <- t.requests + 1;
+  match Hashtbl.find_opt t.by_fp fp with
+  | Some b ->
+      b.waiters <- waiter :: b.waiters;
+      `Coalesced
+  | None ->
+      let b = { fp; spec; deadline; waiters = [ waiter ] } in
+      Hashtbl.add t.by_fp fp b;
+      Queue.add b t.fifo;
+      `New
+
+let next t =
+  match Queue.take_opt t.fifo with
+  | None -> None
+  | Some b ->
+      Hashtbl.remove t.by_fp b.fp;
+      b.waiters <- List.rev b.waiters;
+      t.requests <- t.requests - List.length b.waiters;
+      Some b
+
+let pending_requests t = t.requests
+let pending_batches t = Queue.length t.fifo

@@ -1,0 +1,44 @@
+(** Request batching: a FIFO of solver batches, coalescing by fingerprint.
+
+    A {e batch} is one pending solve plus every request waiting on it.
+    {!add} either opens a new batch (the fingerprint was not pending) or
+    attaches the request to the existing one — N concurrent requests for
+    one instance trigger one solve. Batches leave in arrival order of
+    their {e first} request; waiters within a batch keep their own arrival
+    order, so responses can be written deterministically. *)
+
+type waiter = {
+  id : string;  (** request id, echoed in the response *)
+  reply : string -> unit;  (** response sink for this request's origin *)
+  t0 : int;  (** submit timestamp ([Span.now_ns]) for latency accounting *)
+}
+
+type batch = {
+  fp : string;
+  spec : Job.spec;
+  deadline : Bfly_resil.Budget.t option;
+  mutable waiters : waiter list;  (** reverse arrival order *)
+}
+
+type t
+
+val create : unit -> t
+
+val add :
+  t ->
+  fp:string ->
+  spec:Job.spec ->
+  deadline:Bfly_resil.Budget.t option ->
+  waiter ->
+  [ `New | `Coalesced ]
+(** Queue a request under its fingerprint. [`Coalesced] means an
+    already-pending batch absorbed it. *)
+
+val next : t -> batch option
+(** Pop the oldest pending batch (its waiters in arrival order). *)
+
+val pending_requests : t -> int
+(** Total requests waiting (coalesced ones included) — the queue depth
+    admission control bounds. *)
+
+val pending_batches : t -> int

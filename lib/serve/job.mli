@@ -1,0 +1,87 @@
+(** Solver jobs: the one vocabulary shared by the one-shot CLI and the
+    batch query service.
+
+    A {!spec} names a deterministic solver invocation — the same set the
+    paper's quantities need at serving time: bisection-width solvers
+    (exact branch and bound, the KL/FM/SA/spectral heuristics), the
+    mesh-of-stars closed form (Lemmas 2.17–2.19), the Section 4 expansion
+    enumerations/annealers, and the differential-oracle battery. {!run}
+    executes one and returns {e exactly} the text the corresponding
+    [bfly_tool] subcommand prints — [bfly_tool bw], [bfly_tool expansion]
+    and [bfly_tool mos] are themselves implemented on top of this module,
+    so a served response is byte-identical to a one-shot invocation by
+    construction, warm or cold cache.
+
+    {!fingerprint} canonically names a [(spec, deadline)] pair; the server
+    coalesces concurrent requests with equal fingerprints into one solve.
+    Every solver underneath already persists through {!Bfly_cache.Store},
+    so warm fingerprints never re-search. *)
+
+type net = Butterfly | Wrapped | Ccc
+
+type solver = Exact | Kl | Fm | Sa | Spectral
+
+(** What a bisection-width job runs. [max_nodes]/[resume] only affect
+    [Exact] (step budget / checkpoint continuation); [seed]/[restarts]
+    only the seeded heuristics ([Spectral] is deterministic). *)
+type bw = {
+  solver : solver;
+  net : net;
+  n : int;
+  seed : int;
+  restarts : int;
+  max_nodes : int option;
+  resume : bool;
+}
+
+(** Which expansion lines to print: [`Ee], [`Ne], or both (the classic
+    [bfly_tool expansion] output). *)
+type expansion_kind = [ `Ee | `Ne | `Both ]
+
+type spec =
+  | Bw of bw
+  | Mos of { j : int }
+  | Expansion of {
+      kind : expansion_kind;
+      net : net;
+      n : int;
+      k : int;
+      exact : bool;
+      seed : int;
+    }
+  | Check of { seed : int; rounds : int }
+
+val net_name : net -> string
+(** ["butterfly"] | ["wrapped"] | ["ccc"]. *)
+
+val net_of_string : string -> (net, string) result
+(** Accepts the same spellings as the CLI ([butterfly|b|bn], [wrapped|w|wn],
+    [ccc]). *)
+
+val solver_name : solver -> string
+
+val solver_of_string : string -> (solver, string) result
+(** [exact|kl|fm|sa|spectral] ([annealing] is accepted for [sa]). *)
+
+val graph_of : net -> int -> (Bfly_graph.Graph.t * string, string) result
+(** The instance graph and its display name ([B_16], [W_16], [CCC_16]);
+    errors match the CLI's ("n must be a power of two", …). *)
+
+val fingerprint : ?deadline:Bfly_resil.Budget.t -> spec -> string
+(** Canonical one-line identity of a [(spec, deadline)] pair. Equal
+    fingerprints mean equal requests — same solver, same parameters, same
+    deadline — which is the coalescing criterion: batching a request onto
+    an in-flight twin must not change its answer, and a deadline is part
+    of the answer (it decides whether an exact search may degrade to an
+    interval). *)
+
+val run : ?deadline:Bfly_resil.Budget.t -> spec -> (string, string) result
+(** Execute the job. [Ok text] is the bytes the matching one-shot
+    [bfly_tool] subcommand writes to stdout (trailing newline included);
+    [Error msg] the message it prints to stderr. [deadline] supervises the
+    run the way [bfly_tool --deadline] does: an ambient
+    {!Bfly_resil.Cancel} token for heuristics and annealers, a direct
+    token (combined with [max_nodes]) for the exact search — which then
+    degrades to a certified, validated interval instead of completing.
+    Every witness-carrying result is re-validated through
+    {!Bfly_check.Invariants} before the text is produced. *)

@@ -1,0 +1,35 @@
+type t = {
+  ring : int array;
+  mutable filled : int;  (** entries of [ring] holding samples *)
+  mutable cursor : int;
+  mutable total : int;
+  mutable max_ns : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Latency.create: capacity must be >= 1";
+  { ring = Array.make capacity 0; filled = 0; cursor = 0; total = 0; max_ns = 0 }
+
+let record t ~ns =
+  let ns = max 0 ns in
+  t.ring.(t.cursor) <- ns;
+  t.cursor <- (t.cursor + 1) mod Array.length t.ring;
+  if t.filled < Array.length t.ring then t.filled <- t.filled + 1;
+  t.total <- t.total + 1;
+  if ns > t.max_ns then t.max_ns <- ns
+
+let count t = t.total
+let max_ns t = t.max_ns
+
+let p t ~q =
+  if t.filled = 0 then 0
+  else begin
+    let window = Array.sub t.ring 0 t.filled in
+    Array.sort compare window;
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    (* nearest rank: smallest index i with (i+1)/filled >= q *)
+    let rank =
+      int_of_float (Float.round ((q *. float_of_int t.filled) -. 0.5))
+    in
+    window.(max 0 (min (t.filled - 1) rank))
+  end

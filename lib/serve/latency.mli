@@ -1,0 +1,26 @@
+(** Latency quantiles for the serve loop.
+
+    {!Bfly_obs.Metrics} timers keep (count, total, max) — enough for
+    throughput accounting, not for tail latency. This reservoir keeps the
+    most recent [capacity] request latencies in a ring and reports exact
+    order statistics over that window (all samples, while fewer than
+    [capacity] have been recorded). Quantiles use the nearest-rank method
+    on the sorted window, so [p ~q:0.5] of a single sample is that
+    sample. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 4096 samples. *)
+
+val record : t -> ns:int -> unit
+
+val count : t -> int
+(** Samples recorded since creation (not capped by the window). *)
+
+val p : t -> q:float -> int
+(** Nearest-rank quantile of the current window in nanoseconds; [0] while
+    empty. [q] is clamped to [0,1]. *)
+
+val max_ns : t -> int
+(** Maximum over the whole lifetime (not just the window). *)

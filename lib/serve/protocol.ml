@@ -1,0 +1,152 @@
+module Json = Bfly_obs.Json
+module Budget = Bfly_resil.Budget
+
+type payload =
+  | Job of { spec : Job.spec; deadline : Budget.t option }
+  | Stats
+
+type request = { id : string; payload : payload }
+
+(* ---- request parsing ---- *)
+
+let field obj k = Json.member k obj
+
+let int_field obj k ~default =
+  match field obj k with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_int_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S must be an integer" k))
+
+let bool_field obj k ~default =
+  match field obj k with
+  | None -> Ok default
+  | Some v -> (
+      match Json.to_bool_opt v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %S must be a boolean" k))
+
+let string_field obj k =
+  match field obj k with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_string_opt v with
+      | Some s -> Ok (Some s)
+      | None -> Error (Printf.sprintf "field %S must be a string" k))
+
+let ( let* ) = Result.bind
+
+let net_field obj =
+  let* net = string_field obj "network" in
+  match net with
+  | None -> Error "field \"network\" is required"
+  | Some s -> Job.net_of_string s
+
+let required_int obj k =
+  match field obj k with
+  | None -> Error (Printf.sprintf "field %S is required" k)
+  | Some v -> (
+      match Json.to_int_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S must be an integer" k))
+
+let parse_bw obj =
+  let* solver =
+    let* s = string_field obj "solver" in
+    Job.solver_of_string (Option.value s ~default:"exact")
+  in
+  let* net = net_field obj in
+  let* n = required_int obj "n" in
+  let* seed = int_field obj "seed" ~default:1 in
+  let* restarts = int_field obj "restarts" ~default:4 in
+  let* max_nodes =
+    match field obj "max_nodes" with
+    | None -> Ok None
+    | Some v -> (
+        match Json.to_int_opt v with
+        | Some i -> Ok (Some i)
+        | None -> Error "field \"max_nodes\" must be an integer")
+  in
+  let* resume = bool_field obj "resume" ~default:false in
+  Ok (Job.Bw { solver; net; n; seed; restarts; max_nodes; resume })
+
+let parse_expansion kind obj =
+  let* net = net_field obj in
+  let* n = required_int obj "n" in
+  let* k = required_int obj "k" in
+  let* exact = bool_field obj "exact" ~default:false in
+  let* seed = int_field obj "seed" ~default:1 in
+  Ok (Job.Expansion { kind; net; n; k; exact; seed })
+
+let parse_spec job obj =
+  match job with
+  | "bw" -> parse_bw obj
+  | "mos" ->
+      let* j = required_int obj "j" in
+      Ok (Job.Mos { j })
+  | "ee" -> parse_expansion `Ee obj
+  | "ne" -> parse_expansion `Ne obj
+  | "expansion" -> parse_expansion `Both obj
+  | "check" ->
+      let* seed = int_field obj "seed" ~default:42 in
+      let* rounds = int_field obj "rounds" ~default:5 in
+      Ok (Job.Check { seed; rounds })
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown job %S (bw|mos|ee|ne|expansion|check|stats)" s)
+
+let parse_request ~default_id line =
+  match Json.of_string line with
+  | Error m -> Error ("request is not valid JSON: " ^ m, default_id)
+  | Ok (Json.Obj _ as obj) -> (
+      let id =
+        match field obj "id" with
+        | Some (Json.Str s) -> s
+        | Some (Json.Int i) -> string_of_int i
+        | _ -> default_id
+      in
+      match string_field obj "job" with
+      | Error m -> Error (m, id)
+      | Ok None -> Error ("field \"job\" is required", id)
+      | Ok (Some "stats") -> Ok { id; payload = Stats }
+      | Ok (Some job) -> (
+          let deadline =
+            match field obj "deadline" with
+            | None -> Ok None
+            | Some (Json.Str s) -> (
+                match Budget.of_string s with
+                | Ok b -> Ok (Some b)
+                | Error e -> Error ("bad deadline: " ^ e))
+            | Some _ -> Error "field \"deadline\" must be a string"
+          in
+          match deadline with
+          | Error m -> Error (m, id)
+          | Ok deadline -> (
+              match parse_spec job obj with
+              | Error m -> Error (m, id)
+              | Ok spec -> Ok { id; payload = Job { spec; deadline } })))
+  | Ok _ -> Error ("request must be a JSON object", default_id)
+
+(* ---- responses ---- *)
+
+let ok_response ~id ~batch ~output =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Str id);
+         ("ok", Json.Bool true);
+         ("batch", Json.Int batch);
+         ("output", Json.Str output);
+       ])
+
+let error_response ~id msg =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Str id); ("ok", Json.Bool false); ("error", Json.Str msg) ])
+
+let stats_response ~id stats =
+  let fields = match stats with Json.Obj f -> f | v -> [ ("stats", v) ] in
+  Json.to_string
+    (Json.Obj ([ ("id", Json.Str id); ("ok", Json.Bool true) ] @ fields))

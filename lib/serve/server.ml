@@ -1,0 +1,233 @@
+module Json = Bfly_obs.Json
+module Metrics = Bfly_obs.Metrics
+module Span = Bfly_obs.Span
+
+(* process-wide metrics (shared across servers in one process) *)
+let c_requests = Metrics.counter "serve.requests"
+let c_responses = Metrics.counter "serve.responses"
+let c_batches = Metrics.counter "serve.batches"
+let c_coalesced = Metrics.counter "serve.coalesced"
+let c_rejected_overload = Metrics.counter "serve.rejected.overload"
+let c_rejected_drain = Metrics.counter "serve.rejected.drain"
+let c_parse_error = Metrics.counter "serve.parse_error"
+let c_errors = Metrics.counter "serve.errors"
+let g_queue_depth = Metrics.gauge "serve.queue_depth"
+let g_batch_width = Metrics.gauge "serve.batch_width"
+let g_p50 = Metrics.gauge "serve.latency.p50_ns"
+let g_p99 = Metrics.gauge "serve.latency.p99_ns"
+let t_latency = Metrics.timer "serve.latency"
+
+type t = {
+  queue_bound : int;
+  batcher : Batcher.t;
+  latency : Latency.t;
+  lock : Mutex.t;
+  (* per-server tallies, reported by [stats_json] *)
+  mutable requests : int;
+  mutable responses : int;
+  mutable batches : int;
+  mutable coalesced : int;
+  mutable rejected_overload : int;
+  mutable rejected_drain : int;
+  mutable parse_errors : int;
+  mutable errors : int;
+  mutable seq : int;  (** source of default request ids *)
+  mutable draining : bool;  (** written from signal handlers; latches *)
+}
+
+let default_queue_bound () =
+  match Sys.getenv_opt "BFLY_SERVE_QUEUE" with
+  | Some s when String.trim s <> "" -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k > 0 -> k
+      | _ -> 128)
+  | _ -> 128
+
+let create ?queue_bound () =
+  let queue_bound =
+    match queue_bound with Some k -> k | None -> default_queue_bound ()
+  in
+  if queue_bound < 1 then
+    invalid_arg "Server.create: queue_bound must be >= 1";
+  {
+    queue_bound;
+    batcher = Batcher.create ();
+    latency = Latency.create ();
+    lock = Mutex.create ();
+    requests = 0;
+    responses = 0;
+    batches = 0;
+    coalesced = 0;
+    rejected_overload = 0;
+    rejected_drain = 0;
+    parse_errors = 0;
+    errors = 0;
+    seq = 0;
+    draining = false;
+  }
+
+let queue_bound t = t.queue_bound
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* [drain] must stay callable from a signal handler, where taking a mutex
+   the interrupted code may already hold would self-deadlock; a latching
+   boolean write is atomic enough for a flag that only ever goes up. *)
+let drain t = t.draining <- true
+let draining t = t.draining
+
+let pending t = locked t (fun () -> Batcher.pending_requests t.batcher)
+
+let stats_json t =
+  let q, b =
+    locked t (fun () ->
+        (Batcher.pending_requests t.batcher, Batcher.pending_batches t.batcher))
+  in
+  let p50 = Latency.p t.latency ~q:0.5 in
+  let p99 = Latency.p t.latency ~q:0.99 in
+  Metrics.set g_p50 (float_of_int p50);
+  Metrics.set g_p99 (float_of_int p99);
+  Json.Obj
+    [
+      ("requests", Json.Int t.requests);
+      ("responses", Json.Int t.responses);
+      ("batches", Json.Int t.batches);
+      ("coalesced", Json.Int t.coalesced);
+      ( "rejected",
+        Json.Obj
+          [
+            ("overload", Json.Int t.rejected_overload);
+            ("drain", Json.Int t.rejected_drain);
+          ] );
+      ("parse_errors", Json.Int t.parse_errors);
+      ("errors", Json.Int t.errors);
+      ("queue_depth", Json.Int q);
+      ("pending_batches", Json.Int b);
+      ("queue_bound", Json.Int t.queue_bound);
+      ("draining", Json.Bool t.draining);
+      ( "latency",
+        Json.Obj
+          [
+            ("count", Json.Int (Latency.count t.latency));
+            ("p50_ns", Json.Int p50);
+            ("p99_ns", Json.Int p99);
+            ("max_ns", Json.Int (Latency.max_ns t.latency));
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ( "hit",
+              Json.Int (Metrics.counter_value (Metrics.counter "cache.hit")) );
+            ( "miss",
+              Json.Int (Metrics.counter_value (Metrics.counter "cache.miss")) );
+          ] );
+    ]
+
+let submit t ~reply line =
+  t.requests <- t.requests + 1;
+  Metrics.incr c_requests;
+  let default_id =
+    t.seq <- t.seq + 1;
+    Printf.sprintf "r%d" t.seq
+  in
+  match Protocol.parse_request ~default_id line with
+  | Error (msg, id) ->
+      t.parse_errors <- t.parse_errors + 1;
+      Metrics.incr c_parse_error;
+      t.responses <- t.responses + 1;
+      Metrics.incr c_responses;
+      reply (Protocol.error_response ~id msg)
+  | Ok { id; payload = Protocol.Stats } ->
+      t.responses <- t.responses + 1;
+      Metrics.incr c_responses;
+      reply (Protocol.stats_response ~id (stats_json t))
+  | Ok { id; payload = Protocol.Job { spec; deadline } } ->
+      let verdict =
+        locked t (fun () ->
+            if t.draining then `Draining
+            else if Batcher.pending_requests t.batcher >= t.queue_bound then
+              `Overloaded
+            else begin
+              let fp = Job.fingerprint ?deadline spec in
+              let how =
+                Batcher.add t.batcher ~fp ~spec ~deadline
+                  { Batcher.id; reply; t0 = Span.now_ns () }
+              in
+              Metrics.set g_queue_depth
+                (float_of_int (Batcher.pending_requests t.batcher));
+              `Queued how
+            end)
+      in
+      (match verdict with
+      | `Draining ->
+          t.rejected_drain <- t.rejected_drain + 1;
+          Metrics.incr c_rejected_drain;
+          t.responses <- t.responses + 1;
+          Metrics.incr c_responses;
+          reply (Protocol.error_response ~id "draining")
+      | `Overloaded ->
+          t.rejected_overload <- t.rejected_overload + 1;
+          Metrics.incr c_rejected_overload;
+          t.responses <- t.responses + 1;
+          Metrics.incr c_responses;
+          reply (Protocol.error_response ~id "overloaded")
+      | `Queued `Coalesced ->
+          t.coalesced <- t.coalesced + 1;
+          Metrics.incr c_coalesced
+      | `Queued `New -> ())
+
+let run_next t =
+  match locked t (fun () -> Batcher.next t.batcher) with
+  | None -> false
+  | Some batch ->
+      t.batches <- t.batches + 1;
+      Metrics.incr c_batches;
+      let width = List.length batch.Batcher.waiters in
+      Metrics.set g_batch_width (float_of_int width);
+      let result =
+        Span.time ~name:"serve.solve" (fun () ->
+            try Job.run ?deadline:batch.Batcher.deadline batch.Batcher.spec
+            with exn ->
+              (* a solver bug must cost one response, not the server *)
+              Error ("solver raised: " ^ Printexc.to_string exn))
+      in
+      let finish = Span.now_ns () in
+      List.iter
+        (fun { Batcher.id; reply; t0 } ->
+          let line =
+            match result with
+            | Ok output -> Protocol.ok_response ~id ~batch:width ~output
+            | Error msg ->
+                t.errors <- t.errors + 1;
+                Metrics.incr c_errors;
+                Protocol.error_response ~id msg
+          in
+          reply line;
+          t.responses <- t.responses + 1;
+          Metrics.incr c_responses;
+          let ns = finish - t0 in
+          Latency.record t.latency ~ns;
+          Metrics.record t_latency ~ns)
+        batch.Batcher.waiters;
+      locked t (fun () ->
+          Metrics.set g_queue_depth
+            (float_of_int (Batcher.pending_requests t.batcher)));
+      true
+
+let run_pending t =
+  let n = ref 0 in
+  while run_next t do incr n done;
+  !n
+
+let summary t =
+  let ms ns = float_of_int ns /. 1e6 in
+  Printf.sprintf
+    "served %d requests in %d batches (%d coalesced, %d rejected, %d errors, \
+     p50 %.1fms, p99 %.1fms)"
+    t.requests t.batches t.coalesced
+    (t.rejected_overload + t.rejected_drain)
+    t.errors
+    (ms (Latency.p t.latency ~q:0.5))
+    (ms (Latency.p t.latency ~q:0.99))

@@ -1,0 +1,71 @@
+(** The query-service engine: admission control, batching, scheduling and
+    introspection, independent of any transport.
+
+    A server owns a bounded queue of {!Batcher} batches. Transports (or
+    tests) push raw request lines in with {!submit} — which parses,
+    admits or rejects, and coalesces — and turn the crank with
+    {!run_next}/{!run_pending}, which execute one batch at a time through
+    {!Job.run} on the calling domain. Each solve is internally parallel
+    on the {!Bfly_graph.Parallel} pool; serializing the batches keeps the
+    pool fully owned by one solve at a time, so served and one-shot runs
+    traverse identical code paths and return identical bytes.
+
+    {2 Admission}
+
+    [queue_bound] caps the number of {e requests} waiting (coalesced ones
+    included). A request arriving at a full queue is answered immediately
+    with [{"ok":false,"error":"overloaded"}] — an explicit, cheap verdict
+    the caller can retry on, instead of unbounded buffering. After
+    {!drain} the verdict is ["draining"]. [stats] requests are answered
+    inline and never count against the bound.
+
+    {2 Metrics}
+
+    Counters [serve.requests], [serve.responses], [serve.batches],
+    [serve.coalesced], [serve.rejected.overload], [serve.rejected.drain],
+    [serve.parse_error], [serve.errors]; gauges [serve.queue_depth],
+    [serve.batch_width], [serve.latency.p50_ns], [serve.latency.p99_ns]
+    (updated per response batch); timers [serve.solve] (per batch) and
+    [serve.latency] (per request, submit to response). The same numbers
+    are visible per-server through {!stats_json} / the [stats] request. *)
+
+type t
+
+val create : ?queue_bound:int -> unit -> t
+(** [queue_bound] defaults to [BFLY_SERVE_QUEUE] when set to a positive
+    integer, else 128. *)
+
+val queue_bound : t -> int
+
+val submit : t -> reply:(string -> unit) -> string -> unit
+(** Parse and enqueue one request line. [reply] receives every response
+    line addressed to this request (rejections and parse errors
+    immediately, solver output when its batch completes). Never raises on
+    bad input — malformed lines get an error response. *)
+
+val pending : t -> int
+(** Requests currently queued. *)
+
+val run_next : t -> bool
+(** Execute the oldest pending batch and answer its waiters; [false] when
+    the queue is empty. *)
+
+val run_pending : t -> int
+(** Drain the queue; returns the number of batches executed. *)
+
+val drain : t -> unit
+(** Switch to draining: every later job submission is rejected with
+    ["draining"]. Already-queued work still runs. Idempotent, and safe to
+    call from a signal handler. *)
+
+val draining : t -> bool
+
+val stats_json : t -> Bfly_obs.Json.t
+(** The live introspection object served to [stats] requests: this
+    server's request/response/batch/rejection tallies, queue depth and
+    bound, draining flag, latency quantiles, and the process-wide
+    [cache.hit]/[cache.miss] counters. *)
+
+val summary : t -> string
+(** One human line for the drain log, e.g.
+    ["served 120 requests in 17 batches (103 coalesced, 0 rejected, p50 1.2ms, p99 210ms)"]. *)

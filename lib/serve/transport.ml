@@ -1,0 +1,141 @@
+(* Single-threaded [select] loops: no reader thread to synchronize with,
+   no domain stolen from the solver pool — batching falls out of reading
+   greedily before each solve. *)
+
+let install_drain_handlers server =
+  let drain _ = Server.drain server in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle drain)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle drain)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* a dropped client must cost a write error, not the process *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* split off complete lines, feeding each to [submit]; returns the
+   unterminated remainder *)
+let feed_lines ~submit partial chunk =
+  let data = partial ^ chunk in
+  let n = String.length data in
+  let start = ref 0 in
+  (try
+     while !start < n do
+       match String.index_from data !start '\n' with
+       | exception Not_found -> raise Exit
+       | nl ->
+           let line = String.sub data !start (nl - !start) in
+           if String.trim line <> "" then submit line;
+           start := nl + 1
+     done
+   with Exit -> ());
+  String.sub data !start (n - !start)
+
+let readable ?(timeout = 0.0) fds =
+  match Unix.select fds [] [] timeout with
+  | ready, _, _ -> ready
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.write fd b !pos (len - !pos) with
+    | 0 -> raise Exit
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* ---- stdin/stdout ---- *)
+
+let stdio ?(block_timeout = 0.5) server =
+  install_drain_handlers server;
+  let eof = ref false in
+  let partial = ref "" in
+  let reply line =
+    (* the client owns the pipe; if it went away there is nobody left to
+       answer, so fail the write silently and keep draining *)
+    try write_all Unix.stdout (line ^ "\n") with _ -> ()
+  in
+  let submit line = Server.submit server ~reply line in
+  let buf = Bytes.create 65536 in
+  let read_chunk () =
+    match Unix.read Unix.stdin buf 0 (Bytes.length buf) with
+    | 0 ->
+        eof := true;
+        if !partial <> "" then begin
+          if String.trim !partial <> "" then submit !partial;
+          partial := ""
+        end
+    | n -> partial := feed_lines ~submit !partial (Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let accepting () = (not !eof) && not (Server.draining server) in
+  while accepting () || Server.pending server > 0 do
+    (* drain the readable side completely before solving anything: a
+       burst of duplicate requests then costs one solve, not many *)
+    while accepting () && readable [ Unix.stdin ] <> [] do
+      read_chunk ()
+    done;
+    if Server.pending server > 0 then ignore (Server.run_next server)
+    else if accepting () then
+      ignore (readable ~timeout:block_timeout [ Unix.stdin ])
+  done
+
+(* ---- Unix-domain socket ---- *)
+
+type client = { fd : Unix.file_descr; mutable partial : string }
+
+let socket ?(block_timeout = 0.5) server ~path =
+  install_drain_handlers server;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let clients : (Unix.file_descr, client) Hashtbl.t = Hashtbl.create 16 in
+  let drop c =
+    Hashtbl.remove clients c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let reply_to c line =
+    try write_all c.fd (line ^ "\n") with _ -> drop c
+  in
+  let buf = Bytes.create 65536 in
+  let read_client c =
+    let submit line = Server.submit server ~reply:(reply_to c) line in
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 ->
+        if String.trim c.partial <> "" then submit c.partial;
+        drop c
+    | n -> c.partial <- feed_lines ~submit c.partial (Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        drop c
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.iter (fun _ c -> try Unix.close c.fd with _ -> ()) clients;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind listen_fd (Unix.ADDR_UNIX path);
+      Unix.listen listen_fd 64;
+      while (not (Server.draining server)) || Server.pending server > 0 do
+        let fds =
+          if Server.draining server then []
+          else
+            listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients []
+        in
+        let timeout = if Server.pending server > 0 then 0.0 else block_timeout in
+        let ready = if fds = [] then [] else readable ~timeout fds in
+        List.iter
+          (fun fd ->
+            if fd = listen_fd then (
+              match Unix.accept listen_fd with
+              | cfd, _ -> Hashtbl.replace clients cfd { fd = cfd; partial = "" }
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+            else
+              match Hashtbl.find_opt clients fd with
+              | Some c -> read_client c
+              | None -> ())
+          ready;
+        if Server.pending server > 0 then ignore (Server.run_next server)
+      done)

@@ -1,0 +1,26 @@
+(** Transports for {!Server}: a stdin/stdout pipe and a Unix-domain
+    socket, both single-threaded [select] loops.
+
+    Both loops follow the same discipline: greedily read every request
+    line already available (so a burst coalesces before anything solves),
+    then execute {e one} batch, then look at the file descriptors again —
+    requests arriving while a batch solves are picked up before the next
+    batch and can still coalesce with queued work. SIGTERM and SIGINT
+    trigger a graceful drain: no further requests are accepted (job
+    submissions are answered with ["draining"]), queued batches run to
+    completion and are answered, then the loop returns. The caller is
+    expected to log {!Server.summary} afterwards. *)
+
+val stdio : ?block_timeout:float -> Server.t -> unit
+(** Serve newline-delimited requests from stdin, answering on stdout
+    (stderr stays free for logs). Returns when stdin reaches EOF — a
+    trailing unterminated line is treated as a final request — or on
+    drain, once the queue is empty. [block_timeout] (default 0.5s) is the
+    idle [select] granularity, which bounds drain-signal reaction time. *)
+
+val socket : ?block_timeout:float -> Server.t -> path:string -> unit
+(** Listen on a Unix-domain socket at [path] (an existing file there is
+    replaced), serving any number of concurrent connections; each gets
+    its responses in its own arrival order. Returns after a drain signal
+    once queued work is answered; the socket file is unlinked on the way
+    out. *)

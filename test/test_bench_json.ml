@@ -1,0 +1,177 @@
+(* The CI pipeline greps bench --json documents for counter fields and
+   diffs them against the committed baseline (ci.sh warm/compare stages).
+   These tests pin both sides of that contract in-process:
+
+   - the counters the gates key on keep their literal metric names, and
+     solving actually ticks them into Metrics.to_json_string's output
+     (which is the "metrics" field of the bench document);
+   - the committed baseline document itself stays on schema bfly-bench/2
+     with every field the gates read: mode, domains, experiments
+     (name+output), the pre-Bechamel "gate" counter snapshot, and the
+     embedded oracle summary. *)
+
+module Json = Bfly_obs.Json
+module Metrics = Bfly_obs.Metrics
+module Butterfly = Bfly_networks.Butterfly
+open Tu
+
+(* every counter ci.sh's extract() greps and bench --compare diffs *)
+let gate_fields = [ "exact.bb.nodes"; "cache.hit"; "cache.miss" ]
+
+let counter name = Metrics.counter_value (Metrics.counter name)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_gate_counters_tick () =
+  (* a fresh cache directory makes the solve's counter behaviour
+     deterministic: first run misses and searches, second run hits *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bfly-benchjson-test-%d" (Unix.getpid ()))
+  in
+  let was_enabled = Bfly_cache.Config.enabled () in
+  let old_dir = Bfly_cache.Config.dir () in
+  let restore () =
+    Bfly_cache.Config.set_enabled true;
+    Bfly_cache.Config.set_dir dir;
+    ignore (Bfly_cache.Store.clear ());
+    (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ());
+    Bfly_cache.Config.set_enabled was_enabled;
+    Bfly_cache.Config.set_dir old_dir;
+    Bfly_cache.Store.reset_memory ()
+  in
+  Bfly_cache.Config.set_enabled true;
+  Bfly_cache.Config.set_dir dir;
+  Bfly_cache.Store.reset_memory ();
+  Fun.protect ~finally:restore @@ fun () ->
+  let solve () =
+    ignore
+      (Bfly_cuts.Exact.bisection_width_supervised
+         (Butterfly.graph (Butterfly.of_inputs 4)))
+  in
+  let nodes0 = counter "exact.bb.nodes" in
+  let miss0 = counter "cache.miss" in
+  solve ();
+  checkb "cold exact solve ticks exact.bb.nodes" true
+    (counter "exact.bb.nodes" > nodes0);
+  checkb "cold exact solve misses the cache" true (counter "cache.miss" > miss0);
+  let nodes1 = counter "exact.bb.nodes" in
+  let hit0 = counter "cache.hit" in
+  solve ();
+  check "warm exact solve does not search" 0 (counter "exact.bb.nodes" - nodes1);
+  checkb "warm exact solve hits the cache" true (counter "cache.hit" > hit0)
+
+let test_metrics_json_carries_gate_fields () =
+  (* to_json_string renders the bench document's "metrics" field; the sed
+     pattern in ci.sh matches "NAME":INT, so the literal quoted names must
+     appear *)
+  let doc = Metrics.to_json_string () in
+  List.iter
+    (fun name ->
+      checkb
+        (Printf.sprintf "metrics JSON mentions %S" name)
+        true
+        (contains doc (Printf.sprintf "%S:" name)))
+    gate_fields
+
+(* ---- the committed baseline document ---- *)
+
+let baseline_path =
+  (* materialized in the build tree by the (deps ...) of test/dune; the
+     test action runs in _build/default/test *)
+  "../BENCH_2026-08-06.json"
+
+let load_baseline () =
+  let text = In_channel.with_open_text baseline_path In_channel.input_all in
+  match Json.of_string text with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "baseline is not valid JSON: %s" e
+
+let str doc k = Option.bind (Json.member k doc) Json.to_string_opt
+let int_ doc k = Option.bind (Json.member k doc) Json.to_int_opt
+
+let test_baseline_schema () =
+  let doc = load_baseline () in
+  Alcotest.(check (option string))
+    "schema" (Some "bfly-bench/2") (str doc "schema");
+  Alcotest.(check (option string)) "mode" (Some "full") (str doc "mode");
+  (* the compare gate refuses to diff across pool widths, so the baseline
+     must declare its own *)
+  Alcotest.(check (option int)) "domains" (Some 1) (int_ doc "domains")
+
+let test_baseline_gate_snapshot () =
+  let doc = load_baseline () in
+  match Json.member "gate" doc with
+  | None -> Alcotest.fail "baseline has no gate object"
+  | Some gate ->
+      List.iter
+        (fun name ->
+          match int_ gate name with
+          | None -> Alcotest.failf "gate snapshot lacks %s" name
+          | Some v -> checkb (Printf.sprintf "%s >= 0" name) true (v >= 0))
+        gate_fields;
+      (* a full cold run certainly searched *)
+      checkb "baseline searched" true
+        (Option.value (int_ gate "exact.bb.nodes") ~default:0 > 0)
+
+let test_baseline_experiments () =
+  let doc = load_baseline () in
+  match Json.member "experiments" doc with
+  | Some (Json.List (_ :: _ as l)) ->
+      List.iter
+        (fun e ->
+          match (str e "name", str e "output") with
+          | Some name, Some out ->
+              checkb
+                (Printf.sprintf "experiment %s has output" name)
+                true
+                (String.length out > 0)
+          | _ ->
+              Alcotest.failf "experiment entry lacks name/output: %s"
+                (Json.to_string e))
+        l
+  | _ -> Alcotest.fail "baseline has no non-empty experiments list"
+
+let test_baseline_check_summary () =
+  let doc = load_baseline () in
+  match Json.member "check" doc with
+  | None -> Alcotest.fail "baseline has no embedded oracle summary"
+  | Some check ->
+      Alcotest.(check (option string))
+        "oracle tool" (Some "bfly_check") (str check "tool");
+      (match Option.bind (Json.member "ok" check) Json.to_bool_opt with
+      | Some true -> ()
+      | _ -> Alcotest.fail "baseline oracle summary is not ok:true");
+      (* fixed configuration, so smoke and full documents stay comparable *)
+      Alcotest.(check (option int)) "oracle seed" (Some 42) (int_ check "seed")
+
+(* round-trip: the values document fields ci.sh cmp's are reproducible
+   through our own parser/printer (cmp compares bytes, so to_string must
+   be stable under parse) *)
+let test_baseline_roundtrip () =
+  let text = In_channel.with_open_text baseline_path In_channel.input_all in
+  match Json.of_string text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok doc -> (
+      let printed = Json.to_string doc in
+      match Json.of_string printed with
+      | Error e -> Alcotest.failf "reparse: %s" e
+      | Ok doc2 ->
+          Alcotest.(check string)
+            "print/parse/print is a fixed point" printed (Json.to_string doc2))
+
+let suite =
+  [
+    case "solving ticks the gate counters" test_gate_counters_tick;
+    case "metrics JSON carries the grepped field names"
+      test_metrics_json_carries_gate_fields;
+    case "baseline: schema, mode, domains" test_baseline_schema;
+    case "baseline: gate counter snapshot" test_baseline_gate_snapshot;
+    case "baseline: experiments carry name+output" test_baseline_experiments;
+    case "baseline: embedded oracle summary" test_baseline_check_summary;
+    case "baseline: JSON round-trips byte-stably" test_baseline_roundtrip;
+  ]

@@ -23,6 +23,8 @@ let () =
       ("expansion", Test_expansion.suite);
       ("routing", Test_routing.suite);
       ("check", Test_check.suite);
+      ("serve", Test_serve.suite);
+      ("bench-json", Test_bench_json.suite);
       ("core", Test_core.suite);
       ("integration", Test_integration.suite);
       ("edge-cases", Test_edge_cases.suite);

@@ -1,0 +1,402 @@
+(* Tests for the batch query service (lib/serve): request parsing, the
+   Job execution vocabulary, coalescing, admission control, per-request
+   deadlines, drain semantics, and the headline guarantee — a served
+   response's output field is byte-identical to the one-shot subcommand,
+   warm or cold cache. *)
+
+module Server = Bfly_serve.Server
+module Job = Bfly_serve.Job
+module Protocol = Bfly_serve.Protocol
+module Latency = Bfly_serve.Latency
+module Json = Bfly_obs.Json
+module Metrics = Bfly_obs.Metrics
+module Config = Bfly_cache.Config
+module Store = Bfly_cache.Store
+open Tu
+
+let counter name = Metrics.counter_value (Metrics.counter name)
+
+(* Isolate each case in its own empty cache directory (same discipline as
+   test_cache.ml): serve results must not depend on what earlier suites
+   happened to compute. *)
+let fresh_id = ref 0
+
+let with_fresh_cache f =
+  incr fresh_id;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bfly-serve-test-%d-%d" (Unix.getpid ()) !fresh_id)
+  in
+  let was_enabled = Config.enabled () in
+  let old_dir = Config.dir () in
+  let restore () =
+    Config.set_enabled true;
+    Config.set_dir dir;
+    ignore (Store.clear ());
+    (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ());
+    Config.set_enabled was_enabled;
+    Config.set_dir old_dir;
+    Store.reset_memory ()
+  in
+  Config.set_enabled true;
+  Config.set_dir dir;
+  Store.reset_memory ();
+  match f () with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e
+
+(* submit a line and capture every response addressed to it *)
+let replay server lines =
+  let responses = ref [] in
+  List.iter
+    (fun line ->
+      Server.submit server ~reply:(fun r -> responses := r :: !responses) line)
+    lines;
+  ignore (Server.run_pending server);
+  List.rev !responses
+
+let parse_response line =
+  match Json.of_string line with
+  | Ok obj -> obj
+  | Error e -> Alcotest.failf "unparseable response %s: %s" line e
+
+let str_field obj k =
+  match Option.bind (Json.member k obj) Json.to_string_opt with
+  | Some s -> s
+  | None -> Alcotest.failf "response lacks string field %S: %s" k (Json.to_string obj)
+
+let int_field obj k =
+  match Option.bind (Json.member k obj) Json.to_int_opt with
+  | Some i -> i
+  | None -> Alcotest.failf "response lacks int field %S: %s" k (Json.to_string obj)
+
+let bool_field obj k =
+  match Option.bind (Json.member k obj) Json.to_bool_opt with
+  | Some b -> b
+  | None -> Alcotest.failf "response lacks bool field %S: %s" k (Json.to_string obj)
+
+(* ---- the replay trace: 12 distinct jobs, each requested 10 times ---- *)
+
+let bw solver ?(n = 16) ?(seed = 1) ?(restarts = 4) () =
+  ( Printf.sprintf
+      {|{"job":"bw","solver":"%s","network":"butterfly","n":%d,"seed":%d,"restarts":%d}|}
+      (Job.solver_name solver) n seed restarts,
+    Job.Bw
+      {
+        Job.solver;
+        net = Job.Butterfly;
+        n;
+        seed;
+        restarts;
+        max_nodes = None;
+        resume = false;
+      } )
+
+let distinct_jobs =
+  [
+    bw Job.Kl ();
+    bw Job.Kl ~seed:2 ();
+    bw Job.Kl ~seed:3 ();
+    bw Job.Fm ();
+    bw Job.Sa ~n:8 ~restarts:2 ();
+    bw Job.Spectral ();
+    bw Job.Exact ~n:8 ();
+    ( {|{"job":"mos","j":2}|}, Job.Mos { j = 2 } );
+    ( {|{"job":"mos","j":3}|}, Job.Mos { j = 3 } );
+    ( {|{"job":"ee","network":"butterfly","n":8,"k":4,"exact":true}|},
+      Job.Expansion
+        { kind = `Ee; net = Job.Butterfly; n = 8; k = 4; exact = true; seed = 1 }
+    );
+    ( {|{"job":"ne","network":"butterfly","n":8,"k":4,"exact":true}|},
+      Job.Expansion
+        { kind = `Ne; net = Job.Butterfly; n = 8; k = 4; exact = true; seed = 1 }
+    );
+    ( {|{"job":"expansion","network":"wrapped","n":8,"k":6,"exact":true}|},
+      Job.Expansion
+        { kind = `Both; net = Job.Wrapped; n = 8; k = 6; exact = true; seed = 1 }
+    );
+  ]
+
+let copies = 10
+
+(* the duplicates are interleaved, not adjacent: request i of round r is
+   distinct from its neighbours, the way concurrent clients look *)
+let trace_lines () =
+  List.concat_map
+    (fun _round -> List.map fst distinct_jobs)
+    (List.init copies Fun.id)
+
+(* ---- cases ---- *)
+
+(* The acceptance trace: 120 requests (12 distinct jobs x 10 copies)
+   through a server. Every response must be ok with the exact bytes the
+   one-shot subcommand prints (Job.run IS the one-shot execution path —
+   ci.sh's serve stage closes the loop through the real CLI), every batch
+   must have width 10, and the whole trace must cost 12 solves. *)
+let test_replay_byte_identical () =
+  with_fresh_cache @@ fun () ->
+  (* one-shot outputs first (cold cache); the served replay then runs
+     warm, so this also proves warm/cold byte-identity *)
+  let expected =
+    List.map
+      (fun (_, spec) ->
+        match Job.run spec with
+        | Ok out -> (Job.fingerprint spec, out)
+        | Error e -> Alcotest.failf "one-shot job failed: %s" e)
+      distinct_jobs
+  in
+  let server = Server.create () in
+  let lines = trace_lines () in
+  check "trace length" 120 (List.length lines);
+  let responses = replay server lines in
+  check "one response per request" 120 (List.length responses);
+  (* batches run in first-arrival order and answer all their waiters
+     together, so responses come grouped: 10 for job 0, then 10 for job 1,
+     ... — response i belongs to distinct_jobs.(i / copies) *)
+  List.iteri
+    (fun i line ->
+      let obj = parse_response line in
+      checkb (Printf.sprintf "response %d ok" i) true (bool_field obj "ok");
+      check (Printf.sprintf "response %d batch width" i) copies
+        (int_field obj "batch");
+      let _, spec = List.nth distinct_jobs (i / copies) in
+      let want = List.assoc (Job.fingerprint spec) expected in
+      Alcotest.(check string)
+        (Printf.sprintf "response %d output" i)
+        want (str_field obj "output"))
+    responses;
+  (* coalescing: 120 requests, 12 solves *)
+  let stats = Server.stats_json server in
+  check "requests" 120 (int_field stats "requests");
+  check "responses" 120 (int_field stats "responses");
+  check "batches" (List.length distinct_jobs) (int_field stats "batches");
+  check "coalesced" (120 - List.length distinct_jobs)
+    (int_field stats "coalesced");
+  check "nothing left queued" 0 (int_field stats "queue_depth");
+  (* latency accounting saw every request *)
+  let latency =
+    match Json.member "latency" stats with
+    | Some l -> l
+    | None -> Alcotest.fail "stats lacks latency object"
+  in
+  check "latency count" 120 (int_field latency "count");
+  checkb "p99 >= p50" true
+    (int_field latency "p99_ns" >= int_field latency "p50_ns");
+  (* warm replay: same trace on a fresh server, same bytes, and the cache
+     answers everything — no new misses anywhere in the process *)
+  let server2 = Server.create () in
+  let miss0 = counter "cache.miss" in
+  let responses2 = replay server2 (trace_lines ()) in
+  check "warm replay misses" 0 (counter "cache.miss" - miss0);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string)
+        "warm replay byte-identical"
+        (str_field (parse_response a) "output")
+        (str_field (parse_response b) "output"))
+    responses responses2
+
+(* A full queue answers with an explicit "overloaded" verdict instead of
+   buffering without bound: 10 distinct jobs against queue_bound 2 means
+   exactly 8 immediate rejections, and the 2 admitted jobs still solve. *)
+let test_overload () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create ~queue_bound:2 () in
+  let responses = ref [] in
+  for j = 1 to 10 do
+    Server.submit server
+      ~reply:(fun r -> responses := r :: !responses)
+      (Printf.sprintf {|{"id":"q%d","job":"mos","j":%d}|} j j)
+  done;
+  let immediate = List.rev !responses in
+  check "rejections are immediate" 8 (List.length immediate);
+  List.iter
+    (fun line ->
+      let obj = parse_response line in
+      checkb "rejected" false (bool_field obj "ok");
+      Alcotest.(check string) "verdict" "overloaded" (str_field obj "error"))
+    immediate;
+  ignore (Server.run_pending server);
+  let all = List.rev !responses in
+  check "every request answered" 10 (List.length all);
+  let ok_count =
+    List.length
+      (List.filter (fun l -> bool_field (parse_response l) "ok") all)
+  in
+  check "admitted jobs solved" 2 ok_count;
+  let stats = Server.stats_json server in
+  let rejected =
+    match Json.member "rejected" stats with
+    | Some r -> r
+    | None -> Alcotest.fail "stats lacks rejected object"
+  in
+  check "overload tally" 8 (int_field rejected "overload");
+  (* the two admitted requests were the first two to arrive, solved in
+     arrival order (rejections are replied immediately, so they lead) *)
+  let admitted =
+    List.filter_map
+      (fun l ->
+        let obj = parse_response l in
+        if bool_field obj "ok" then Some (str_field obj "id") else None)
+      all
+  in
+  Alcotest.(check (list string)) "fifo order kept" [ "q1"; "q2" ] admitted
+
+(* A per-request deadline (or step budget) makes the exact solver degrade
+   to a certified interval — the same shape `bfly_tool bw exact
+   --max-nodes` prints — rather than fail or overrun. *)
+let test_deadline_degrades () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create () in
+  let shapes =
+    [
+      (* step budget: fires at the first supervision poll *)
+      {|{"id":"steps","job":"bw","network":"butterfly","n":8,"max_nodes":1}|};
+      (* 1 microsecond of wall clock: expired before the search starts *)
+      {|{"id":"wall","job":"bw","network":"butterfly","n":8,"deadline":"0.000001"}|};
+    ]
+  in
+  List.iter
+    (fun line ->
+      let responses = replay server [ line ] in
+      check "one response" 1 (List.length responses);
+      let obj = parse_response (List.hd responses) in
+      checkb "degraded run still ok" true (bool_field obj "ok");
+      let out = str_field obj "output" in
+      checkb
+        (Printf.sprintf "interval shape in %S" out)
+        true
+        (String.length out >= 11 && String.sub out 0 11 = "B_8: BW in "))
+    shapes
+
+(* The deadline is part of the coalescing key: the same spec with and
+   without a deadline must NOT share a solve, because the deadline decides
+   whether the result may degrade. *)
+let test_deadline_in_fingerprint () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create () in
+  let line = {|{"job":"bw","solver":"kl","network":"butterfly","n":16}|} in
+  let with_deadline =
+    {|{"job":"bw","solver":"kl","network":"butterfly","n":16,"deadline":"10s"}|}
+  in
+  let responses = replay server [ line; with_deadline; line ] in
+  check "three responses" 3 (List.length responses);
+  let stats = Server.stats_json server in
+  check "two solves" 2 (int_field stats "batches");
+  check "only the exact duplicate coalesced" 1 (int_field stats "coalesced")
+
+(* After drain, job submissions are rejected with "draining" but stats
+   introspection still answers — that's what makes graceful shutdown
+   observable. *)
+let test_drain () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create () in
+  (* queue one job before the drain signal lands *)
+  let queued = ref [] in
+  Server.submit server
+    ~reply:(fun r -> queued := r :: !queued)
+    {|{"id":"early","job":"mos","j":2}|};
+  Server.drain server;
+  checkb "draining latched" true (Server.draining server);
+  let late = replay server [ {|{"id":"late","job":"mos","j":3}|} ] in
+  let obj = parse_response (List.hd late) in
+  checkb "late job rejected" false (bool_field obj "ok");
+  Alcotest.(check string) "verdict" "draining" (str_field obj "error");
+  let stats_reply = replay server [ {|{"id":"s","job":"stats"}|} ] in
+  let sobj = parse_response (List.hd stats_reply) in
+  checkb "stats still served" true (bool_field sobj "ok");
+  checkb "stats reports draining" true (bool_field sobj "draining");
+  (* the queued job still ran to completion during replay's run_pending *)
+  check "early job answered" 1 (List.length !queued);
+  checkb "early job ok" true
+    (bool_field (parse_response (List.hd !queued)) "ok")
+
+(* Malformed input costs an error response, never the server; the
+   response reuses the request's own id whenever the line parsed far
+   enough to have one. *)
+let test_parse_errors () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create () in
+  let cases =
+    [
+      ("not json at all", None);
+      ({|[1,2,3]|}, None);
+      ({|{"id":"x1","job":"teleport"}|}, Some "x1");
+      ({|{"id":"x2","job":"bw","network":"butterfly"}|}, Some "x2");
+      ({|{"id":"x3","job":"bw","solver":"kl","network":"moebius","n":8}|},
+       Some "x3");
+      ({|{"id":"x4","job":"mos","j":2,"deadline":"soonish"}|}, Some "x4");
+      ({|{"id":"x5","job":"mos"}|}, Some "x5");
+    ]
+  in
+  List.iter
+    (fun (line, want_id) ->
+      let responses = replay server [ line ] in
+      check "answered" 1 (List.length responses);
+      let obj = parse_response (List.hd responses) in
+      checkb (Printf.sprintf "rejected %S" line) false (bool_field obj "ok");
+      match want_id with
+      | Some id -> Alcotest.(check string) "echoes request id" id (str_field obj "id")
+      | None ->
+          (* assigned id: non-empty, server-generated *)
+          checkb "assigned an id" true (String.length (str_field obj "id") > 0))
+    cases;
+  let stats = Server.stats_json server in
+  check "parse_errors tally" (List.length cases) (int_field stats "parse_errors");
+  (* the server still works afterwards *)
+  let after = replay server [ {|{"job":"mos","j":2}|} ] in
+  checkb "server survived" true (bool_field (parse_response (List.hd after)) "ok")
+
+(* Solver-level failures (bad arguments reaching Job.run) come back as
+   per-request errors with the same message the one-shot CLI prints. *)
+let test_solver_errors () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create () in
+  let cases =
+    [
+      ({|{"id":"e1","job":"bw","solver":"kl","network":"butterfly","n":7}|},
+       "n must be a power of two");
+      ({|{"id":"e2","job":"mos","j":0}|}, "j must be >= 1");
+      ({|{"id":"e3","job":"ee","network":"butterfly","n":8,"k":999}|},
+       "k out of range");
+    ]
+  in
+  List.iter
+    (fun (line, want) ->
+      let responses = replay server [ line ] in
+      let obj = parse_response (List.hd responses) in
+      checkb "not ok" false (bool_field obj "ok");
+      Alcotest.(check string) "CLI error text" want (str_field obj "error"))
+    cases
+
+(* Latency reservoir: quantiles are ranks over the recorded window. *)
+let test_latency_quantiles () =
+  let l = Latency.create ~capacity:8 () in
+  for i = 1 to 100 do
+    Latency.record l ~ns:i
+  done;
+  check "lifetime count" 100 (Latency.count l);
+  check "lifetime max" 100 (Latency.max_ns l);
+  (* window holds 93..100; nearest rank of q=0.5 over 8 samples is index 4 *)
+  check "p50 over window" 97 (Latency.p l ~q:0.5);
+  check "p99 over window" 100 (Latency.p l ~q:0.99);
+  check "empty reservoir" 0 (Latency.p (Latency.create ()) ~q:0.5)
+
+let suite =
+  [
+    slow_case "replay: 120 requests coalesce, bytes match one-shot"
+      test_replay_byte_identical;
+    case "admission: queue bound rejects with overloaded" test_overload;
+    case "deadline degrades exact search to certified interval"
+      test_deadline_degrades;
+    case "deadline is part of the coalescing key" test_deadline_in_fingerprint;
+    case "drain rejects new work, serves stats, finishes queue" test_drain;
+    case "parse errors are per-request, server survives" test_parse_errors;
+    case "solver errors match the one-shot CLI" test_solver_errors;
+    case "latency reservoir quantiles" test_latency_quantiles;
+  ]
