@@ -171,7 +171,8 @@ let run_check () =
 
 (* Counter totals the CI gates key on; must be read before the Bechamel
    stage, whose timing-dependent iteration counts keep ticking cache.hit. *)
-let gate_counters = [ "exact.bb.nodes"; "cache.hit"; "cache.miss" ]
+let gate_counters =
+  [ "exact.bb.nodes"; "cache.hit"; "cache.miss"; "ml.levels"; "ml.refine.moves" ]
 
 let gate_snapshot () =
   List.map
@@ -216,6 +217,12 @@ let micro_tests () =
                (Bfly_cuts.Heuristics.kernighan_lin
                   ~rng:(Random.State.make [| 0x6b |])
                   ~restarts:4 (Butterfly.graph b256))));
+      Test.make ~name:"E1:ml-bisect-B1024"
+        (stage (fun () ->
+             ignore
+               (Bfly_cuts.Multilevel.bisect
+                  ~rng:(Random.State.make [| 0x6d6c |])
+                  ~restarts:2 (Butterfly.graph b1024))));
       Test.make ~name:"E2:bw-mos-closed-form-j256"
         (stage (fun () -> ignore (Bfly_mos.Mos_analysis.bw_m2 256)));
       Test.make ~name:"E3:knn-embedding-congestion-B8"

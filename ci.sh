@@ -62,6 +62,11 @@ stage_runtest() {
 # fails loudly (non-zero exit) on any solver disagreement.
 stage_check() {
   dune exec -- bin/bfly_tool.exe check --smoke --seed 42 --rounds 5
+  # multilevel partitioner smoke: must produce a validated bisection (the
+  # subcommand exits non-zero when the witness fails Invariants) at a size
+  # the flat kernels also handle, so regressions surface before the
+  # bench-scale sweeps
+  dune exec -- bin/bfly_tool.exe bw ml butterfly 64
 }
 
 # Same differential suite with every fault class armed (disk I/O errors,

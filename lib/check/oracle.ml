@@ -115,6 +115,18 @@ let heuristics_respect_exact =
             | Invariants.Fail m -> fail "%s: %s" name m)
         Pass solvers)
 
+(* The multilevel partitioner collapses to a single refinement level on
+   oracle-sized graphs, but the whole contract still holds: the returned
+   capacity is an upper bound on the exact optimum and the witness is a
+   valid bisection at tolerance 1. *)
+let multilevel_vs_exact =
+  make "multilevel_vs_exact" ~max_nodes:14 (fun ~rng g ->
+      let exact, _ = Exact.bisection_width g in
+      let c, side = Bfly_cuts.Multilevel.bisect ~rng ~restarts:2 g in
+      if c < exact then
+        fail "multilevel reports %d below the exact optimum %d" c exact
+      else of_invariant (Invariants.bisection_cut g ~value:c ~witness:side))
+
 (* The supervised engine under an artificially tiny step budget must (a)
    certify only intervals that really contain the exact answer, with a
    witness achieving the upper end, and (b) once resumed to completion,
@@ -202,6 +214,7 @@ let all =
     u_bisection_vs_reference;
     supervised_vs_exact;
     heuristics_respect_exact;
+    multilevel_vs_exact;
     expansion_vs_reference;
     anneal_vs_exact;
   ]

@@ -9,6 +9,7 @@ module Benes = Bfly_networks.Benes
 module Constructions = Bfly_cuts.Constructions
 module Exact = Bfly_cuts.Exact
 module Heuristics = Bfly_cuts.Heuristics
+module Multilevel = Bfly_cuts.Multilevel
 module Mos_analysis = Bfly_mos.Mos_analysis
 module Classic = Bfly_embed.Classic
 module Embedding = Bfly_embed.Embedding
@@ -40,11 +41,19 @@ let e1_butterfly_bisection () =
       else None
     in
     let heuristic =
-      if Butterfly.size b <= 3000 && n > 2 then begin
+      (* the flat portfolio up to a few thousand nodes (unchanged, so the
+         small rows stay byte-identical run to run); the multilevel
+         partitioner from there out to n = 4096, where the flat kernels
+         stop converging in useful time *)
+      if n <= 2 then None
+      else if Butterfly.size b <= 3000 then begin
         let c, _, _ = Heuristics.best_of ~rng:(rng ()) g in
         Some c
       end
-      else None
+      else begin
+        let c, _ = Multilevel.bisect ~rng:(rng ()) g in
+        Some c
+      end
     in
     let exact =
       if Butterfly.size b <= 32 then begin
@@ -653,14 +662,15 @@ let a2_heuristic_portfolio () =
         let fm = fst (Heuristics.fiduccia_mattheyses ~rng:r g) in
         let sp = fst (Heuristics.spectral g) in
         let sa = fst (Heuristics.annealing ~rng:r g) in
-        [ name; fi kl; fi fm; fi sp; fi sa ])
+        let ml = fst (Multilevel.bisect ~rng:r g) in
+        [ name; fi kl; fi fm; fi sp; fi sa; fi ml ])
       nets
   in
   Report.table
     ~title:
       "A2 (ablation): bisection heuristics head-to-head (capacity found; \
        true values are 64, 64, 32)"
-    ~header:[ "network"; "KL"; "FM"; "spectral"; "annealing" ]
+    ~header:[ "network"; "KL"; "FM"; "spectral"; "annealing"; "multilevel" ]
     rows
 
 let a3_multibutterfly_expansion () =

@@ -1,0 +1,79 @@
+type t = {
+  offset : int; (* bucket index of gain 0; buckets span 2*offset+1 slots *)
+  head : int array; (* bucket -> first node, or -1 *)
+  next : int array; (* node -> successor in its bucket, or -1 *)
+  prev : int array; (* node -> predecessor, or -1 when it is the head *)
+  bucket : int array; (* node -> its bucket, or -1 when not enqueued *)
+  mutable best : int; (* upper bound on the highest non-empty bucket *)
+  mutable size : int;
+}
+
+let create ~max_gain n =
+  if max_gain < 0 then invalid_arg "Gain.create: max_gain must be >= 0";
+  if n < 0 then invalid_arg "Gain.create: negative capacity";
+  {
+    offset = max_gain;
+    head = Array.make ((2 * max_gain) + 1) (-1);
+    next = Array.make (max n 1) (-1);
+    prev = Array.make (max n 1) (-1);
+    bucket = Array.make (max n 1) (-1);
+    best = -1;
+    size = 0;
+  }
+
+let mem t v = t.bucket.(v) >= 0
+
+let gain t v =
+  let b = t.bucket.(v) in
+  if b < 0 then invalid_arg "Gain.gain: node not enqueued";
+  b - t.offset
+
+let cardinal t = t.size
+
+let insert t v g =
+  if mem t v then invalid_arg "Gain.insert: node already enqueued";
+  let b = g + t.offset in
+  if b < 0 || b >= Array.length t.head then
+    invalid_arg "Gain.insert: gain out of range";
+  let h = t.head.(b) in
+  t.next.(v) <- h;
+  t.prev.(v) <- -1;
+  if h >= 0 then t.prev.(h) <- v;
+  t.head.(b) <- v;
+  t.bucket.(v) <- b;
+  if b > t.best then t.best <- b;
+  t.size <- t.size + 1
+
+let remove t v =
+  let b = t.bucket.(v) in
+  if b < 0 then invalid_arg "Gain.remove: node not enqueued";
+  let p = t.prev.(v) and n = t.next.(v) in
+  if p >= 0 then t.next.(p) <- n else t.head.(b) <- n;
+  if n >= 0 then t.prev.(n) <- p;
+  t.bucket.(v) <- -1;
+  t.size <- t.size - 1
+
+let update t v g =
+  let b = t.bucket.(v) in
+  if b < 0 then invalid_arg "Gain.update: node not enqueued";
+  if b - t.offset <> g then begin
+    remove t v;
+    insert t v g
+  end
+
+let peek t =
+  if t.size = 0 then None
+  else begin
+    (* size > 0 guarantees a non-empty bucket at or below [best] *)
+    while t.head.(t.best) < 0 do
+      t.best <- t.best - 1
+    done;
+    Some (t.head.(t.best), t.best - t.offset)
+  end
+
+let pop t =
+  match peek t with
+  | None -> None
+  | Some (v, _) as r ->
+      remove t v;
+      r

@@ -1,0 +1,60 @@
+(** Flat-array gain buckets: the O(1) best-move selector behind the
+    multilevel FM refinement ({!Multilevel}).
+
+    The classical Fiduccia–Mattheyses bucket structure, laid out as flat
+    integer arrays: a node's current gain indexes it into a bucket, the
+    nodes of one bucket form a doubly-linked list threaded through two
+    [n]-sized arrays ([next]/[prev] by node id), and a monotonically
+    repaired max-bucket pointer makes {!peek}/{!pop} amortized O(1).
+    Compared with the binary heap used by {!Heuristics.fiduccia_mattheyses}
+    there are no stale entries to lapse: {!update} relinks the node in
+    place, so the structure always holds each enqueued node exactly once
+    at its true gain.
+
+    Gains must stay within [[-max_gain, +max_gain]] — for cut refinement
+    the maximum (multiplicity-counted) degree of the graph is a safe
+    bound, since a node's gain is its external minus its internal degree.
+    Out-of-range gains and double inserts raise [Invalid_argument]: they
+    indicate a broken caller invariant, never data.
+
+    Determinism: within a bucket, nodes are kept in LIFO order of
+    insertion, so {!peek} and {!pop} are deterministic functions of the
+    operation history — a property the multilevel refinement relies on to
+    stay independent of [BFLY_DOMAINS]. *)
+
+type t
+
+val create : max_gain:int -> int -> t
+(** [create ~max_gain n] — an empty structure for nodes [0..n-1] holding
+    gains in [[-max_gain, +max_gain]]. O(max_gain + n) space. *)
+
+val insert : t -> int -> int -> unit
+(** [insert t v g] enqueues node [v] with gain [g] at the head of its
+    bucket. @raise Invalid_argument if [v] is already enqueued or [g] is
+    out of range. *)
+
+val remove : t -> int -> unit
+(** [remove t v] unlinks [v]. O(1).
+    @raise Invalid_argument if [v] is not enqueued. *)
+
+val update : t -> int -> int -> unit
+(** [update t v g] moves an enqueued [v] to the bucket for gain [g]
+    (no-op when unchanged). O(1). *)
+
+val mem : t -> int -> bool
+(** Whether the node is currently enqueued. *)
+
+val gain : t -> int -> int
+(** Current gain of an enqueued node.
+    @raise Invalid_argument if [v] is not enqueued. *)
+
+val cardinal : t -> int
+(** Number of enqueued nodes. *)
+
+val peek : t -> (int * int) option
+(** [peek t] is [Some (v, g)] where [v] is the head of the highest
+    non-empty bucket, i.e. a node of maximum gain [g] — or [None] when
+    empty. Amortized O(1): the max pointer only walks down over pops. *)
+
+val pop : t -> (int * int) option
+(** {!peek} followed by {!remove} of the returned node. *)

@@ -8,7 +8,7 @@ module Invariants = Bfly_check.Invariants
 
 type net = Butterfly | Wrapped | Ccc
 
-type solver = Exact | Kl | Fm | Sa | Spectral
+type solver = Exact | Kl | Fm | Sa | Spectral | Ml
 
 type bw = {
   solver : solver;
@@ -53,6 +53,7 @@ let solver_name = function
   | Fm -> "fm"
   | Sa -> "sa"
   | Spectral -> "spectral"
+  | Ml -> "ml"
 
 let solver_of_string = function
   | "exact" -> Ok Exact
@@ -60,8 +61,9 @@ let solver_of_string = function
   | "fm" -> Ok Fm
   | "sa" | "annealing" -> Ok Sa
   | "spectral" -> Ok Spectral
+  | "ml" | "multilevel" -> Ok Ml
   | s ->
-      Error (Printf.sprintf "unknown solver %S (exact|kl|fm|sa|spectral)" s)
+      Error (Printf.sprintf "unknown solver %S (exact|kl|fm|sa|spectral|ml)" s)
 
 let log2_exact n =
   let rec go l v =
@@ -176,6 +178,9 @@ let run_bw_heuristic { solver; net; n; seed; restarts; _ } =
               (v, w, Printf.sprintf "sa, restarts %d, seed %d" restarts seed)
           | Spectral ->
               let v, w = Bfly_cuts.Heuristics.spectral g in (v, w, "spectral")
+          | Ml ->
+              let v, w = Bfly_cuts.Multilevel.bisect ~rng ~restarts g in
+              (v, w, Printf.sprintf "ml, restarts %d, seed %d" restarts seed)
           | Exact -> assert false
         in
         (match Invariants.bisection_cut g ~value ~witness with

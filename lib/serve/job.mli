@@ -3,7 +3,8 @@
 
     A {!spec} names a deterministic solver invocation — the same set the
     paper's quantities need at serving time: bisection-width solvers
-    (exact branch and bound, the KL/FM/SA/spectral heuristics), the
+    (exact branch and bound, the KL/FM/SA/spectral heuristics, the
+    multilevel partitioner), the
     mesh-of-stars closed form (Lemmas 2.17–2.19), the Section 4 expansion
     enumerations/annealers, and the differential-oracle battery. {!run}
     executes one and returns {e exactly} the text the corresponding
@@ -19,7 +20,7 @@
 
 type net = Butterfly | Wrapped | Ccc
 
-type solver = Exact | Kl | Fm | Sa | Spectral
+type solver = Exact | Kl | Fm | Sa | Spectral | Ml
 
 (** What a bisection-width job runs. [max_nodes]/[resume] only affect
     [Exact] (step budget / checkpoint continuation); [seed]/[restarts]
@@ -61,7 +62,8 @@ val net_of_string : string -> (net, string) result
 val solver_name : solver -> string
 
 val solver_of_string : string -> (solver, string) result
-(** [exact|kl|fm|sa|spectral] ([annealing] is accepted for [sa]). *)
+(** [exact|kl|fm|sa|spectral|ml] ([annealing] is accepted for [sa],
+    [multilevel] for [ml]). *)
 
 val graph_of : net -> int -> (Bfly_graph.Graph.t * string, string) result
 (** The instance graph and its display name ([B_16], [W_16], [CCC_16]);

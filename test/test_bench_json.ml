@@ -16,7 +16,8 @@ module Butterfly = Bfly_networks.Butterfly
 open Tu
 
 (* every counter ci.sh's extract() greps and bench --compare diffs *)
-let gate_fields = [ "exact.bb.nodes"; "cache.hit"; "cache.miss" ]
+let gate_fields =
+  [ "exact.bb.nodes"; "cache.hit"; "cache.miss"; "ml.levels"; "ml.refine.moves" ]
 
 let counter name = Metrics.counter_value (Metrics.counter name)
 

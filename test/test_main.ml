@@ -11,6 +11,7 @@ let () =
       ("networks-misc", Test_networks_misc.suite);
       ("multibutterfly", Test_multibutterfly.suite);
       ("cuts", Test_cuts.suite);
+      ("multilevel", Test_multilevel.suite);
       ("cache", Test_cache.suite);
       ("resil", Test_resil.suite);
       ("flow-and-layout", Test_flow_layout.suite);

@@ -1,0 +1,304 @@
+(* Multilevel partitioner: the invariants bisect's V-cycle relies on
+   (vertex-weight conservation, cut preservation under projection,
+   per-level balance), the gain-bucket structure against a naive model,
+   and the solver-level contract (upper bound on exact, determinism,
+   cache hits preserving the rng stream, valid degraded results). *)
+
+module G = Bfly_graph.Graph
+module Bitset = Bfly_graph.Bitset
+module Traverse = Bfly_graph.Traverse
+module Butterfly = Bfly_networks.Butterfly
+module Multilevel = Bfly_cuts.Multilevel
+module Gain = Bfly_cuts.Gain
+module Cut = Bfly_cuts.Cut
+module Cancel = Bfly_resil.Cancel
+open Tu
+
+let cap g side = Traverse.boundary_edges g side
+
+(* ---- gain buckets vs a naive model ---- *)
+
+(* The model is just "which nodes are enqueued at which gain"; peek must
+   return a maximum-gain node, and cardinal/gain/mem must agree. *)
+let test_gain_vs_model =
+  qcheck ~count:200 "gain buckets agree with a naive model"
+    (seeded QCheck2.Gen.(pair (int_range 2 24) (int_range 20 120)))
+    (fun ((n, ops), seed) ->
+      let r = rng seed in
+      let max_gain = 8 in
+      let t = Gain.create ~max_gain n in
+      let model = Array.make n None in
+      let model_max () =
+        Array.fold_left
+          (fun acc g -> match g with Some g -> max acc g | None -> acc)
+          min_int model
+      in
+      let model_cardinal () =
+        Array.fold_left
+          (fun acc g -> match g with Some _ -> acc + 1 | None -> acc)
+          0 model
+      in
+      for _ = 1 to ops do
+        let v = Random.State.int r n in
+        let g = Random.State.int r (2 * max_gain + 1) - max_gain in
+        (match Random.State.int r 4 with
+        | 0 -> if model.(v) = None then (Gain.insert t v g; model.(v) <- Some g)
+        | 1 -> if model.(v) <> None then (Gain.remove t v; model.(v) <- None)
+        | 2 -> if model.(v) <> None then (Gain.update t v g; model.(v) <- Some g)
+        | _ -> (
+            match Gain.pop t with
+            | None -> assert (model_cardinal () = 0)
+            | Some (v, g) ->
+                assert (model.(v) = Some g);
+                assert (g = model_max ());
+                model.(v) <- None));
+        assert (Gain.cardinal t = model_cardinal ());
+        Array.iteri
+          (fun v m ->
+            assert (Gain.mem t v = (m <> None));
+            match m with Some g -> assert (Gain.gain t v = g) | None -> ())
+          model;
+        match Gain.peek t with
+        | None -> assert (model_cardinal () = 0)
+        | Some (v, g) -> assert (model.(v) = Some g && g = model_max ())
+      done;
+      true)
+
+let test_gain_rejects_broken_invariants () =
+  let t = Gain.create ~max_gain:3 4 in
+  Gain.insert t 1 2;
+  checkb "double insert raises" true
+    (match Gain.insert t 1 0 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  checkb "out-of-range gain raises" true
+    (match Gain.insert t 2 4 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  checkb "remove of absent node raises" true
+    (match Gain.remove t 3 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---- coarsening invariants ---- *)
+
+let coarse_side_of ~map ~n_coarse side n_fine =
+  let cs = Bitset.create n_coarse in
+  for v = 0 to n_fine - 1 do
+    if Bitset.mem side v then Bitset.add cs map.(v)
+  done;
+  cs
+
+let test_coarsen_invariants =
+  qcheck ~count:150 "coarsening conserves weight and preserves cuts"
+    (seeded QCheck2.Gen.(pair (int_range 8 40) (int_range 0 60)))
+    (fun ((n, extra_edges), seed) ->
+      let r = rng seed in
+      let g = random_graph ~rng:r n ~extra_edges in
+      let vwgt = Multilevel.Coarsen.unit_weights g in
+      match
+        Multilevel.Coarsen.step ~matching_ratio:0.95 ~rng:r ~vwgt g
+      with
+      | None -> true (* matching stalled; nothing to check *)
+      | Some { Multilevel.Coarsen.graph = cg; vwgt = cvwgt; map } ->
+          let cn = G.n_nodes cg in
+          (* vertex-weight conservation *)
+          assert (Array.fold_left ( + ) 0 cvwgt = n);
+          Array.iter (fun c -> assert (0 <= c && c < cn)) map;
+          (* any coarse side's weighted cut equals its projection's cut *)
+          let cside = random_subset ~rng:r cn (cn / 2) in
+          let fside =
+            Multilevel.Coarsen.project ~map ~n_fine:n cside
+          in
+          assert (cap cg cside = cap g fside);
+          (* and projected weights match fine side sizes *)
+          let w_coarse =
+            Array.fold_left ( + ) 0
+              (Array.mapi
+                 (fun v w -> if Bitset.mem cside v then w else 0)
+                 cvwgt)
+          in
+          assert (w_coarse = Bitset.cardinal fside);
+          true)
+
+let test_guided_coarsening_preserves_incumbent =
+  qcheck ~count:100 "guided coarsening keeps the incumbent cut exactly"
+    (seeded QCheck2.Gen.(pair (int_range 8 32) (int_range 0 40)))
+    (fun ((n, extra_edges), seed) ->
+      let r = rng seed in
+      let g = random_graph ~rng:r n ~extra_edges in
+      let vwgt = Multilevel.Coarsen.unit_weights g in
+      let side = random_subset ~rng:r n (n / 2) in
+      match
+        Multilevel.Coarsen.step ~side ~matching_ratio:0.95 ~rng:r ~vwgt g
+      with
+      | None -> true
+      | Some { Multilevel.Coarsen.graph = cg; vwgt = _; map } ->
+          (* same-side matching: the incumbent survives contraction with
+             its capacity unchanged, and projecting back is the identity *)
+          let cside = coarse_side_of ~map ~n_coarse:(G.n_nodes cg) side n in
+          assert (cap cg cside = cap g side);
+          let back = Multilevel.Coarsen.project ~map ~n_fine:n cside in
+          assert (Bitset.cardinal back = Bitset.cardinal side);
+          Bitset.iter back (fun v -> assert (Bitset.mem side v));
+          true)
+
+(* ---- refinement: balance at every level ---- *)
+
+let test_balance_at_every_level () =
+  let r = rng 31 in
+  let b = Butterfly.of_inputs 32 in
+  let g = Butterfly.graph b in
+  (* build a full hierarchy by hand, refining at each level on the way
+     down, checking the tolerance invariant everywhere *)
+  let rec build levels g vwgt =
+    if G.n_nodes g <= 16 then (levels, g, vwgt)
+    else
+      match Multilevel.Coarsen.step ~matching_ratio:0.9 ~rng:r ~vwgt g with
+      | None -> (levels, g, vwgt)
+      | Some { Multilevel.Coarsen.graph = cg; vwgt = cvwgt; map } ->
+          build ((g, vwgt, map) :: levels) cg cvwgt
+  in
+  let levels, cg, cvwgt = build [] g (Multilevel.Coarsen.unit_weights g) in
+  checkb "hierarchy has at least two levels" true (List.length levels >= 2);
+  let start = Multilevel.Refine.initial ~rng:r ~vwgt:cvwgt cg in
+  let tol = Multilevel.Refine.tolerance ~vwgt:cvwgt in
+  let side = Multilevel.Refine.refine ~vwgt:cvwgt ~tolerance:tol cg start in
+  checkb "coarsest level is balanced" true
+    (Multilevel.Refine.imbalance ~vwgt:cvwgt side <= tol);
+  let finest =
+    List.fold_left
+      (fun cside (fg, fvwgt, map) ->
+        let fside =
+          Multilevel.Coarsen.project ~map ~n_fine:(G.n_nodes fg) cside
+        in
+        let tol = Multilevel.Refine.tolerance ~vwgt:fvwgt in
+        let fside =
+          Multilevel.Refine.refine ~vwgt:fvwgt ~tolerance:tol fg fside
+        in
+        checkb "level is balanced to its tolerance" true
+          (Multilevel.Refine.imbalance ~vwgt:fvwgt fside <= tol);
+        fside)
+      side levels
+  in
+  (* unit weights at the finest level: a true bisection *)
+  checkb "finest level is a bisection" true
+    (Cut.is_bisection (Cut.make g finest))
+
+let test_refine_never_worsens_a_balanced_cut =
+  qcheck ~count:100 "refinement never worsens a balanced start"
+    (seeded QCheck2.Gen.(pair (int_range 6 24) (int_range 0 40)))
+    (fun ((half, extra_edges), seed) ->
+      let r = rng seed in
+      let n = 2 * half in
+      let g = random_graph ~rng:r n ~extra_edges in
+      let vwgt = Multilevel.Coarsen.unit_weights g in
+      let side = random_subset ~rng:r n half in
+      let before = cap g side in
+      let side' = Multilevel.Refine.refine ~vwgt ~tolerance:1 g side in
+      assert (Multilevel.Refine.imbalance ~vwgt side' <= 1);
+      assert (cap g side' <= before);
+      true)
+
+(* ---- the solver-level contract ---- *)
+
+let test_bisect_upper_bounds_exact =
+  qcheck ~count:60 "bisect upper-bounds the exact optimum with a valid witness"
+    (seeded QCheck2.Gen.(pair (int_range 4 10) (int_range 0 16)))
+    (fun ((half, extra_edges), seed) ->
+      let r = rng seed in
+      let n = 2 * half in
+      let g = random_graph ~rng:r n ~extra_edges in
+      let c, side = Multilevel.bisect ~rng:r ~restarts:2 g in
+      let cut = Cut.make g side in
+      assert (Cut.is_bisection cut);
+      assert (Cut.capacity cut = c);
+      assert (c >= brute_bw g);
+      true)
+
+let test_bisect_deterministic () =
+  let g = Butterfly.graph (Butterfly.of_inputs 64) in
+  let run () =
+    let r = rng 7 in
+    let c, side = Multilevel.bisect ~rng:r g in
+    (c, Bitset.cardinal side, Random.State.int r 1_000_000)
+  in
+  let c1, card1, draw1 = run () in
+  let c2, card2, draw2 = run () in
+  check "same capacity" c1 c2;
+  check "same witness cardinality" card1 card2;
+  check "same rng stream afterwards" draw1 draw2
+
+let with_fresh_cache f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bfly-ml-test-%d" (Unix.getpid ()))
+  in
+  let module Config = Bfly_cache.Config in
+  let module Store = Bfly_cache.Store in
+  let was_enabled = Config.enabled () in
+  let old_dir = Config.dir () in
+  let restore () =
+    Config.set_enabled true;
+    Config.set_dir dir;
+    ignore (Store.clear ());
+    (try Unix.rmdir dir with Unix.Unix_error _ | Sys_error _ -> ());
+    Config.set_enabled was_enabled;
+    Config.set_dir old_dir;
+    Store.reset_memory ()
+  in
+  Config.set_enabled true;
+  Config.set_dir dir;
+  Store.reset_memory ();
+  Fun.protect ~finally:restore f
+
+let test_cache_hit_preserves_stream () =
+  with_fresh_cache @@ fun () ->
+  let module Metrics = Bfly_obs.Metrics in
+  let g = Butterfly.graph (Butterfly.of_inputs 32) in
+  let hit = Metrics.counter "cache.hit" in
+  let run () =
+    let r = rng 11 in
+    let c, side = Multilevel.bisect ~rng:r g in
+    (c, side, Random.State.int r 1_000_000)
+  in
+  let c1, side1, draw1 = run () in
+  let hits0 = Metrics.counter_value hit in
+  let c2, side2, draw2 = run () in
+  checkb "second run hits the cache" true (Metrics.counter_value hit > hits0);
+  check "hit returns the identical capacity" c1 c2;
+  check "hit leaves the rng stream identical" draw1 draw2;
+  check "hit returns the identical witness" 0
+    (let d = ref 0 in
+     Bitset.iter side1 (fun v -> if not (Bitset.mem side2 v) then incr d);
+     Bitset.iter side2 (fun v -> if not (Bitset.mem side1 v) then incr d);
+     !d)
+
+let test_cancelled_bisect_still_valid () =
+  let g = Butterfly.graph (Butterfly.of_inputs 16) in
+  let cancel = Cancel.create () in
+  Cancel.cancel ~reason:"test" cancel;
+  let c, side = Multilevel.bisect ~cancel ~rng:(rng 3) g in
+  let cut = Cut.make g side in
+  checkb "degraded result is still a bisection" true (Cut.is_bisection cut);
+  check "degraded capacity matches its witness" c (Cut.capacity cut)
+
+let suite =
+  [
+    test_gain_vs_model;
+    case "gain buckets reject broken invariants"
+      test_gain_rejects_broken_invariants;
+    test_coarsen_invariants;
+    test_guided_coarsening_preserves_incumbent;
+    case "refined hierarchy is balanced at every level"
+      test_balance_at_every_level;
+    test_refine_never_worsens_a_balanced_cut;
+    test_bisect_upper_bounds_exact;
+    case "bisect is deterministic and leaves the rng stream fixed"
+      test_bisect_deterministic;
+    case "cache hits preserve result and rng stream"
+      test_cache_hit_preserves_stream;
+    case "cancelled bisect still returns a valid bisection"
+      test_cancelled_bisect_still_valid;
+  ]
