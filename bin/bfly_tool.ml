@@ -7,6 +7,7 @@
    bfly_tool render    <network> <n>       ASCII / DOT rendering
    bfly_tool route     <n>                 greedy routing simulation
    bfly_tool serve                         batch query service (NDJSON)
+   bfly_tool loadgen --trace FILE          deterministic load replay + gate
    bfly_tool experiments [IDS]             reproduce the paper's tables
 
    The solver subcommands (bw, expansion, mos) execute through
@@ -595,20 +596,52 @@ let cache_cmd =
 
 (* ---- serve ---- *)
 
-let serve_run metrics no_cache socket queue =
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 ->
+          Ok ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> Error (Printf.sprintf "invalid port in %S" s))
+
+let serve_run metrics no_cache socket tcp port_file workers client_queue
+    max_line queue =
   set_cache no_cache;
   finishing metrics @@
   handle
-    (if (match queue with Some q -> q < 1 | None -> false) then
-       Error "queue must be >= 1"
-     else begin
-       let server = Bfly_serve.Server.create ?queue_bound:queue () in
-       (match socket with
-       | None -> Bfly_serve.Transport.stdio server
-       | Some path -> Bfly_serve.Transport.socket server ~path);
-       Printf.eprintf "%s\n" (Bfly_serve.Server.summary server);
-       Ok ()
-     end)
+    (let bad name = function
+       | Some q when q < 1 -> Some (name ^ " must be >= 1")
+       | _ -> None
+     in
+     match
+       List.find_map Fun.id
+         [
+           bad "queue" queue; bad "client-queue" client_queue;
+           bad "workers" workers; bad "max-line" max_line;
+         ]
+     with
+     | Some msg -> Error msg
+     | None -> (
+         let tcp_addr =
+           match tcp with
+           | None -> Ok None
+           | Some s -> Result.map Option.some (parse_host_port s)
+         in
+         match tcp_addr with
+         | Error e -> Error e
+         | Ok tcp ->
+             let server =
+               Bfly_serve.Server.create ?queue_bound:queue
+                 ?client_bound:client_queue ()
+             in
+             let stdio = socket = None && tcp = None in
+             Bfly_serve.Transport.serve ?workers ?max_line ~stdio
+               ?unix_path:socket ?tcp ?port_file server;
+             Printf.eprintf "%s\n" (Bfly_serve.Server.summary server);
+             Ok ()))
 
 let serve_cmd =
   let socket =
@@ -617,8 +650,61 @@ let serve_cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
-            "Listen on a Unix-domain socket at $(docv) instead of serving \
-             stdin/stdout; any number of clients may connect concurrently.")
+            "Listen on a Unix-domain socket at $(docv); any number of \
+             clients may connect concurrently. May be combined with \
+             $(b,--tcp). Without either, requests are served on \
+             stdin/stdout.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Listen for TCP clients on $(docv). Port 0 picks an ephemeral \
+             port; the actual address goes to stderr and, with \
+             $(b,--port-file), to a file.")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"PATH"
+          ~doc:
+            "Write the bound TCP address as one HOST:PORT line to $(docv) \
+             once listening — how a supervisor or test harness finds an \
+             ephemeral port.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Solve up to $(docv) batches concurrently on the domain pool \
+             (default: the configured domain count, see BFLY_DOMAINS). \
+             Response bytes do not depend on this; 1 reproduces the \
+             sequential loop.")
+  in
+  let client_queue =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "client-queue" ] ~docv:"N"
+          ~doc:
+            "Per-client admission bound: at most $(docv) outstanding \
+             requests per connection before that client — and only that \
+             client — gets \"overloaded\" rejections. Defaults to \
+             BFLY_SERVE_CLIENT_QUEUE, else to the global queue bound.")
+  in
+  let max_line =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:
+            "Reject request lines longer than $(docv) bytes with a \
+             structured error instead of buffering them (default 262144).")
   in
   let queue =
     Arg.(
@@ -626,21 +712,210 @@ let serve_cmd =
       & opt (some int) None
       & info [ "queue" ] ~docv:"N"
           ~doc:
-            "Admission bound: at most $(docv) requests queued (coalesced \
-             ones included); beyond it requests are rejected with \
-             \"overloaded\". Defaults to BFLY_SERVE_QUEUE, else 128.")
+            "Admission bound: at most $(docv) requests queued or in flight \
+             (coalesced ones included); beyond it requests are rejected \
+             with \"overloaded\". Defaults to BFLY_SERVE_QUEUE, else 128.")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Batch query service: newline-delimited JSON requests in, one JSON \
-          response line per request out. Duplicate in-flight requests \
-          coalesce into one solve; each response's output field is \
-          byte-identical to the matching one-shot subcommand's stdout. \
-          SIGTERM/SIGINT drain gracefully: queued work is answered, new \
-          work is rejected with \"draining\", then the process exits and \
-          logs a summary line to stderr.")
-    Term.(const serve_run $ metrics_arg $ no_cache_arg $ socket $ queue)
+          response line per request out, over stdio, a Unix socket and/or \
+          TCP. Batches solve concurrently on the domain pool; duplicate \
+          in-flight requests coalesce into one solve; each client's \
+          responses arrive in its own request order, and each response's \
+          output field is byte-identical to the matching one-shot \
+          subcommand's stdout. SIGTERM/SIGINT drain gracefully: queued work \
+          is answered, new work is rejected with \"draining\", then the \
+          process exits and logs a summary line to stderr.")
+    Term.(
+      const serve_run $ metrics_arg $ no_cache_arg $ socket $ tcp $ port_file
+      $ workers $ client_queue $ max_line $ queue)
+
+(* ---- loadgen ---- *)
+
+let loadgen_run metrics no_cache trace_file clients repeat seed qps workers
+    sequential connect queue json_out compare_file slack no_timing =
+  set_cache no_cache;
+  finishing metrics @@
+  handle
+    (let ( let* ) = Result.bind in
+     let* mode =
+       match (sequential, connect) with
+       | true, Some _ -> Error "--sequential and --connect are exclusive"
+       | true, None -> Ok Bfly_serve.Loadgen.Sequential
+       | false, None -> Ok Bfly_serve.Loadgen.Concurrent
+       | false, Some s -> (
+           match String.index_opt s ':' with
+           | Some i when String.sub s 0 i = "unix" ->
+               Ok
+                 (Bfly_serve.Loadgen.Connect
+                    (`Unix (String.sub s (i + 1) (String.length s - i - 1))))
+           | Some i when String.sub s 0 i = "tcp" ->
+               let* hp =
+                 parse_host_port
+                   (String.sub s (i + 1) (String.length s - i - 1))
+               in
+               Ok (Bfly_serve.Loadgen.Connect (`Tcp hp))
+           | _ -> Error "expected --connect tcp:HOST:PORT or unix:PATH")
+     in
+     let* trace =
+       try Ok (In_channel.with_open_text trace_file In_channel.input_lines)
+       with Sys_error e -> Error e
+     in
+     let* doc =
+       Bfly_serve.Loadgen.run ~seed ~clients ~repeat ~qps ?workers
+         ?queue_bound:queue ~mode ~trace ()
+     in
+     let text = Bfly_obs.Json.to_string doc in
+     (match json_out with
+     | Some file -> Out_channel.with_open_text file (fun oc ->
+           Printf.fprintf oc "%s\n" text)
+     | None -> ());
+     print_endline text;
+     match compare_file with
+     | None -> Ok ()
+     | Some file -> (
+         let* baseline =
+           try
+             Bfly_obs.Json.of_string
+               (In_channel.with_open_text file In_channel.input_all)
+           with Sys_error e -> Error e
+         in
+         match
+           Bfly_serve.Loadgen.compare_docs ~slack ~timing:(not no_timing)
+             ~baseline doc
+         with
+         | [] ->
+             Printf.eprintf "loadgen: no drift against %s\n" file;
+             Ok ()
+         | drifts ->
+             Error
+               (Printf.sprintf "loadgen drift against %s:\n  %s" file
+                  (String.concat "\n  " drifts))))
+
+let loadgen_cmd =
+  let trace =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"NDJSON request trace to replay (one request per line).")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Simulated clients (default 4).")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 10
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Rounds over the trace; each round is a seeded permutation \
+             (default 10).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Schedule seed. The whole request schedule is a pure function \
+             of (trace, seed, clients, repeat): same inputs, same replay.")
+  in
+  let qps =
+    Arg.(
+      value & opt float 0.
+      & info [ "qps" ] ~docv:"RATE"
+          ~doc:
+            "Target request rate across all clients; 0 (the default) \
+             issues requests as fast as possible.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Concurrent batch executions for the in-process concurrent \
+             mode (default: the configured domain count).")
+  in
+  let sequential =
+    Arg.(
+      value & flag
+      & info [ "sequential" ]
+          ~doc:
+            "Replay in process, solving every batch inline — the baseline \
+             the concurrent modes must match byte for byte.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"TARGET"
+          ~doc:
+            "Replay against a live server instead of in process: \
+             $(b,tcp:HOST:PORT) or $(b,unix:PATH), one real connection per \
+             client.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Queue bound for the in-process server (default: above the \
+             request count, so admission control stays out of the way; set \
+             it low to measure overload behaviour).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the bfly-loadgen/1 document to $(docv).")
+  in
+  let compare_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"FILE"
+          ~doc:
+            "Gate against a baseline bfly-loadgen/1 document: exit non-zero \
+             on deterministic drift, or on p99/throughput beyond the slack \
+             factor.")
+  in
+  let slack =
+    Arg.(
+      value & opt float 3.0
+      & info [ "slack" ] ~docv:"FACTOR"
+          ~doc:
+            "Timing tolerance for --compare: fail when p99 exceeds the \
+             baseline, or throughput falls below it, by more than $(docv)x \
+             (default 3.0).")
+  in
+  let no_timing =
+    Arg.(
+      value & flag
+      & info [ "no-timing" ]
+          ~doc:
+            "Compare only deterministic fields — for gating against a \
+             baseline recorded on different hardware.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay a request trace at load, deterministically: a seeded \
+          schedule spread over simulated clients, replayed in process \
+          (sequentially or concurrently on the domain pool) or against a \
+          live server over TCP or a Unix socket. Prints a bfly-loadgen/1 \
+          JSON document separating deterministic replay facts (request \
+          counts, output fingerprints) from timing (achieved QPS, \
+          p50/p90/p99), and with --compare gates both against a baseline.")
+    Term.(
+      const loadgen_run $ metrics_arg $ no_cache_arg $ trace $ clients
+      $ repeat $ seed $ qps $ workers $ sequential $ connect $ queue
+      $ json_out $ compare_file $ slack $ no_timing)
 
 (* ---- experiments ---- *)
 
@@ -682,5 +957,5 @@ let () =
           [
             info_cmd; bisect_cmd; bw_cmd; expansion_cmd; render_cmd;
             route_cmd; mos_cmd; iosep_cmd; layout_cmd; check_cmd;
-            serve_cmd; experiments_cmd; cache_cmd;
+            serve_cmd; loadgen_cmd; experiments_cmd; cache_cmd;
           ]))

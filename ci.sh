@@ -15,7 +15,12 @@
 #            work, never correctness
 #   doc      dune build @doc (skipped when odoc is not installed)
 #   serve    bfly_serve smoke: coalescing, one-shot byte-identity,
-#            admission control
+#            admission control, and a concurrent 4-client TCP replay
+#            byte-identical to the sequential one, drained by SIGTERM
+#   loadgen  deterministic load replay: committed-baseline gate
+#            (deterministic fields, cross-machine), self-baseline latency
+#            gate (p99/throughput within slack), and — on boxes with
+#            enough cores — a concurrency speedup check
 #   warm     warm-cache determinism: second bench run serves from cache,
 #            values byte-identical
 #   resume   interrupted exact search resumes to the uninterrupted value
@@ -27,8 +32,10 @@ set -eu
 
 cd "$(dirname "$0")"
 
-ALL_STAGES="build fmt runtest check chaos doc serve warm resume compare"
+ALL_STAGES="build fmt runtest check chaos doc serve loadgen warm resume compare"
 BASELINE=BENCH_2026-08-06.json
+LOADGEN_BASELINE=LOADGEN_2026-08-08.json
+LOADGEN_TRACE=bench/loadgen_trace.ndjson
 
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
@@ -146,7 +153,98 @@ stage_serve() {
     cat "$out" >&2
     exit 1
   }
-  echo "serve: coalescing, byte-identity and admission control OK"
+
+  # concurrent TCP smoke: a live server on an ephemeral port, 4 clients
+  # replaying the committed trace concurrently. The replay's response
+  # payloads must be byte-identical to the sequential in-process replay
+  # of the same schedule (loadgen --compare diffs the fingerprints), and
+  # SIGTERM must drain cleanly: exit 0 and a summary line on stderr.
+  port_file="$scratch/serve-port"
+  BFLY_CACHE_DIR="$scratch/serve-cache" dune exec -- bin/bfly_tool.exe serve \
+    --tcp 127.0.0.1:0 --port-file "$port_file" \
+    > /dev/null 2> "$scratch/serve-tcp.log" &
+  serve_pid=$!
+  i=0
+  while [ ! -s "$port_file" ] && [ "$i" -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+  done
+  [ -s "$port_file" ] || {
+    echo "FAIL: serve --tcp never wrote its port file" >&2
+    cat "$scratch/serve-tcp.log" >&2
+    exit 1
+  }
+  addr=$(cat "$port_file")
+  BFLY_CACHE_DIR="$scratch/serve-cache" dune exec -- bin/bfly_tool.exe \
+    loadgen --trace "$LOADGEN_TRACE" --seed 2 --clients 4 --repeat 3 \
+    --sequential --json "$scratch/lg-seq.json" > /dev/null
+  BFLY_CACHE_DIR="$scratch/serve-cache" dune exec -- bin/bfly_tool.exe \
+    loadgen --trace "$LOADGEN_TRACE" --seed 2 --clients 4 --repeat 3 \
+    --connect "tcp:$addr" --compare "$scratch/lg-seq.json" --no-timing \
+    > /dev/null || {
+    echo "FAIL: concurrent TCP replay drifted from the sequential replay" >&2
+    cat "$scratch/serve-tcp.log" >&2
+    exit 1
+  }
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || {
+    echo "FAIL: serve --tcp did not drain cleanly on SIGTERM" >&2
+    cat "$scratch/serve-tcp.log" >&2
+    exit 1
+  }
+  grep -q "served" "$scratch/serve-tcp.log" || {
+    echo "FAIL: drained server logged no summary line" >&2
+    cat "$scratch/serve-tcp.log" >&2
+    exit 1
+  }
+  echo "serve: coalescing, byte-identity, admission control and TCP drain OK"
+}
+
+# Deterministic load replay and the latency regression gate. Three parts:
+# the committed baseline's deterministic fields (schedule and output
+# fingerprints) must be reproducible on any machine; a self-recorded
+# baseline must gate p99/throughput within the slack factor on this
+# machine; and when the box has enough cores, concurrent serving must
+# actually outrun the sequential replay.
+stage_loadgen() {
+  [ -f "$LOADGEN_BASELINE" ] || {
+    echo "FAIL: committed baseline $LOADGEN_BASELINE is missing" >&2
+    exit 1
+  }
+  # cross-machine deterministic gate against the committed document
+  BFLY_CACHE_DIR="$scratch/lg-cache" dune exec -- bin/bfly_tool.exe \
+    loadgen --trace "$LOADGEN_TRACE" --seed 1 --clients 4 --repeat 10 \
+    --compare "$LOADGEN_BASELINE" --no-timing > /dev/null
+  # same-machine latency gate: record, re-run, compare with slack — this
+  # is the stage that fails on an injected p99/throughput regression
+  BFLY_CACHE_DIR="$scratch/lg-cache" dune exec -- bin/bfly_tool.exe \
+    loadgen --trace "$LOADGEN_TRACE" --seed 1 --clients 4 --repeat 10 \
+    --json "$scratch/lg-here.json" > /dev/null
+  BFLY_CACHE_DIR="$scratch/lg-cache" dune exec -- bin/bfly_tool.exe \
+    loadgen --trace "$LOADGEN_TRACE" --seed 1 --clients 4 --repeat 10 \
+    --compare "$scratch/lg-here.json" --slack 5 > /dev/null
+  # concurrency speedup: 4 workers vs the 1-domain sequential replay,
+  # cold caches both sides. Only meaningful with real cores to spread
+  # over, so it is guarded — laptops and 1-core runners skip it.
+  cores=$(nproc 2>/dev/null || echo 1)
+  if [ "$cores" -ge 4 ]; then
+    BFLY_DOMAINS=1 dune exec -- bin/bfly_tool.exe loadgen \
+      --trace "$LOADGEN_TRACE" --seed 3 --clients 4 --repeat 3 \
+      --sequential --no-cache --json "$scratch/lg-1.json" > /dev/null
+    BFLY_DOMAINS=4 dune exec -- bin/bfly_tool.exe loadgen \
+      --trace "$LOADGEN_TRACE" --seed 3 --clients 4 --repeat 3 \
+      --workers 4 --no-cache --json "$scratch/lg-4.json" > /dev/null
+    seq_qps=$(sed -n 's/.*"achieved_qps":\([0-9.]*\).*/\1/p' "$scratch/lg-1.json" | head -n 1)
+    conc_qps=$(sed -n 's/.*"achieved_qps":\([0-9.]*\).*/\1/p' "$scratch/lg-4.json" | head -n 1)
+    echo "sequential $seq_qps qps; 4-worker concurrent $conc_qps qps"
+    awk "BEGIN { exit !($conc_qps >= 2 * $seq_qps) }" || {
+      echo "FAIL: 4 workers did not reach 2x the sequential throughput" >&2
+      exit 1
+    }
+  else
+    echo "skipping speedup check ($cores cores < 4)"
+  fi
+  echo "loadgen: deterministic replay and latency gate OK"
 }
 
 # Warm-cache determinism: run the bench smoke suite twice against a fresh

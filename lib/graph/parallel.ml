@@ -3,6 +3,7 @@ module Cancel = Bfly_resil.Cancel
 module Fault = Bfly_resil.Fault
 
 let c_spawned = Metrics.counter "parallel.domains_spawned"
+let c_async = Metrics.counter "parallel.async_jobs"
 let c_batches = Metrics.counter "parallel.batches"
 let c_tasks = Metrics.counter "parallel.tasks"
 let c_rescued = Metrics.counter "parallel.workers_rescued"
@@ -114,6 +115,26 @@ let ensure_workers target =
     pool.workers <- Domain.spawn worker_loop :: pool.workers
   done;
   Metrics.set g_pool (float_of_int pool.size)
+
+(* Detached execution: enqueue [job] on the pool and return immediately —
+   unlike [run_tasks] the caller neither helps drain nor waits. With one
+   configured domain there are no workers, so the job runs inline before
+   returning (the sequential fallback everything else in this module
+   honours). The full [domain_count ()] is spawned, not one less: a
+   detached job has no submitting domain participating, so N concurrent
+   jobs need N workers. [job] owns its exceptions — one that escapes is
+   swallowed by the worker loop (counted in [parallel.workers_rescued]),
+   so wrap anything whose failure must be observed. *)
+let async job =
+  Metrics.incr c_async;
+  if domain_count () = 1 then job ()
+  else begin
+    Mutex.lock pool.mutex;
+    ensure_workers (domain_count ());
+    Queue.push job pool.queue;
+    Condition.signal pool.work_available;
+    Mutex.unlock pool.mutex
+  end
 
 (* Run every task to completion. The calling domain submits the batch and
    then helps drain the queue; it only sleeps (on [batch.finished]) when

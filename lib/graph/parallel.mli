@@ -102,6 +102,21 @@ val run_tasks : ?cancel:Bfly_resil.Cancel.t -> (unit -> unit) array -> unit
     never interrupted — cancellation within a task is the task's own,
     cooperative, business. *)
 
+val async : (unit -> unit) -> unit
+(** [async job] enqueues [job] on the pool and returns immediately: the
+    caller neither participates in nor waits for its execution. This is
+    the primitive under the serve dispatcher — batches become detached
+    jobs, each of which may itself call {!run_tasks} (nested submissions
+    drain like any other). With [domain_count () = 1] the job runs
+    {e inline} before [async] returns, so single-domain runs keep the
+    sequential semantics of the rest of this module. Unlike {!run_tasks},
+    the pool is grown to the full [domain_count ()] (a detached job has
+    no submitting domain to borrow). Exceptions escaping [job] are
+    swallowed by the worker loop (counted in [parallel.workers_rescued]);
+    callers that must observe failure wrap [job] themselves. Completion
+    is the caller's protocol too — the dispatcher counts jobs in flight
+    under its own lock. Counted in [parallel.async_jobs]. *)
+
 val run_chunks : lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list
 (** [run_chunks ~lo ~hi work] splits [lo, hi) into one contiguous chunk
     per domain and runs [work ~lo:chunk_lo ~hi:chunk_hi] on each,

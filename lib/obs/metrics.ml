@@ -43,6 +43,12 @@ let rec atomic_max cell v =
   let cur = Atomic.get cell in
   if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
 
+(* high-water marks (e.g. serve.concurrency) raced by many domains: keep
+   the maximum, atomically, instead of last-writer-wins *)
+let rec set_max g v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then set_max g v
+
 let record t ~ns =
   let ns = max 0 ns in
   ignore (Atomic.fetch_and_add t.t_count 1);

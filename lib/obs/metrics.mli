@@ -43,6 +43,12 @@ val add : counter -> int -> unit
 val set : gauge -> float -> unit
 (** [set g v] overwrites [g] with [v]. *)
 
+val set_max : gauge -> float -> unit
+(** [set_max g v] raises [g] to [v] if [v] is larger, atomically even
+    against concurrent writers — the update a high-water mark (e.g.
+    [serve.concurrency.max]) needs where {!set} would let a lower
+    last-writer win. *)
+
 val record : timer -> ns:int -> unit
 (** [record t ~ns] folds one span of [ns] nanoseconds into [t]. Negative
     durations are clamped to 0 (a monotonic clock should never produce

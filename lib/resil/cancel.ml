@@ -61,17 +61,23 @@ let check t =
     raise (Cancelled (Option.value ~default:"cancelled" (Atomic.get t.state)))
 
 (* ---- ambient token ----
-   One process-global slot, so a CLI-level --deadline can reach every
-   cooperating solver without threading a token through each signature. *)
+   One slot per domain, so a CLI-level --deadline can reach every
+   cooperating solver without threading a token through each signature.
+   Domain-local (not process-global) storage is what lets the serve
+   dispatcher run batches with different deadlines concurrently: each
+   solve installs its own ambient token on the pool domain executing it,
+   and solvers resolve the ambient token once at entry before fanning
+   work out with explicit tokens, so sibling batches never clobber each
+   other's supervision. *)
 
-let ambient_slot : t option Atomic.t = Atomic.make None
-let ambient () = Atomic.get ambient_slot
-let set_ambient t = Atomic.set ambient_slot t
+let ambient_slot : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let ambient () = Domain.DLS.get ambient_slot
+let set_ambient t = Domain.DLS.set ambient_slot t
 
 let with_ambient t f =
-  let saved = Atomic.get ambient_slot in
-  Atomic.set ambient_slot (Some t);
-  Fun.protect ~finally:(fun () -> Atomic.set ambient_slot saved) f
+  let saved = Domain.DLS.get ambient_slot in
+  Domain.DLS.set ambient_slot (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_slot saved) f
 
-let resolve = function Some t -> Some t | None -> Atomic.get ambient_slot
+let resolve = function Some t -> Some t | None -> Domain.DLS.get ambient_slot
 let stop = function None -> false | Some t -> triggered t

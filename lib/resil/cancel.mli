@@ -50,11 +50,20 @@ val check : t -> unit
 
 (** {2 Ambient token}
 
-    A process-global slot so [bfly_tool --deadline] can supervise every
+    A {e domain-local} slot so [bfly_tool --deadline] can supervise every
     cooperating solver a subcommand reaches without new parameters on
     each call chain. Solvers resolve their [?cancel] argument with
     {!resolve}: an explicit token wins, otherwise the ambient one (if
-    any) applies. *)
+    any) applies.
+
+    Domain-locality is a concurrency contract, not an implementation
+    detail: the serve dispatcher executes batches with {e different}
+    deadlines on different pool domains at once, each under its own
+    [with_ambient]. Solvers therefore resolve the ambient token once at
+    entry (on the domain that installed it) and pass the resolved token
+    {e explicitly} to any work they fan out through
+    [Bfly_graph.Parallel] — an ambient slot read from inside a pool task
+    would see that worker domain's slot, not the submitter's. *)
 
 val ambient : unit -> t option
 val set_ambient : t option -> unit

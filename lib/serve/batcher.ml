@@ -1,28 +1,41 @@
-type waiter = { id : string; reply : string -> unit; t0 : int }
+type waiter = {
+  id : string;
+  reply : string -> unit;
+  t0 : int;
+  release : unit -> unit;
+}
 
 type batch = {
   fp : string;
   spec : Job.spec;
   deadline : Bfly_resil.Budget.t option;
   mutable waiters : waiter list;
+  mutable running : bool;
 }
 
 type t = {
   fifo : batch Queue.t;
   by_fp : (string, batch) Hashtbl.t;
-  mutable requests : int;
+  mutable requests : int; (* queued + running waiters *)
+  mutable running_batches : int;
 }
 
-let create () = { fifo = Queue.create (); by_fp = Hashtbl.create 64; requests = 0 }
+let create () =
+  {
+    fifo = Queue.create ();
+    by_fp = Hashtbl.create 64;
+    requests = 0;
+    running_batches = 0;
+  }
 
 let add t ~fp ~spec ~deadline waiter =
   t.requests <- t.requests + 1;
   match Hashtbl.find_opt t.by_fp fp with
   | Some b ->
       b.waiters <- waiter :: b.waiters;
-      `Coalesced
+      if b.running then `Joined else `Coalesced
   | None ->
-      let b = { fp; spec; deadline; waiters = [ waiter ] } in
+      let b = { fp; spec; deadline; waiters = [ waiter ]; running = false } in
       Hashtbl.add t.by_fp fp b;
       Queue.add b t.fifo;
       `New
@@ -31,10 +44,24 @@ let next t =
   match Queue.take_opt t.fifo with
   | None -> None
   | Some b ->
-      Hashtbl.remove t.by_fp b.fp;
-      b.waiters <- List.rev b.waiters;
-      t.requests <- t.requests - List.length b.waiters;
+      (* the fingerprint stays mapped while the batch runs: a duplicate
+         arriving mid-solve joins the in-flight batch (single-flight)
+         instead of opening a second solve of the same instance *)
+      b.running <- true;
+      t.running_batches <- t.running_batches + 1;
       Some b
+
+let finish t b =
+  (* only [finish] unmaps a fingerprint, and only [next] marks batches
+     running, so the table entry is necessarily this batch *)
+  Hashtbl.remove t.by_fp b.fp;
+  b.running <- false;
+  t.running_batches <- t.running_batches - 1;
+  let waiters = List.rev b.waiters in
+  b.waiters <- [];
+  t.requests <- t.requests - List.length waiters;
+  waiters
 
 let pending_requests t = t.requests
 let pending_batches t = Queue.length t.fifo
+let running_batches t = t.running_batches

@@ -7,27 +7,42 @@ let c_requests = Metrics.counter "serve.requests"
 let c_responses = Metrics.counter "serve.responses"
 let c_batches = Metrics.counter "serve.batches"
 let c_coalesced = Metrics.counter "serve.coalesced"
+let c_joined = Metrics.counter "serve.joined_inflight"
 let c_rejected_overload = Metrics.counter "serve.rejected.overload"
+let c_rejected_client = Metrics.counter "serve.rejected.client"
 let c_rejected_drain = Metrics.counter "serve.rejected.drain"
 let c_parse_error = Metrics.counter "serve.parse_error"
 let c_errors = Metrics.counter "serve.errors"
 let g_queue_depth = Metrics.gauge "serve.queue_depth"
 let g_batch_width = Metrics.gauge "serve.batch_width"
+let g_inflight = Metrics.gauge "serve.concurrency"
+let g_inflight_max = Metrics.gauge "serve.concurrency.max"
 let g_p50 = Metrics.gauge "serve.latency.p50_ns"
 let g_p99 = Metrics.gauge "serve.latency.p99_ns"
 let t_latency = Metrics.timer "serve.latency"
 
+type client = {
+  cname : string;
+  climit : int;
+  mutable active : int; (* admitted, unanswered job requests; under lock *)
+}
+
 type t = {
   queue_bound : int;
+  client_bound : int;
   batcher : Batcher.t;
   latency : Latency.t;
   lock : Mutex.t;
-  (* per-server tallies, reported by [stats_json] *)
+  (* per-server tallies, reported by [stats_json]; all guarded by [lock]
+     — [execute_batch] mutates them from pool domains *)
   mutable requests : int;
   mutable responses : int;
   mutable batches : int;
   mutable coalesced : int;
+  mutable joined : int;
+  mutable inflight : int;
   mutable rejected_overload : int;
+  mutable rejected_client : int;
   mutable rejected_drain : int;
   mutable parse_errors : int;
   mutable errors : int;
@@ -35,22 +50,32 @@ type t = {
   mutable draining : bool;  (** written from signal handlers; latches *)
 }
 
-let default_queue_bound () =
-  match Sys.getenv_opt "BFLY_SERVE_QUEUE" with
+let env_bound var default =
+  match Sys.getenv_opt var with
   | Some s when String.trim s <> "" -> (
       match int_of_string_opt (String.trim s) with
       | Some k when k > 0 -> k
-      | _ -> 128)
-  | _ -> 128
+      | _ -> default)
+  | _ -> default
 
-let create ?queue_bound () =
+let default_queue_bound () = env_bound "BFLY_SERVE_QUEUE" 128
+
+let create ?queue_bound ?client_bound () =
   let queue_bound =
     match queue_bound with Some k -> k | None -> default_queue_bound ()
   in
   if queue_bound < 1 then
     invalid_arg "Server.create: queue_bound must be >= 1";
+  let client_bound =
+    match client_bound with
+    | Some k -> k
+    | None -> env_bound "BFLY_SERVE_CLIENT_QUEUE" queue_bound
+  in
+  if client_bound < 1 then
+    invalid_arg "Server.create: client_bound must be >= 1";
   {
     queue_bound;
+    client_bound;
     batcher = Batcher.create ();
     latency = Latency.create ();
     lock = Mutex.create ();
@@ -58,7 +83,10 @@ let create ?queue_bound () =
     responses = 0;
     batches = 0;
     coalesced = 0;
+    joined = 0;
+    inflight = 0;
     rejected_overload = 0;
+    rejected_client = 0;
     rejected_drain = 0;
     parse_errors = 0;
     errors = 0;
@@ -67,6 +95,20 @@ let create ?queue_bound () =
   }
 
 let queue_bound t = t.queue_bound
+let client_bound t = t.client_bound
+
+let client ?name ?limit t =
+  {
+    cname = Option.value name ~default:"client";
+    climit =
+      (match limit with
+      | Some k when k >= 1 -> k
+      | Some _ -> invalid_arg "Server.client: limit must be >= 1"
+      | None -> t.client_bound);
+    active = 0;
+  }
+
+let client_name c = c.cname
 
 let locked t f =
   Mutex.lock t.lock;
@@ -79,41 +121,62 @@ let drain t = t.draining <- true
 let draining t = t.draining
 
 let pending t = locked t (fun () -> Batcher.pending_requests t.batcher)
+let queued_batches t = locked t (fun () -> Batcher.pending_batches t.batcher)
 
 let stats_json t =
-  let q, b =
+  let ( requests, responses, batches, coalesced, joined, inflight,
+        rejected_overload, rejected_client, rejected_drain, parse_errors,
+        errors, q, b, lat_count, lat_max, p50, p99 ) =
     locked t (fun () ->
-        (Batcher.pending_requests t.batcher, Batcher.pending_batches t.batcher))
+        ( t.requests,
+          t.responses,
+          t.batches,
+          t.coalesced,
+          t.joined,
+          t.inflight,
+          t.rejected_overload,
+          t.rejected_client,
+          t.rejected_drain,
+          t.parse_errors,
+          t.errors,
+          Batcher.pending_requests t.batcher,
+          Batcher.pending_batches t.batcher,
+          Latency.count t.latency,
+          Latency.max_ns t.latency,
+          Latency.p t.latency ~q:0.5,
+          Latency.p t.latency ~q:0.99 ))
   in
-  let p50 = Latency.p t.latency ~q:0.5 in
-  let p99 = Latency.p t.latency ~q:0.99 in
   Metrics.set g_p50 (float_of_int p50);
   Metrics.set g_p99 (float_of_int p99);
   Json.Obj
     [
-      ("requests", Json.Int t.requests);
-      ("responses", Json.Int t.responses);
-      ("batches", Json.Int t.batches);
-      ("coalesced", Json.Int t.coalesced);
+      ("requests", Json.Int requests);
+      ("responses", Json.Int responses);
+      ("batches", Json.Int batches);
+      ("coalesced", Json.Int coalesced);
+      ("joined", Json.Int joined);
+      ("inflight", Json.Int inflight);
       ( "rejected",
         Json.Obj
           [
-            ("overload", Json.Int t.rejected_overload);
-            ("drain", Json.Int t.rejected_drain);
+            ("overload", Json.Int rejected_overload);
+            ("client", Json.Int rejected_client);
+            ("drain", Json.Int rejected_drain);
           ] );
-      ("parse_errors", Json.Int t.parse_errors);
-      ("errors", Json.Int t.errors);
+      ("parse_errors", Json.Int parse_errors);
+      ("errors", Json.Int errors);
       ("queue_depth", Json.Int q);
       ("pending_batches", Json.Int b);
       ("queue_bound", Json.Int t.queue_bound);
+      ("client_bound", Json.Int t.client_bound);
       ("draining", Json.Bool t.draining);
       ( "latency",
         Json.Obj
           [
-            ("count", Json.Int (Latency.count t.latency));
+            ("count", Json.Int lat_count);
             ("p50_ns", Json.Int p50);
             ("p99_ns", Json.Int p99);
-            ("max_ns", Json.Int (Latency.max_ns t.latency));
+            ("max_ns", Json.Int lat_max);
           ] );
       ( "cache",
         Json.Obj
@@ -125,95 +188,157 @@ let stats_json t =
           ] );
     ]
 
-let submit t ~reply line =
-  t.requests <- t.requests + 1;
+let submit t ?client ~reply line =
   Metrics.incr c_requests;
   let default_id =
-    t.seq <- t.seq + 1;
-    Printf.sprintf "r%d" t.seq
+    locked t (fun () ->
+        t.requests <- t.requests + 1;
+        t.seq <- t.seq + 1;
+        Printf.sprintf "r%d" t.seq)
+  in
+  let answered_with line ~tally =
+    locked t (fun () ->
+        t.responses <- t.responses + 1;
+        tally ());
+    Metrics.incr c_responses;
+    reply line
   in
   match Protocol.parse_request ~default_id line with
   | Error (msg, id) ->
-      t.parse_errors <- t.parse_errors + 1;
       Metrics.incr c_parse_error;
-      t.responses <- t.responses + 1;
-      Metrics.incr c_responses;
-      reply (Protocol.error_response ~id msg)
+      answered_with
+        (Protocol.error_response ~id msg)
+        ~tally:(fun () -> t.parse_errors <- t.parse_errors + 1)
   | Ok { id; payload = Protocol.Stats } ->
-      t.responses <- t.responses + 1;
-      Metrics.incr c_responses;
-      reply (Protocol.stats_response ~id (stats_json t))
-  | Ok { id; payload = Protocol.Job { spec; deadline } } ->
+      (* build the stats object before touching the lock again:
+         [stats_json] takes it itself *)
+      let stats = stats_json t in
+      answered_with (Protocol.stats_response ~id stats) ~tally:(fun () -> ())
+  | Ok { id; payload = Protocol.Job { spec; deadline } } -> (
       let verdict =
         locked t (fun () ->
             if t.draining then `Draining
             else if Batcher.pending_requests t.batcher >= t.queue_bound then
               `Overloaded
-            else begin
-              let fp = Job.fingerprint ?deadline spec in
-              let how =
-                Batcher.add t.batcher ~fp ~spec ~deadline
-                  { Batcher.id; reply; t0 = Span.now_ns () }
-              in
-              Metrics.set g_queue_depth
-                (float_of_int (Batcher.pending_requests t.batcher));
-              `Queued how
-            end)
+            else
+              match client with
+              | Some c when c.active >= c.climit -> `Client_overloaded
+              | _ ->
+                  let release =
+                    match client with
+                    | None -> fun () -> ()
+                    | Some c ->
+                        c.active <- c.active + 1;
+                        fun () -> c.active <- c.active - 1
+                  in
+                  let fp = Job.fingerprint ?deadline spec in
+                  let how =
+                    Batcher.add t.batcher ~fp ~spec ~deadline
+                      { Batcher.id; reply; t0 = Span.now_ns (); release }
+                  in
+                  Metrics.set g_queue_depth
+                    (float_of_int (Batcher.pending_requests t.batcher));
+                  `Queued how)
       in
-      (match verdict with
+      match verdict with
       | `Draining ->
-          t.rejected_drain <- t.rejected_drain + 1;
           Metrics.incr c_rejected_drain;
-          t.responses <- t.responses + 1;
-          Metrics.incr c_responses;
-          reply (Protocol.error_response ~id "draining")
+          answered_with
+            (Protocol.error_response ~id "draining")
+            ~tally:(fun () -> t.rejected_drain <- t.rejected_drain + 1)
       | `Overloaded ->
-          t.rejected_overload <- t.rejected_overload + 1;
           Metrics.incr c_rejected_overload;
-          t.responses <- t.responses + 1;
-          Metrics.incr c_responses;
-          reply (Protocol.error_response ~id "overloaded")
+          answered_with
+            (Protocol.error_response ~id "overloaded")
+            ~tally:(fun () ->
+              t.rejected_overload <- t.rejected_overload + 1)
+      | `Client_overloaded ->
+          (* same wire verdict as the global bound — the client's remedy
+             (back off and retry) is the same — but tallied separately,
+             because one client at its bound must not look like server
+             saturation *)
+          Metrics.incr c_rejected_client;
+          answered_with
+            (Protocol.error_response ~id "overloaded")
+            ~tally:(fun () -> t.rejected_client <- t.rejected_client + 1)
       | `Queued `Coalesced ->
-          t.coalesced <- t.coalesced + 1;
-          Metrics.incr c_coalesced
+          Metrics.incr c_coalesced;
+          locked t (fun () -> t.coalesced <- t.coalesced + 1)
+      | `Queued `Joined ->
+          Metrics.incr c_coalesced;
+          Metrics.incr c_joined;
+          locked t (fun () ->
+              t.coalesced <- t.coalesced + 1;
+              t.joined <- t.joined + 1)
       | `Queued `New -> ())
 
+let take_batch t =
+  locked t (fun () ->
+      match Batcher.next t.batcher with
+      | None -> None
+      | Some b ->
+          t.batches <- t.batches + 1;
+          Metrics.incr c_batches;
+          t.inflight <- t.inflight + 1;
+          Metrics.set g_inflight (float_of_int t.inflight);
+          Metrics.set_max g_inflight_max (float_of_int t.inflight);
+          Metrics.set g_queue_depth
+            (float_of_int (Batcher.pending_requests t.batcher));
+          Some b)
+
+let execute_batch t (batch : Batcher.batch) =
+  let result =
+    Span.time ~name:"serve.solve" (fun () ->
+        try Job.run ?deadline:batch.Batcher.deadline batch.Batcher.spec
+        with exn ->
+          (* a solver bug must cost one response, not the server *)
+          Error ("solver raised: " ^ Printexc.to_string exn))
+  in
+  let finish_ns = Span.now_ns () in
+  (* close the batch out under the lock: collect the waiters (joiners
+     included), release their admission slots, and account the tallies
+     and latencies — then answer outside the lock, since [reply] may
+     block on a slow client socket *)
+  let waiters =
+    locked t (fun () ->
+        let ws = Batcher.finish t.batcher batch in
+        t.inflight <- t.inflight - 1;
+        Metrics.set g_inflight (float_of_int t.inflight);
+        Metrics.set g_batch_width (float_of_int (List.length ws));
+        Metrics.set g_queue_depth
+          (float_of_int (Batcher.pending_requests t.batcher));
+        List.iter
+          (fun (w : Batcher.waiter) ->
+            w.release ();
+            t.responses <- t.responses + 1;
+            (match result with
+            | Error _ -> t.errors <- t.errors + 1
+            | Ok _ -> ());
+            let ns = finish_ns - w.t0 in
+            Latency.record t.latency ~ns;
+            Metrics.record t_latency ~ns)
+          ws;
+        ws)
+  in
+  let width = List.length waiters in
+  List.iter
+    (fun { Batcher.id; reply; _ } ->
+      Metrics.incr c_responses;
+      let line =
+        match result with
+        | Ok output -> Protocol.ok_response ~id ~batch:width ~output
+        | Error msg ->
+            Metrics.incr c_errors;
+            Protocol.error_response ~id msg
+      in
+      reply line)
+    waiters
+
 let run_next t =
-  match locked t (fun () -> Batcher.next t.batcher) with
+  match take_batch t with
   | None -> false
   | Some batch ->
-      t.batches <- t.batches + 1;
-      Metrics.incr c_batches;
-      let width = List.length batch.Batcher.waiters in
-      Metrics.set g_batch_width (float_of_int width);
-      let result =
-        Span.time ~name:"serve.solve" (fun () ->
-            try Job.run ?deadline:batch.Batcher.deadline batch.Batcher.spec
-            with exn ->
-              (* a solver bug must cost one response, not the server *)
-              Error ("solver raised: " ^ Printexc.to_string exn))
-      in
-      let finish = Span.now_ns () in
-      List.iter
-        (fun { Batcher.id; reply; t0 } ->
-          let line =
-            match result with
-            | Ok output -> Protocol.ok_response ~id ~batch:width ~output
-            | Error msg ->
-                t.errors <- t.errors + 1;
-                Metrics.incr c_errors;
-                Protocol.error_response ~id msg
-          in
-          reply line;
-          t.responses <- t.responses + 1;
-          Metrics.incr c_responses;
-          let ns = finish - t0 in
-          Latency.record t.latency ~ns;
-          Metrics.record t_latency ~ns)
-        batch.Batcher.waiters;
-      locked t (fun () ->
-          Metrics.set g_queue_depth
-            (float_of_int (Batcher.pending_requests t.batcher)));
+      execute_batch t batch;
       true
 
 let run_pending t =
@@ -222,12 +347,18 @@ let run_pending t =
   !n
 
 let summary t =
+  let requests, batches, coalesced, rejected, errors, p50, p99 =
+    locked t (fun () ->
+        ( t.requests,
+          t.batches,
+          t.coalesced,
+          t.rejected_overload + t.rejected_client + t.rejected_drain,
+          t.errors,
+          Latency.p t.latency ~q:0.5,
+          Latency.p t.latency ~q:0.99 ))
+  in
   let ms ns = float_of_int ns /. 1e6 in
   Printf.sprintf
     "served %d requests in %d batches (%d coalesced, %d rejected, %d errors, \
      p50 %.1fms, p99 %.1fms)"
-    t.requests t.batches t.coalesced
-    (t.rejected_overload + t.rejected_drain)
-    t.errors
-    (ms (Latency.p t.latency ~q:0.5))
-    (ms (Latency.p t.latency ~q:0.99))
+    requests batches coalesced rejected errors (ms p50) (ms p99)

@@ -3,55 +3,101 @@
 
     A server owns a bounded queue of {!Batcher} batches. Transports (or
     tests) push raw request lines in with {!submit} — which parses,
-    admits or rejects, and coalesces — and turn the crank with
-    {!run_next}/{!run_pending}, which execute one batch at a time through
-    {!Job.run} on the calling domain. Each solve is internally parallel
-    on the {!Bfly_graph.Parallel} pool; serializing the batches keeps the
-    pool fully owned by one solve at a time, so served and one-shot runs
-    traverse identical code paths and return identical bytes.
+    admits or rejects, and coalesces — and execute batches either
+    sequentially with {!run_next}/{!run_pending} on the calling domain,
+    or concurrently through {!Dispatch}, which pairs {!take_batch} with
+    {!execute_batch} on the {!Bfly_graph.Parallel} pool. Every batch runs
+    through {!Job.run}, so served and one-shot runs traverse identical
+    code paths and return identical bytes; the single-flight batcher and
+    the shared content-addressed result cache together keep the solve
+    count of a cold trace equal to the sequential replay's, whatever the
+    dispatch interleaving.
+
+    All state is guarded by one internal mutex: {!submit} (transport
+    thread) and {!execute_batch} (pool domains) may run concurrently.
 
     {2 Admission}
 
-    [queue_bound] caps the number of {e requests} waiting (coalesced ones
-    included). A request arriving at a full queue is answered immediately
-    with [{"ok":false,"error":"overloaded"}] — an explicit, cheap verdict
-    the caller can retry on, instead of unbounded buffering. After
-    {!drain} the verdict is ["draining"]. [stats] requests are answered
-    inline and never count against the bound.
+    [queue_bound] caps the number of {e requests} waiting or in flight
+    (coalesced ones included). A request arriving at a full queue is
+    answered immediately with [{"ok":false,"error":"overloaded"}] — an
+    explicit, cheap verdict the caller can retry on, instead of unbounded
+    buffering. Per-client fairness rides on top: a {!client} handle caps
+    one connection's outstanding requests at [client_bound], so a single
+    flooding client is rejected (same ["overloaded"] verdict, separate
+    [serve.rejected.client] tally) while others keep their quality of
+    service. After {!drain} the verdict is ["draining"]. [stats] requests
+    are answered inline and never count against either bound.
 
     {2 Metrics}
 
     Counters [serve.requests], [serve.responses], [serve.batches],
-    [serve.coalesced], [serve.rejected.overload], [serve.rejected.drain],
-    [serve.parse_error], [serve.errors]; gauges [serve.queue_depth],
-    [serve.batch_width], [serve.latency.p50_ns], [serve.latency.p99_ns]
-    (updated per response batch); timers [serve.solve] (per batch) and
-    [serve.latency] (per request, submit to response). The same numbers
-    are visible per-server through {!stats_json} / the [stats] request. *)
+    [serve.coalesced], [serve.joined_inflight] (duplicates that joined a
+    batch already solving), [serve.rejected.overload],
+    [serve.rejected.client], [serve.rejected.drain], [serve.parse_error],
+    [serve.errors]; gauges [serve.queue_depth], [serve.batch_width],
+    [serve.concurrency] (batches in flight) and [serve.concurrency.max]
+    (its high-water mark), [serve.latency.p50_ns], [serve.latency.p99_ns];
+    timers [serve.solve] (per batch) and [serve.latency] (per request,
+    submit to response). The same numbers are visible per-server through
+    {!stats_json} / the [stats] request. *)
 
 type t
 
-val create : ?queue_bound:int -> unit -> t
+type client
+(** Per-connection admission handle: counts that connection's admitted,
+    not-yet-answered requests against its bound. *)
+
+val create : ?queue_bound:int -> ?client_bound:int -> unit -> t
 (** [queue_bound] defaults to [BFLY_SERVE_QUEUE] when set to a positive
-    integer, else 128. *)
+    integer, else 128. [client_bound] defaults to
+    [BFLY_SERVE_CLIENT_QUEUE], else to [queue_bound] (i.e. no extra
+    per-client restriction until configured). *)
 
 val queue_bound : t -> int
+val client_bound : t -> int
 
-val submit : t -> reply:(string -> unit) -> string -> unit
+val client : ?name:string -> ?limit:int -> t -> client
+(** A fresh admission handle for one connection ([limit] overrides the
+    server's [client_bound]). Handles are cheap and need no teardown: a
+    disconnected client's in-flight requests release their slots when
+    their batches complete. *)
+
+val client_name : client -> string
+
+val submit : t -> ?client:client -> reply:(string -> unit) -> string -> unit
 (** Parse and enqueue one request line. [reply] receives every response
     line addressed to this request (rejections and parse errors
-    immediately, solver output when its batch completes). Never raises on
-    bad input — malformed lines get an error response. *)
+    immediately on the calling thread, solver output from whichever
+    domain completes its batch). Never raises on bad input — malformed
+    lines get an error response. [client] enables per-client admission
+    control and should be one handle per connection. *)
 
 val pending : t -> int
-(** Requests currently queued. *)
+(** Requests currently queued or in flight. *)
+
+val queued_batches : t -> int
+(** Batches waiting to be taken (excludes running ones) — what a
+    dispatcher sizes its worker fleet against. *)
+
+val take_batch : t -> Batcher.batch option
+(** Claim the oldest pending batch for execution, marking it in flight
+    (its fingerprint keeps absorbing duplicates until it completes).
+    Callers must pass every claimed batch to {!execute_batch}. *)
+
+val execute_batch : t -> Batcher.batch -> unit
+(** Solve a claimed batch on the calling domain and answer every waiter
+    — including any that joined mid-solve. Safe to call concurrently
+    from several domains (each with its own batch); solver exceptions
+    become per-request error responses. *)
 
 val run_next : t -> bool
-(** Execute the oldest pending batch and answer its waiters; [false] when
-    the queue is empty. *)
+(** [take_batch] + [execute_batch] on the calling domain; [false] when
+    the queue is empty. The sequential path — and the semantics
+    {!Dispatch} preserves observably when concurrency is 1. *)
 
 val run_pending : t -> int
-(** Drain the queue; returns the number of batches executed. *)
+(** Drain the queue sequentially; returns the number of batches run. *)
 
 val drain : t -> unit
 (** Switch to draining: every later job submission is rejected with
@@ -63,8 +109,8 @@ val draining : t -> bool
 val stats_json : t -> Bfly_obs.Json.t
 (** The live introspection object served to [stats] requests: this
     server's request/response/batch/rejection tallies, queue depth and
-    bound, draining flag, latency quantiles, and the process-wide
-    [cache.hit]/[cache.miss] counters. *)
+    bounds, batches in flight, draining flag, latency quantiles, and the
+    process-wide [cache.hit]/[cache.miss] counters. *)
 
 val summary : t -> string
 (** One human line for the drain log, e.g.

@@ -8,7 +8,12 @@
    - the committed baseline document itself stays on schema bfly-bench/2
      with every field the gates read: mode, domains, experiments
      (name+output), the pre-Bechamel "gate" counter snapshot, and the
-     embedded oracle summary. *)
+     embedded oracle summary;
+   - the committed loadgen baseline (LOADGEN_*.json, schema
+     bfly-loadgen/1) keeps the deterministic/timing field split the
+     `loadgen --compare` latency gate reads, stays reproducible from the
+     committed trace, and actually fails on an injected p99/throughput
+     regression. *)
 
 module Json = Bfly_obs.Json
 module Metrics = Bfly_obs.Metrics
@@ -165,6 +170,149 @@ let test_baseline_roundtrip () =
           Alcotest.(check string)
             "print/parse/print is a fixed point" printed (Json.to_string doc2))
 
+(* ---- the committed loadgen baseline (bfly-loadgen/1) ---- *)
+
+let loadgen_baseline_path = "../LOADGEN_2026-08-08.json"
+let loadgen_trace_path = "../bench/loadgen_trace.ndjson"
+
+let load_loadgen_baseline () =
+  let text =
+    In_channel.with_open_text loadgen_baseline_path In_channel.input_all
+  in
+  match Json.of_string text with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "loadgen baseline is not valid JSON: %s" e
+
+(* every deterministic field the loadgen --compare gate diffs, by its
+   literal name; renaming one silently un-gates CI *)
+let loadgen_deterministic_fields =
+  [
+    "seed"; "clients"; "repeat"; "requests"; "responses"; "ok"; "errors";
+  ]
+
+let loadgen_fingerprint_fields =
+  [ "trace_fingerprint"; "schedule_fingerprint"; "outputs_fingerprint" ]
+
+let loadgen_timing_fields =
+  [ "wall_ns"; "p50_ns"; "p90_ns"; "p99_ns"; "max_ns" ]
+
+let test_loadgen_baseline_schema () =
+  let doc = load_loadgen_baseline () in
+  Alcotest.(check (option string))
+    "schema" (Some "bfly-loadgen/1") (str doc "schema");
+  List.iter
+    (fun name ->
+      match int_ doc name with
+      | None -> Alcotest.failf "baseline lacks int field %s" name
+      | Some v -> checkb (Printf.sprintf "%s >= 0" name) true (v >= 0))
+    loadgen_deterministic_fields;
+  List.iter
+    (fun name ->
+      match str doc name with
+      | None -> Alcotest.failf "baseline lacks fingerprint %s" name
+      | Some fp -> check (name ^ " is a 64-bit hex digest") 16 (String.length fp))
+    loadgen_fingerprint_fields;
+  checkb "a real run: requests > 0" true
+    (Option.value (int_ doc "requests") ~default:0 > 0);
+  Alcotest.(check (option int))
+    "every request answered" (int_ doc "requests") (int_ doc "responses");
+  match Json.member "timing" doc with
+  | None -> Alcotest.fail "baseline has no timing object"
+  | Some t ->
+      List.iter
+        (fun name ->
+          match int_ t name with
+          | None -> Alcotest.failf "timing lacks %s" name
+          | Some v -> checkb (Printf.sprintf "timing %s >= 0" name) true (v >= 0))
+        loadgen_timing_fields;
+      checkb "achieved_qps present and positive" true
+        (match Json.member "achieved_qps" t with
+        | Some (Json.Float f) -> f > 0.
+        | Some (Json.Int i) -> i > 0
+        | _ -> false)
+
+(* the committed trace and the committed baseline describe the same
+   replay: regenerating the document from the trace cannot drift its
+   schedule unnoticed *)
+let test_loadgen_baseline_matches_trace () =
+  let doc = load_loadgen_baseline () in
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (In_channel.with_open_text loadgen_trace_path In_channel.input_lines)
+  in
+  Alcotest.(check (option string))
+    "trace fingerprint matches committed trace"
+    (Some (Bfly_serve.Loadgen.fingerprint_lines lines))
+    (str doc "trace_fingerprint");
+  let seed = Option.value (int_ doc "seed") ~default:0 in
+  let clients = Option.value (int_ doc "clients") ~default:0 in
+  let repeat = Option.value (int_ doc "repeat") ~default:0 in
+  let events =
+    Bfly_serve.Loadgen.schedule ~seed ~clients ~repeat ~trace:lines
+  in
+  Alcotest.(check (option string))
+    "schedule fingerprint reproducible from (trace, seed, clients, repeat)"
+    (Some (Bfly_serve.Loadgen.schedule_fingerprint events))
+    (str doc "schedule_fingerprint");
+  Alcotest.(check (option int))
+    "request count is the schedule's length"
+    (Some (Array.length events))
+    (int_ doc "requests")
+
+(* the gate actually fires on an injected regression against the
+   committed baseline — the end-to-end property ci.sh's loadgen stage
+   relies on *)
+let test_loadgen_baseline_gates_regression () =
+  let doc = load_loadgen_baseline () in
+  Alcotest.(check (list string))
+    "baseline passes against itself" []
+    (Bfly_serve.Loadgen.compare_docs ~baseline:doc doc);
+  let degrade f =
+    match doc with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "timing", Json.Obj tf -> ("timing", Json.Obj (List.map f tf))
+               | kv -> kv)
+             fields)
+    | other -> other
+  in
+  let slow =
+    degrade (function
+      | "p99_ns", Json.Int v -> ("p99_ns", Json.Int (v * 10))
+      | kv -> kv)
+  in
+  checkb "p99 x10 fails the gate" true
+    (Bfly_serve.Loadgen.compare_docs ~slack:3.0 ~baseline:doc slow <> []);
+  let starved =
+    degrade (function
+      | "achieved_qps", Json.Float v -> ("achieved_qps", Json.Float (v /. 10.))
+      | "achieved_qps", Json.Int v ->
+          ("achieved_qps", Json.Float (float_of_int v /. 10.))
+      | kv -> kv)
+  in
+  checkb "throughput /10 fails the gate" true
+    (Bfly_serve.Loadgen.compare_docs ~slack:3.0 ~baseline:doc starved <> []);
+  checkb "no-timing mode ignores both" true
+    (Bfly_serve.Loadgen.compare_docs ~timing:false ~baseline:doc slow = []
+    && Bfly_serve.Loadgen.compare_docs ~timing:false ~baseline:doc starved = [])
+
+let test_loadgen_baseline_roundtrip () =
+  let text =
+    In_channel.with_open_text loadgen_baseline_path In_channel.input_all
+  in
+  match Json.of_string text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok doc -> (
+      let printed = Json.to_string doc in
+      match Json.of_string printed with
+      | Error e -> Alcotest.failf "reparse: %s" e
+      | Ok doc2 ->
+          Alcotest.(check string)
+            "print/parse/print is a fixed point" printed (Json.to_string doc2))
+
 let suite =
   [
     case "solving ticks the gate counters" test_gate_counters_tick;
@@ -175,4 +323,11 @@ let suite =
     case "baseline: experiments carry name+output" test_baseline_experiments;
     case "baseline: embedded oracle summary" test_baseline_check_summary;
     case "baseline: JSON round-trips byte-stably" test_baseline_roundtrip;
+    case "loadgen baseline: schema and field names" test_loadgen_baseline_schema;
+    case "loadgen baseline: reproducible from the committed trace"
+      test_loadgen_baseline_matches_trace;
+    case "loadgen baseline: injected regressions fail the gate"
+      test_loadgen_baseline_gates_regression;
+    case "loadgen baseline: JSON round-trips byte-stably"
+      test_loadgen_baseline_roundtrip;
   ]

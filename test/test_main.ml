@@ -25,6 +25,7 @@ let () =
       ("routing", Test_routing.suite);
       ("check", Test_check.suite);
       ("serve", Test_serve.suite);
+      ("loadgen", Test_loadgen.suite);
       ("bench-json", Test_bench_json.suite);
       ("core", Test_core.suite);
       ("integration", Test_integration.suite);

@@ -2,7 +2,11 @@
    Job execution vocabulary, coalescing, admission control, per-request
    deadlines, drain semantics, and the headline guarantee — a served
    response's output field is byte-identical to the one-shot subcommand,
-   warm or cold cache. *)
+   warm or cold cache, whatever the concurrency. The later cases drive
+   the real transports (Unix socket and TCP) from concurrent client
+   threads: per-connection response ordering, single-flight coalescing
+   under concurrency, disconnect/oversized/garbage fault paths, per-client
+   admission, and a chaos run under injected worker faults. *)
 
 module Server = Bfly_serve.Server
 module Job = Bfly_serve.Job
@@ -374,6 +378,392 @@ let test_solver_errors () =
       Alcotest.(check string) "CLI error text" want (str_field obj "error"))
     cases
 
+(* ---- concurrency: real transports, real client threads ---- *)
+
+module Transport = Bfly_serve.Transport
+module Dispatch = Bfly_serve.Dispatch
+module Fault = Bfly_resil.Fault
+
+let tmp_name base =
+  incr fresh_id;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s-%d-%d" base (Unix.getpid ()) !fresh_id)
+
+(* Run [f] against a serving transport on its own thread; [f] receives
+   the connect address. Drains and joins on the way out, and re-raises
+   [f]'s failure (Alcotest exceptions included) from the main thread. *)
+let with_server ?workers ~server ~listen f =
+  let path, serve_thread, addr_of =
+    match listen with
+    | `Unix ->
+        let path = tmp_name "bfly-serve-sock" in
+        ( path,
+          (fun () ->
+            Transport.socket ~block_timeout:0.05 ?workers server ~path),
+          fun () ->
+            let deadline = Unix.gettimeofday () +. 10. in
+            while
+              (not (Sys.file_exists path))
+              && Unix.gettimeofday () < deadline
+            do
+              Thread.yield ()
+            done;
+            `Unix path )
+    | `Tcp ->
+        let port_file = tmp_name "bfly-serve-port" in
+        ( port_file,
+          (fun () ->
+            Transport.serve ~block_timeout:0.05 ?workers
+              ~tcp:("127.0.0.1", 0) ~port_file server),
+          fun () ->
+            let deadline = Unix.gettimeofday () +. 10. in
+            let rec wait () =
+              let line =
+                try In_channel.with_open_text port_file In_channel.input_line
+                with Sys_error _ -> None
+              in
+              match line with
+              | Some l -> (
+                  match String.rindex_opt l ':' with
+                  | Some i ->
+                      `Tcp
+                        ( String.sub l 0 i,
+                          int_of_string
+                            (String.sub l (i + 1) (String.length l - i - 1))
+                        )
+                  | None -> Alcotest.failf "bad port file line %S" l)
+              | None ->
+                  if Unix.gettimeofday () > deadline then
+                    Alcotest.fail "server did not write its port file";
+                  Thread.yield ();
+                  wait ()
+            in
+            wait () )
+  in
+  let t = Thread.create serve_thread () in
+  let finish () =
+    Server.drain server;
+    Thread.join t;
+    try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+  in
+  match f (addr_of ()) with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let connect = function
+  | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | `Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      fd
+
+let send_all fd lines =
+  let s = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write fd b !pos (len - !pos)
+  done
+
+let read_lines ic n =
+  List.init n (fun _ ->
+      match In_channel.input_line ic with
+      | Some l -> l
+      | None -> Alcotest.fail "server closed before answering")
+
+(* One client session: pipeline [lines], half-close, read one response
+   per request. Relies on — and therefore tests — the per-connection
+   ordering guarantee. *)
+let client_session addr lines =
+  let fd = connect addr in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      send_all fd lines;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      read_lines (Unix.in_channel_of_descr fd) (List.length lines))
+
+(* Each concurrent client pipelines its own seeded interleaving of the
+   distinct jobs (duplicates across clients land mid-flight on purpose)
+   and must get every response ok, in ITS OWN request order, with output
+   bytes equal to the one-shot subcommand's. *)
+let stress_over listen () =
+  with_fresh_cache @@ fun () ->
+  let expected =
+    List.map
+      (fun (line, spec) ->
+        match Job.run spec with
+        | Ok out -> (line, out)
+        | Error e -> Alcotest.failf "one-shot job failed: %s" e)
+      distinct_jobs
+  in
+  let n_clients = 4 and rounds = 3 in
+  let client_lines ci =
+    let rng = Random.State.make [| 0xc11e; ci |] in
+    List.concat_map
+      (fun _ ->
+        let a = Array.of_list (List.map fst distinct_jobs) in
+        for i = Array.length a - 1 downto 1 do
+          let j = Random.State.int rng (i + 1) in
+          let tmp = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- tmp
+        done;
+        Array.to_list a)
+      (List.init rounds Fun.id)
+  in
+  (* 144 requests arrive pipelined before the first solve finishes;
+     admission must stay out of this test's way (it has its own cases) *)
+  let server = Server.create ~queue_bound:1000 () in
+  let resp0 = counter "serve.responses" in
+  with_server ~workers:4 ~server ~listen (fun addr ->
+      let results = Array.make n_clients [] in
+      let failed = Atomic.make None in
+      let run ci () =
+        try results.(ci) <- client_session addr (client_lines ci)
+        with e -> Atomic.set failed (Some e)
+      in
+      let threads =
+        List.init n_clients (fun ci -> Thread.create (run ci) ())
+      in
+      List.iter Thread.join threads;
+      (match Atomic.get failed with Some e -> raise e | None -> ());
+      Array.iteri
+        (fun ci responses ->
+          List.iter2
+            (fun line response ->
+              let obj = parse_response response in
+              checkb
+                (Printf.sprintf "client %d response ok" ci)
+                true (bool_field obj "ok");
+              Alcotest.(check string)
+                (Printf.sprintf "client %d ordered byte-identical output" ci)
+                (List.assoc line expected)
+                (str_field obj "output"))
+            (client_lines ci) responses)
+        results);
+  let total = n_clients * rounds * List.length distinct_jobs in
+  check "every pipelined request answered" total
+    (counter "serve.responses" - resp0)
+
+let test_concurrent_clients_unix () = stress_over `Unix ()
+let test_concurrent_clients_tcp () = stress_over `Tcp ()
+
+(* Cold-cache coalescing under concurrency: splitting the duplicate-heavy
+   trace across concurrent socket clients must cost exactly the solves of
+   the sequential in-process replay — a duplicate either joins the
+   in-flight batch (single-flight) or hits the cache, never re-solves. *)
+let test_concurrent_cold_solve_count () =
+  let jobs =
+    [
+      {|{"job":"mos","j":2}|};
+      {|{"job":"mos","j":3}|};
+      {|{"job":"mos","j":4}|};
+      {|{"job":"bw","solver":"kl","network":"butterfly","n":8,"seed":1}|};
+      {|{"job":"bw","solver":"kl","network":"butterfly","n":8,"seed":2}|};
+      {|{"job":"bw","solver":"spectral","network":"butterfly","n":8}|};
+    ]
+  in
+  let copies = 5 in
+  let full_trace = List.concat_map (fun _ -> jobs) (List.init copies Fun.id) in
+  let miss_seq =
+    with_fresh_cache @@ fun () ->
+    let server = Server.create ~queue_bound:1000 () in
+    let m0 = counter "cache.miss" in
+    ignore (replay server full_trace);
+    counter "cache.miss" - m0
+  in
+  let miss_conc =
+    with_fresh_cache @@ fun () ->
+    let server = Server.create ~queue_bound:1000 () in
+    let m0 = counter "cache.miss" in
+    with_server ~workers:4 ~server ~listen:`Unix (fun addr ->
+        let failed = Atomic.make None in
+        let run lines () =
+          try
+            List.iter
+              (fun r ->
+                checkb "cold concurrent response ok" true
+                  (bool_field (parse_response r) "ok"))
+              (client_session addr lines)
+          with e -> Atomic.set failed (Some e)
+        in
+        (* two clients, each replaying the full trace minus what the
+           other sends first — together the same multiset of requests *)
+        let odd, even =
+          List.partition (fun (i, _) -> i mod 2 = 0)
+            (List.mapi (fun i l -> (i, l)) full_trace)
+        in
+        let threads =
+          List.map
+            (fun lines -> Thread.create (run (List.map snd lines)) ())
+            [ odd; even ]
+        in
+        List.iter Thread.join threads;
+        match Atomic.get failed with Some e -> raise e | None -> ());
+    counter "cache.miss" - m0
+  in
+  check "concurrent cold replay solves exactly the sequential count"
+    miss_seq miss_conc
+
+(* A client that vanishes mid-solve costs counters, never the server: the
+   write fails (serve.write_fail), and other clients are served on. *)
+let test_disconnect_mid_batch () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create () in
+  let fail0 = counter "serve.write_fail" in
+  let drop0 = counter "serve.write_drop" in
+  with_server ~workers:2 ~server ~listen:`Unix (fun addr ->
+      (* a supervised exact search with a 200ms deadline: long enough
+         that the close below always lands first, bounded so the test
+         stays fast *)
+      let fd = connect addr in
+      send_all fd
+        [ {|{"id":"gone","job":"bw","network":"butterfly","n":16,"deadline":"0.2"}|} ];
+      Unix.close fd;
+      (* a second client is served while (and after) the doomed solve *)
+      let responses = client_session addr [ {|{"id":"alive","job":"mos","j":2}|} ] in
+      let obj = parse_response (List.hd responses) in
+      checkb "other client served" true (bool_field obj "ok");
+      (* wait until the doomed batch's delivery actually failed *)
+      let deadline = Unix.gettimeofday () +. 10. in
+      while
+        counter "serve.write_fail" - fail0 = 0
+        && counter "serve.write_drop" - drop0 = 0
+        && Unix.gettimeofday () < deadline
+      do
+        Thread.yield ()
+      done);
+  checkb "failed write was counted, not swallowed" true
+    (counter "serve.write_fail" - fail0 > 0
+    || counter "serve.write_drop" - drop0 > 0);
+  (* the server survived to a clean drain; a fresh in-process request
+     confirms the engine state is intact *)
+  let after = Server.create () in
+  checkb "engine fine after disconnect" true
+    (bool_field (parse_response (List.hd (replay after [ {|{"job":"mos","j":2}|} ]))) "ok")
+
+(* Oversized and garbage lines get structured errors on the wire — in
+   request order — and the connection keeps working. *)
+let test_oversized_and_garbage () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create () in
+  let over0 = counter "serve.oversized" in
+  with_server ~workers:2 ~server ~listen:`Unix (fun addr ->
+      let big = String.make 300_000 'x' in
+      let responses =
+        client_session addr
+          [ big; "this is not json"; {|{"id":"ok1","job":"mos","j":2}|} ]
+      in
+      check "three responses" 3 (List.length responses);
+      let o1 = parse_response (List.nth responses 0) in
+      checkb "oversized rejected" false (bool_field o1 "ok");
+      Alcotest.(check string) "oversized id" "oversized" (str_field o1 "id");
+      checkb "error names the bound" true
+        (let e = str_field o1 "error" in
+         let rec has i =
+           i + 7 <= String.length e
+           && (String.sub e i 7 = "exceeds" || has (i + 1))
+         in
+         has 0);
+      checkb "garbage rejected" false
+        (bool_field (parse_response (List.nth responses 1)) "ok");
+      let o3 = parse_response (List.nth responses 2) in
+      checkb "valid request after junk still served" true (bool_field o3 "ok");
+      Alcotest.(check string) "its id" "ok1" (str_field o3 "id"));
+  check "oversized tally" 1 (counter "serve.oversized" - over0)
+
+(* Per-client admission: a flooding client is rejected at its own bound
+   while another client keeps full service; rejections are immediate, so
+   they are the flooder's LAST responses in it own order. *)
+let test_per_client_overload () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create ~queue_bound:100 ~client_bound:2 () in
+  let flooder = Server.client ~name:"flood" server in
+  let other = Server.client ~name:"calm" server in
+  let fr = ref [] and ok_other = ref [] in
+  for j = 2 to 6 do
+    Server.submit server ~client:flooder
+      ~reply:(fun r -> fr := r :: !fr)
+      (Printf.sprintf {|{"id":"f%d","job":"mos","j":%d}|} j j)
+  done;
+  Server.submit server ~client:other
+    ~reply:(fun r -> ok_other := r :: !ok_other)
+    {|{"id":"calm","job":"mos","j":7}|};
+  check "three immediate per-client rejections" 3 (List.length !fr);
+  List.iter
+    (fun r ->
+      let obj = parse_response r in
+      checkb "flooder rejected" false (bool_field obj "ok");
+      Alcotest.(check string) "verdict" "overloaded" (str_field obj "error"))
+    !fr;
+  ignore (Server.run_pending server);
+  check "flooder's admitted two solved" 5 (List.length !fr);
+  check "other client served in full" 1 (List.length !ok_other);
+  checkb "other client ok" true
+    (bool_field (parse_response (List.hd !ok_other)) "ok");
+  let stats = Server.stats_json server in
+  let rejected =
+    match Json.member "rejected" stats with
+    | Some r -> r
+    | None -> Alcotest.fail "stats lacks rejected object"
+  in
+  check "client rejection tally" 3 (int_field rejected "client");
+  check "no global rejections" 0 (int_field rejected "overload");
+  (* released slots: the flooder may submit again after completion *)
+  let again = ref [] in
+  Server.submit server ~client:flooder
+    ~reply:(fun r -> again := r :: !again)
+    {|{"id":"f-again","job":"mos","j":2}|};
+  ignore (Server.run_pending server);
+  checkb "slots released after completion" true
+    (bool_field (parse_response (List.hd !again)) "ok")
+
+(* Chaos: with worker crashes and spurious deadline expiries injected,
+   a dispatched replay still answers every request (ok or error), and
+   the engine is clean afterwards. *)
+let test_chaos_dispatch () =
+  with_fresh_cache @@ fun () ->
+  let lines =
+    List.concat_map
+      (fun j ->
+        [
+          Printf.sprintf {|{"job":"mos","j":%d}|} j;
+          Printf.sprintf
+            {|{"job":"bw","solver":"kl","network":"butterfly","n":8,"seed":%d}|}
+            j;
+        ])
+      [ 2; 3; 4; 5; 6; 7 ]
+  in
+  let answered = ref 0 in
+  Fault.scope ~rate:0.5 ~seed:1107 [ Fault.Worker; Fault.Deadline ]
+    (fun () ->
+      let server = Server.create () in
+      let dispatch = Dispatch.create ~cap:4 server in
+      List.iter
+        (fun line ->
+          Server.submit server ~reply:(fun _ -> incr answered) line;
+          Dispatch.pump dispatch)
+        lines;
+      Dispatch.pump dispatch;
+      Dispatch.wait_idle dispatch);
+  check "every request answered under fault injection"
+    (List.length lines) !answered;
+  (* the pool and engine survive: a clean replay afterwards is all ok *)
+  let server = Server.create () in
+  List.iter
+    (fun r -> checkb "clean replay ok" true (bool_field (parse_response r) "ok"))
+    (replay server [ {|{"job":"mos","j":2}|}; {|{"job":"mos","j":3}|} ])
+
 (* Latency reservoir: quantiles are ranks over the recorded window. *)
 let test_latency_quantiles () =
   let l = Latency.create ~capacity:8 () in
@@ -399,4 +789,18 @@ let suite =
     case "parse errors are per-request, server survives" test_parse_errors;
     case "solver errors match the one-shot CLI" test_solver_errors;
     case "latency reservoir quantiles" test_latency_quantiles;
+    slow_case "concurrent clients over unix socket: ordered, byte-identical"
+      test_concurrent_clients_unix;
+    slow_case "concurrent clients over tcp: ordered, byte-identical"
+      test_concurrent_clients_tcp;
+    slow_case "cold coalescing: concurrent solves = sequential solves"
+      test_concurrent_cold_solve_count;
+    case "client disconnect mid-batch: counted, server survives"
+      test_disconnect_mid_batch;
+    case "oversized and garbage lines: structured errors, bounded reads"
+      test_oversized_and_garbage;
+    case "per-client admission: flooder rejected, others served"
+      test_per_client_overload;
+    case "chaos: dispatched replay answers everything under injected faults"
+      test_chaos_dispatch;
   ]
