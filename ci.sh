@@ -13,7 +13,11 @@
 #   check    differential-oracle smoke battery, fixed seed
 #   chaos    the same battery under fault injection — faults may cost
 #            work, never correctness
-#   doc      dune build @doc (skipped when odoc is not installed)
+#   doc      dune build @doc-private — the libraries are private, so the
+#            plain @doc alias is empty (skipped when odoc is not
+#            installed) — plus the perf-docs check: every gate counter
+#            named in test/test_bench_json.ml's gate_fields must appear
+#            backtick-quoted in PERFORMANCE.md
 #   serve    bfly_serve smoke: coalescing, one-shot byte-identity,
 #            admission control, and a concurrent 4-client TCP replay
 #            byte-identical to the sequential one, drained by SIGTERM
@@ -33,7 +37,7 @@ set -eu
 cd "$(dirname "$0")"
 
 ALL_STAGES="build fmt runtest check chaos doc serve loadgen warm resume compare"
-BASELINE=BENCH_2026-08-06.json
+BASELINE=BENCH_2026-08-08.json
 LOADGEN_BASELINE=LOADGEN_2026-08-08.json
 LOADGEN_TRACE=bench/loadgen_trace.ndjson
 
@@ -42,8 +46,12 @@ trap 'rm -rf "$scratch"' EXIT
 
 extract() { # extract FIELD FILE -> first integer value of "FIELD":N
   # the first occurrence in a bench JSON document is the pre-Bechamel
-  # "gate" snapshot, which is the deterministic one
-  sed -n "s/.*\"$(printf '%s' "$1" | sed 's/\./\\./g')\":\([0-9][0-9]*\).*/\1/p" "$2" | head -n 1
+  # "gate" snapshot, which is the deterministic one. The document is a
+  # single line, so this must be grep -o (all matches, in order), not a
+  # greedy sed s///, which would land on the LAST occurrence — the
+  # post-Bechamel metrics dump, polluted by micro-benchmark iterations.
+  grep -o "\"$(printf '%s' "$1" | sed 's/\./\\./g')\":[0-9][0-9]*" "$2" \
+    | head -n 1 | cut -d: -f2
 }
 
 # ---- stages ----
@@ -86,10 +94,30 @@ stage_chaos() {
 
 stage_doc() {
   if command -v odoc >/dev/null 2>&1; then
-    dune build @doc
+    # every library here is private (no public_name), so the plain @doc
+    # alias builds nothing; @doc-private is the alias that renders them
+    # all — lib/serve included
+    dune build @doc-private
   else
-    echo "odoc not installed; skipping @doc check"
+    echo "odoc not installed; skipping @doc-private check"
   fi
+  # perf-docs: PERFORMANCE.md documents the gate counters by name; keep
+  # that list honest against the one the bench-JSON tests enforce
+  # (gate_fields in test/test_bench_json.ml). Each counter must appear
+  # backtick-quoted so renames fail CI instead of silently drifting.
+  fields=$(sed -n '/^let gate_fields/,/\]/p' test/test_bench_json.ml \
+    | grep -o '"[a-z._]*"' | tr -d '"')
+  [ -n "$fields" ] || {
+    echo "FAIL: could not extract gate_fields from test/test_bench_json.ml" >&2
+    exit 1
+  }
+  for f in $fields; do
+    grep -qF "\`$f\`" PERFORMANCE.md || {
+      echo "FAIL: gate counter $f is not documented in PERFORMANCE.md" >&2
+      exit 1
+    }
+  done
+  echo "perf-docs: all $(printf '%s\n' $fields | wc -l) gate counters documented in PERFORMANCE.md"
 }
 
 # Query-service smoke: a small trace with six duplicate requests must

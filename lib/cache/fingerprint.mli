@@ -27,12 +27,16 @@ val string : t -> string -> t
 (** Fold an integer array, length-prefixed. *)
 val int_array : t -> int array -> t
 
-(** Fold a bitset as its capacity plus sorted member list. *)
+(** Fold a bitset as its capacity plus backing words, absorbed at word
+    granularity (the tail-zero invariant of {!Bfly_graph.Bitset} makes the
+    words canonical for the set). O(capacity/63). *)
 val bitset : t -> Bfly_graph.Bitset.t -> t
 
 (** Fold a graph canonically: node count, edge count, then the normalized
-    edge multiset in sorted order. Structurally equal graphs fold to equal
-    fingerprints. O(m log m). *)
+    edge multiset in sorted order — read straight off the graph's own
+    sorted edge list, one word-granularity absorption per endpoint: no
+    copy, no re-sort. Structurally equal graphs fold to equal
+    fingerprints. O(m). *)
 val graph : t -> Bfly_graph.Graph.t -> t
 
 (** 16-hex-digit rendering, e.g. ["cbf29ce484222325"]. *)

@@ -1,0 +1,62 @@
+module Bitset = Bfly_graph.Bitset
+module Metrics = Bfly_obs.Metrics
+
+let c_hits = Metrics.counter "cuts.kernel.scratch.hits"
+let c_allocs = Metrics.counter "cuts.kernel.scratch.allocs"
+
+(* Per-domain storage: a growable vector of int buffers indexed by slot, and
+   bitsets keyed by (slot, capacity). One arena value is shared by every
+   domain; Domain.DLS keeps each domain's buffers private, so kernels running
+   as pool tasks never contend or alias across domains. *)
+type store = {
+  mutable bufs : int array array; (* slot -> buffer (length >= last request) *)
+  sets : (int * int, Bitset.t) Hashtbl.t; (* (slot, capacity) -> bitset *)
+}
+
+type t = store Domain.DLS.key
+
+let create () =
+  Domain.DLS.new_key (fun () -> { bufs = [||]; sets = Hashtbl.create 7 })
+
+let store a = Domain.DLS.get a
+
+let ensure_slot d slot =
+  if slot >= Array.length d.bufs then begin
+    let bufs = Array.make (slot + 4) [||] in
+    Array.blit d.bufs 0 bufs 0 (Array.length d.bufs);
+    d.bufs <- bufs
+  end
+
+let raw_ints a ~slot n =
+  let d = store a in
+  ensure_slot d slot;
+  let b = d.bufs.(slot) in
+  if Array.length b >= n then begin
+    Metrics.incr c_hits;
+    b
+  end
+  else begin
+    Metrics.incr c_allocs;
+    (* grow geometrically so alternating sizes don't thrash *)
+    let b = Array.make (max n (2 * Array.length b)) 0 in
+    d.bufs.(slot) <- b;
+    b
+  end
+
+let ints a ~slot n =
+  let b = raw_ints a ~slot n in
+  Array.fill b 0 n 0;
+  b
+
+let set a ~slot n =
+  let d = store a in
+  match Hashtbl.find_opt d.sets (slot, n) with
+  | Some s ->
+      Metrics.incr c_hits;
+      Bitset.clear s;
+      s
+  | None ->
+      Metrics.incr c_allocs;
+      let s = Bitset.create n in
+      Hashtbl.replace d.sets (slot, n) s;
+      s

@@ -1,0 +1,50 @@
+(** Per-domain scratch arenas for the partition kernels.
+
+    The KL/FM/SA/multilevel inner loops need the same few scratch buffers on
+    every pass of every restart (locked masks, rollback logs, gain buckets,
+    coarsening stacks). Allocating them fresh each time made the domain-pool
+    dispatch of restarts GC-bound; an arena hands each domain a private,
+    reusable copy instead.
+
+    {2 Ownership rules}
+
+    - One arena value is created per kernel module at top level and shared
+      by all domains; the backing buffers live in {!Domain.DLS}, so each
+      domain sees its own storage and no locking is involved.
+    - A [slot] is a small static integer naming one logical buffer within
+      the kernel. Two acquisitions of the same slot on the same domain
+      return the {e same} buffer — callers must finish with a slot before
+      re-acquiring it, and must not hold arena buffers across a
+      {!Bfly_graph.Parallel} dispatch (the task may run on another domain
+      with a different copy, and a pool task sharing this domain would
+      clobber the buffer).
+    - Buffers are reset on acquisition ({!ints} zero-fills, {!set} clears),
+      so a kernel using arena scratch behaves exactly as if it had
+      allocated fresh — the byte-identity contract of the bench gates does
+      not observe the reuse.
+    - Returned int buffers may be {e longer} than requested; only the first
+      [n] cells are reset. Never use [Array.length] on them.
+
+    Reuse is observable in the [cuts.kernel.scratch.hits] /
+    [cuts.kernel.scratch.allocs] counters. *)
+
+type t
+
+(** A fresh arena handle (cheap; storage materializes per domain on first
+    use). Create once per module, not per call. *)
+val create : unit -> t
+
+(** [ints a ~slot n] is this domain's buffer for [slot], at least [n] long,
+    with cells [0..n-1] zeroed. *)
+val ints : t -> slot:int -> int -> int array
+
+(** [raw_ints a ~slot n] is {!ints} without the zero-fill — for buffers
+    whose live region is tracked explicitly (heap storage, rollback logs).
+    Contents beyond any previously written cells are zeros on first use and
+    stale otherwise. *)
+val raw_ints : t -> slot:int -> int -> int array
+
+(** [set a ~slot n] is this domain's cleared bitset of capacity exactly [n]
+    for [slot] (one bitset is kept per (slot, capacity) pair, so multilevel
+    kernels touching many sizes reuse each level's set). *)
+val set : t -> slot:int -> int -> Bfly_graph.Bitset.t

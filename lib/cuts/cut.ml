@@ -11,6 +11,7 @@ let make graph side =
 let graph c = c.graph
 let side c = c.side
 let capacity c = Bfly_graph.Traverse.boundary_edges c.graph c.side
+let recount c = G.cut_size c.graph c.side
 let side_size c = Bitset.cardinal c.side
 
 let is_bisection c =
@@ -34,7 +35,10 @@ let cut_edges c =
 module State = struct
   type state = {
     g : G.t;
+    offsets : int array; (* borrowed CSR offsets of g *)
+    adj : int array; (* borrowed CSR adjacency of g *)
     in_a : Bitset.t;
+    words : int array; (* backing words of in_a, cached *)
     gains : int array;
     mutable cap : int;
     mutable size_a : int;
@@ -44,38 +48,60 @@ module State = struct
     if Bitset.capacity side <> G.n_nodes g then
       invalid_arg "Cut.State.create: side set capacity must match node count";
     let in_a = Bitset.copy side in
+    let words = Bitset.unsafe_words in_a in
+    let offsets = G.csr_offsets g and adj = G.csr_adj g in
     let n = G.n_nodes g in
     let gains = Array.make n 0 in
     let cap = ref 0 in
     for v = 0 to n - 1 do
-      let mv = Bitset.mem in_a v in
-      G.iter_neighbors g v (fun w ->
-          if Bitset.mem in_a w = mv then gains.(v) <- gains.(v) - 1
-          else begin
-            gains.(v) <- gains.(v) + 1;
-            incr cap
-          end)
+      let mv = (Array.unsafe_get words (Bitset.word_index v) lsr (Bitset.bit_index v)) land 1 in
+      let gv = ref 0 in
+      for i = Array.unsafe_get offsets v to Array.unsafe_get offsets (v + 1) - 1
+      do
+        let w = Array.unsafe_get adj i in
+        let mw = (Array.unsafe_get words (Bitset.word_index w) lsr (Bitset.bit_index w)) land 1 in
+        if mw = mv then decr gv
+        else begin
+          incr gv;
+          incr cap
+        end
+      done;
+      gains.(v) <- !gv
     done;
-    { g; in_a; gains; cap = !cap / 2; size_a = Bitset.cardinal in_a }
+    { g; offsets; adj; in_a; words; gains;
+      cap = !cap / 2; size_a = Bitset.cardinal in_a }
 
   let capacity st = st.cap
   let side_size st = st.size_a
-  let in_side st v = Bitset.mem st.in_a v
+
+  let in_side st v =
+    (Array.unsafe_get st.words (Bitset.word_index v) lsr (Bitset.bit_index v)) land 1 = 1
+
   let gain st v = st.gains.(v)
+  let side_words st = st.words
+  let gains_array st = st.gains
 
   let flip st v =
-    let was_a = Bitset.mem st.in_a v in
-    st.cap <- st.cap - st.gains.(v);
-    st.gains.(v) <- -st.gains.(v);
-    Bitset.set st.in_a v (not was_a);
-    st.size_a <- (if was_a then st.size_a - 1 else st.size_a + 1);
-    G.iter_neighbors st.g v (fun w ->
-        if w <> v then begin
-          (* edge v-w: if w was on v's old side the edge becomes external
-             for w (+2 to w's gain... gain counts ext - int) *)
-          if Bitset.mem st.in_a w = was_a then st.gains.(w) <- st.gains.(w) + 2
-          else st.gains.(w) <- st.gains.(w) - 2
-        end)
+    let words = st.words and gains = st.gains in
+    let wv = Bitset.word_index v and bv = Bitset.bit_index v in
+    let old_word = Array.unsafe_get words wv in
+    (* 1 when v was in A, else 0 *)
+    let wa = (old_word lsr bv) land 1 in
+    st.cap <- st.cap - Array.unsafe_get gains v;
+    Array.unsafe_set gains v (-Array.unsafe_get gains v);
+    Array.unsafe_set words wv (old_word lxor (1 lsl bv));
+    st.size_a <- st.size_a + 1 - (2 * wa);
+    (* edge v-w: if w was on v's old side the edge becomes external for w
+       (+2 to w's gain: gain counts ext - int), else internal (-2). The
+       membership test is branch-free: delta = 2 - 4 * (bit(w) lxor wa). *)
+    let offsets = st.offsets and adj = st.adj in
+    for i = Array.unsafe_get offsets v to Array.unsafe_get offsets (v + 1) - 1
+    do
+      let w = Array.unsafe_get adj i in
+      let mw = (Array.unsafe_get words (Bitset.word_index w) lsr (Bitset.bit_index w)) land 1 in
+      Array.unsafe_set gains w
+        (Array.unsafe_get gains w + 2 - (4 * (mw lxor wa)))
+    done
 
   let side st = Bitset.copy st.in_a
 end

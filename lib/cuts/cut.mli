@@ -18,6 +18,10 @@ val side : t -> Bfly_graph.Bitset.t
 (** [C(S, S̄)]. *)
 val capacity : t -> int
 
+(** [recount c] is {!capacity} via the word-indexed {!Bfly_graph.Graph.cut_size}
+    kernel, bypassing the traversal layer's instrumentation. Same value. *)
+val recount : t -> int
+
 (** [|S|]. *)
 val side_size : t -> int
 
@@ -44,8 +48,20 @@ module State : sig
   val in_side : state -> int -> bool
   val gain : state -> int -> int
 
+  (** The backing words of the current side set — not a copy, and live: a
+      {!flip} mutates them in place. Read-only escape hatch for the KL/FM
+      candidate scans, which enumerate eligible movers by masking these
+      words against a lock set and extracting bits ({!Bfly_graph.Bitset}'s
+      word layout: 63 bits per word, tail bits zero). *)
+  val side_words : state -> int array
+
+  (** The gain array itself (indexed by node) — not a copy, read-only.
+      Lets selection scans read gains without a call per candidate. *)
+  val gains_array : state -> int array
+
   (** [flip st v] moves [v] to the other side, updating capacity and the
-      gains of [v] and its neighbors in O(deg v). *)
+      gains of [v] and its neighbors in O(deg v) — a branch-free word
+      update per neighbor, no closure. *)
   val flip : state -> int -> unit
 
   (** Snapshot of the current side set. *)

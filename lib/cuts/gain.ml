@@ -1,30 +1,79 @@
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let make_ints len : ints = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len
+
 type t = {
-  offset : int; (* bucket index of gain 0; buckets span 2*offset+1 slots *)
-  head : int array; (* bucket -> first node, or -1 *)
-  next : int array; (* node -> successor in its bucket, or -1 *)
-  prev : int array; (* node -> predecessor, or -1 when it is the head *)
-  bucket : int array; (* node -> its bucket, or -1 when not enqueued *)
+  mutable offset : int; (* bucket index of gain 0; buckets span 2*offset+1 slots *)
+  mutable nbuckets : int; (* logical bucket count, <= dim head *)
+  mutable n : int; (* logical node capacity, <= dim next/prev/bucket *)
+  mutable head : ints; (* bucket -> first node, or -1 *)
+  mutable next : ints; (* node -> successor in its bucket, or -1 *)
+  mutable prev : ints; (* node -> predecessor, or -1 when it is the head *)
+  mutable bucket : ints; (* node -> its bucket, or -1 when not enqueued *)
   mutable best : int; (* upper bound on the highest non-empty bucket *)
   mutable size : int;
 }
 
+let fill_neg (a : ints) len =
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set a i (-1)
+  done
+
 let create ~max_gain n =
   if max_gain < 0 then invalid_arg "Gain.create: max_gain must be >= 0";
   if n < 0 then invalid_arg "Gain.create: negative capacity";
-  {
-    offset = max_gain;
-    head = Array.make ((2 * max_gain) + 1) (-1);
-    next = Array.make (max n 1) (-1);
-    prev = Array.make (max n 1) (-1);
-    bucket = Array.make (max n 1) (-1);
-    best = -1;
-    size = 0;
-  }
+  let nbuckets = (2 * max_gain) + 1 in
+  let nn = max n 1 in
+  let t =
+    {
+      offset = max_gain;
+      nbuckets;
+      n = nn;
+      head = make_ints nbuckets;
+      next = make_ints nn;
+      prev = make_ints nn;
+      bucket = make_ints nn;
+      best = -1;
+      size = 0;
+    }
+  in
+  fill_neg t.head nbuckets;
+  fill_neg t.next nn;
+  fill_neg t.prev nn;
+  fill_neg t.bucket nn;
+  t
 
-let mem t v = t.bucket.(v) >= 0
+let reset t ~max_gain n =
+  if max_gain < 0 then invalid_arg "Gain.reset: max_gain must be >= 0";
+  if n < 0 then invalid_arg "Gain.reset: negative capacity";
+  let nbuckets = (2 * max_gain) + 1 in
+  let nn = max n 1 in
+  if nbuckets > Bigarray.Array1.dim t.head then
+    t.head <- make_ints (max nbuckets (2 * Bigarray.Array1.dim t.head));
+  if nn > Bigarray.Array1.dim t.next then begin
+    let cap = max nn (2 * Bigarray.Array1.dim t.next) in
+    t.next <- make_ints cap;
+    t.prev <- make_ints cap;
+    t.bucket <- make_ints cap
+  end;
+  t.offset <- max_gain;
+  t.nbuckets <- nbuckets;
+  t.n <- nn;
+  (* next/prev need no reset: they are only read for enqueued nodes, and
+     insert writes them first *)
+  fill_neg t.head nbuckets;
+  fill_neg t.bucket nn;
+  t.best <- -1;
+  t.size <- 0
+
+(* The first read of [bucket.(v)] in each entry point is bounds-checked, so
+   an out-of-range node raises Invalid_argument as the boxed structure did;
+   interior links (heads, prev/next chains) hold validated node ids and are
+   accessed unchecked. *)
+let mem t v = Bigarray.Array1.get t.bucket v >= 0
 
 let gain t v =
-  let b = t.bucket.(v) in
+  let b = Bigarray.Array1.get t.bucket v in
   if b < 0 then invalid_arg "Gain.gain: node not enqueued";
   b - t.offset
 
@@ -33,28 +82,29 @@ let cardinal t = t.size
 let insert t v g =
   if mem t v then invalid_arg "Gain.insert: node already enqueued";
   let b = g + t.offset in
-  if b < 0 || b >= Array.length t.head then
-    invalid_arg "Gain.insert: gain out of range";
-  let h = t.head.(b) in
-  t.next.(v) <- h;
-  t.prev.(v) <- -1;
-  if h >= 0 then t.prev.(h) <- v;
-  t.head.(b) <- v;
-  t.bucket.(v) <- b;
+  if b < 0 || b >= t.nbuckets then invalid_arg "Gain.insert: gain out of range";
+  let h = Bigarray.Array1.unsafe_get t.head b in
+  Bigarray.Array1.unsafe_set t.next v h;
+  Bigarray.Array1.unsafe_set t.prev v (-1);
+  if h >= 0 then Bigarray.Array1.unsafe_set t.prev h v;
+  Bigarray.Array1.unsafe_set t.head b v;
+  Bigarray.Array1.unsafe_set t.bucket v b;
   if b > t.best then t.best <- b;
   t.size <- t.size + 1
 
 let remove t v =
-  let b = t.bucket.(v) in
+  let b = Bigarray.Array1.get t.bucket v in
   if b < 0 then invalid_arg "Gain.remove: node not enqueued";
-  let p = t.prev.(v) and n = t.next.(v) in
-  if p >= 0 then t.next.(p) <- n else t.head.(b) <- n;
-  if n >= 0 then t.prev.(n) <- p;
-  t.bucket.(v) <- -1;
+  let p = Bigarray.Array1.unsafe_get t.prev v
+  and n = Bigarray.Array1.unsafe_get t.next v in
+  if p >= 0 then Bigarray.Array1.unsafe_set t.next p n
+  else Bigarray.Array1.unsafe_set t.head b n;
+  if n >= 0 then Bigarray.Array1.unsafe_set t.prev n p;
+  Bigarray.Array1.unsafe_set t.bucket v (-1);
   t.size <- t.size - 1
 
 let update t v g =
-  let b = t.bucket.(v) in
+  let b = Bigarray.Array1.get t.bucket v in
   if b < 0 then invalid_arg "Gain.update: node not enqueued";
   if b - t.offset <> g then begin
     remove t v;
@@ -65,10 +115,10 @@ let peek t =
   if t.size = 0 then None
   else begin
     (* size > 0 guarantees a non-empty bucket at or below [best] *)
-    while t.head.(t.best) < 0 do
+    while Bigarray.Array1.unsafe_get t.head t.best < 0 do
       t.best <- t.best - 1
     done;
-    Some (t.head.(t.best), t.best - t.offset)
+    Some (Bigarray.Array1.unsafe_get t.head t.best, t.best - t.offset)
   end
 
 let pop t =

@@ -1,15 +1,21 @@
-(** Flat-array gain buckets: the O(1) best-move selector behind the
-    multilevel FM refinement ({!Multilevel}).
+(** Flat gain buckets over [Bigarray] storage: the O(1) best-move selector
+    behind the multilevel FM refinement ({!Multilevel}).
 
-    The classical Fiduccia–Mattheyses bucket structure, laid out as flat
-    integer arrays: a node's current gain indexes it into a bucket, the
-    nodes of one bucket form a doubly-linked list threaded through two
-    [n]-sized arrays ([next]/[prev] by node id), and a monotonically
-    repaired max-bucket pointer makes {!peek}/{!pop} amortized O(1).
-    Compared with the binary heap used by {!Heuristics.fiduccia_mattheyses}
-    there are no stale entries to lapse: {!update} relinks the node in
-    place, so the structure always holds each enqueued node exactly once
-    at its true gain.
+    The classical Fiduccia–Mattheyses bucket structure, laid out as four
+    flat unboxed integer vectors ([Bigarray.Array1] of native ints): a
+    node's current gain indexes it into a bucket, the nodes of one bucket
+    form a doubly-linked list threaded through two [n]-sized vectors
+    ([next]/[prev] by node id), and a monotonically repaired max-bucket
+    pointer makes {!peek}/{!pop} amortized O(1). Compared with the binary
+    heap used by {!Heuristics.fiduccia_mattheyses} there are no stale
+    entries to lapse: {!update} relinks the node in place, so the structure
+    always holds each enqueued node exactly once at its true gain.
+
+    A structure is reusable: {!reset} re-dimensions it logically (growing
+    the physical vectors only when needed) and clears it in O(max_gain + n),
+    which lets the refinement arena keep one pair of structures per domain
+    instead of allocating two per pass. A reset structure is observationally
+    identical to a fresh {!create}.
 
     Gains must stay within [[-max_gain, +max_gain]] — for cut refinement
     the maximum (multiplicity-counted) degree of the graph is a safe
@@ -27,6 +33,13 @@ type t
 val create : max_gain:int -> int -> t
 (** [create ~max_gain n] — an empty structure for nodes [0..n-1] holding
     gains in [[-max_gain, +max_gain]]. O(max_gain + n) space. *)
+
+val reset : t -> max_gain:int -> int -> unit
+(** [reset t ~max_gain n] makes [t] equivalent to a fresh
+    [create ~max_gain n], reusing (and growing geometrically when
+    necessary) the existing vectors. The caller owns the structure
+    exclusively between resets — see {!Arena} for the per-domain ownership
+    discipline. *)
 
 val insert : t -> int -> int -> unit
 (** [insert t v g] enqueues node [v] with gain [g] at the head of its

@@ -17,6 +17,7 @@ let default_config = { matching_ratio = 0.9; coarsening_threshold = 64 }
 
 let ml_levels = Metrics.counter "ml.levels"
 let ml_moves = Metrics.counter "ml.refine.moves"
+let ml_arena = Arena.create ()
 
 (* ------------------------------------------------------------------ *)
 (* Coarsening                                                          *)
@@ -41,48 +42,99 @@ module Coarsen = struct
      the rng stream. When [side] is given, only same-side pairs match, so
      the given cut survives the contraction with its exact capacity — the
      invariant the guided (iterated) V-cycles build on. *)
+  (* arena slots used by [step]: int buffers 0 = candidate scores,
+     1 = touched stack, 2/3 = coarse edge endpoint stacks, 4/5/6 = the
+     deduplicated multiplicity CSR *)
   let step ?side ~matching_ratio ~rng ~vwgt g =
     let n = G.n_nodes g in
     if n < 4 then None
     else begin
-      let eligible =
-        match side with
-        | None -> fun _ _ -> true
-        | Some s -> fun v u -> Bitset.mem s v = Bitset.mem s u
+      let offsets = G.csr_offsets g and adj = G.csr_adj g in
+      (* Deduplicate the multiplicity-expanded CSR into (neighbor, mult)
+         rows. Parallel slots are contiguous (the adjacency is scattered
+         from the sorted edge list), so one linear scan suffices. The
+         scoring scan below then multiplies multiplicities instead of
+         replaying a bundle's whole neighborhood once per parallel edge —
+         the coarse graphs are multigraphs with heavy bundles, where the
+         replay is quadratic. Scores and first-touch tie-break order are
+         unchanged: a bundle's repeat slots only re-touch nodes already
+         touched by its first slot. *)
+      let deg2 = Array.length adj in
+      let doff = Arena.raw_ints ml_arena ~slot:4 (n + 1) in
+      let dadj = Arena.raw_ints ml_arena ~slot:5 (max deg2 1) in
+      let dmul = Arena.raw_ints ml_arena ~slot:6 (max deg2 1) in
+      let dc = ref 0 in
+      for v = 0 to n - 1 do
+        doff.(v) <- !dc;
+        let i = ref (Array.unsafe_get offsets v) in
+        let stop = Array.unsafe_get offsets (v + 1) in
+        while !i < stop do
+          let u = Array.unsafe_get adj !i in
+          let j = ref (!i + 1) in
+          while !j < stop && Array.unsafe_get adj !j = u do
+            incr j
+          done;
+          Array.unsafe_set dadj !dc u;
+          Array.unsafe_set dmul !dc (!j - !i);
+          incr dc;
+          i := !j
+        done
+      done;
+      doff.(n) <- !dc;
+      let sw = Option.map Bitset.unsafe_words side in
+      (* same-side test against the incumbent's backing words (1 = eligible
+         when unguided) *)
+      let eligible v u =
+        match sw with
+        | None -> true
+        | Some w ->
+            (Array.unsafe_get w (Bitset.word_index v) lsr (Bitset.bit_index v)) land 1
+            = (Array.unsafe_get w (Bitset.word_index u) lsr (Bitset.bit_index u)) land 1
       in
       let map = Array.make n (-1) in
       let order = Perm.random ~rng n in
       let next_id = ref 0 in
-      let score = Array.make n 0 in
-      let touched = ref [] in
-      let bump u d =
-        if score.(u) = 0 then touched := u :: !touched;
-        score.(u) <- score.(u) + d
+      let score = Arena.ints ml_arena ~slot:0 n in
+      let touched = Arena.raw_ints ml_arena ~slot:1 n in
+      let top = ref 0 in
+      let bump u k =
+        if Array.unsafe_get score u = 0 then begin
+          touched.(!top) <- u;
+          incr top
+        end;
+        Array.unsafe_set score u (Array.unsafe_get score u + k)
       in
       for i = 0 to n - 1 do
         let v = Perm.apply order i in
         if map.(v) < 0 then begin
-          G.iter_neighbors g v (fun u ->
-              if u <> v && map.(u) < 0 && eligible v u then bump u 1;
-              (* the intermediate node of a 2-path may itself be matched;
-                 the path still becomes a parallel bundle after v and u
-                 merge, so it counts either way *)
-              if u <> v then
-                G.iter_neighbors g u (fun w ->
-                    if w <> v && w <> u && map.(w) < 0 && eligible v w then
-                      bump w 1));
+          for i = doff.(v) to doff.(v + 1) - 1 do
+            let u = Array.unsafe_get dadj i in
+            let mu = Array.unsafe_get dmul i in
+            if u <> v && map.(u) < 0 && eligible v u then bump u mu;
+            (* the intermediate node of a 2-path may itself be matched;
+               the path still becomes a parallel bundle after v and u
+               merge, so it counts either way *)
+            if u <> v then
+              for j = doff.(u) to doff.(u + 1) - 1 do
+                let w = Array.unsafe_get dadj j in
+                if w <> v && w <> u && map.(w) < 0 && eligible v w then
+                  bump w (mu * Array.unsafe_get dmul j)
+              done
+          done;
           let best = ref (-1) and bs = ref 0 in
-          (* touched accumulates in reverse; restore touch order so the
-             first candidate seen wins ties *)
-          List.iter
-            (fun u ->
-              if score.(u) > !bs then begin
-                bs := score.(u);
-                best := u
-              end)
-            (List.rev !touched);
-          List.iter (fun u -> score.(u) <- 0) !touched;
-          touched := [];
+          (* the stack records candidates in touch order, so the first
+             candidate seen wins ties *)
+          for s = 0 to !top - 1 do
+            let u = Array.unsafe_get touched s in
+            if Array.unsafe_get score u > !bs then begin
+              bs := score.(u);
+              best := u
+            end
+          done;
+          for s = 0 to !top - 1 do
+            Array.unsafe_set score (Array.unsafe_get touched s) 0
+          done;
+          top := 0;
           let id = !next_id in
           incr next_id;
           map.(v) <- id;
@@ -99,18 +151,30 @@ module Coarsen = struct
         (* parallel edges encode the merged edge weights; edges internal
            to a contracted pair disappear (they can never be cut once the
            pair moves as one node) *)
-        let edges = ref [] in
+        let m = G.n_edges g in
+        let us = Arena.raw_ints ml_arena ~slot:2 m in
+        let vs = Arena.raw_ints ml_arena ~slot:3 m in
+        let mc = ref 0 in
         G.iter_edges g (fun a b ->
             let ca = map.(a) and cb = map.(b) in
-            if ca <> cb then edges := (ca, cb) :: !edges);
-        Some { graph = G.of_edge_list ~n:cn !edges; vwgt = cvw; map }
+            if ca <> cb then begin
+              us.(!mc) <- ca;
+              vs.(!mc) <- cb;
+              incr mc
+            end);
+        Some { graph = G.of_endpoints ~n:cn ~m:!mc us vs; vwgt = cvw; map }
       end
     end
 
   let project ~map ~n_fine cside =
     let side = Bitset.create n_fine in
+    let cw = Bitset.unsafe_words cside in
+    let fw = Bitset.unsafe_words side in
     for v = 0 to n_fine - 1 do
-      if Bitset.mem cside map.(v) then Bitset.add side v
+      let c = Array.unsafe_get map v in
+      let bit = (Array.unsafe_get cw (Bitset.word_index c) lsr (Bitset.bit_index c)) land 1 in
+      let wv = Bitset.word_index v in
+      Array.unsafe_set fw wv (Array.unsafe_get fw wv lor (bit lsl (Bitset.bit_index v)))
     done;
     side
 end
@@ -123,8 +187,12 @@ module Refine = struct
   let tolerance ~vwgt = Array.fold_left max 1 vwgt
 
   let weight_of ~vwgt side =
+    let sw = Bitset.unsafe_words side in
     let wa = ref 0 in
-    Array.iteri (fun v w -> if Bitset.mem side v then wa := !wa + w) vwgt;
+    for v = 0 to Array.length vwgt - 1 do
+      let bit = (Array.unsafe_get sw (Bitset.word_index v) lsr (Bitset.bit_index v)) land 1 in
+      wa := !wa + (bit * Array.unsafe_get vwgt v)
+    done;
     !wa
 
   let imbalance ~vwgt side =
@@ -187,19 +255,29 @@ module Refine = struct
      best prefix whose imbalance is within tolerance. Moves may wander up
      to [tolerance + 2·wmax] away from balance so a heavy node can cross
      and be compensated later in the pass. *)
+  (* one reusable pair of gain-bucket structures per domain: a pass resets
+     them to the level's dimensions instead of allocating two fresh
+     structures (a reset structure is observationally fresh) *)
+  let gain_scratch =
+    Domain.DLS.new_key (fun () ->
+        (Gain.create ~max_gain:0 0, Gain.create ~max_gain:0 0))
+
   let fm_pass ?cancel ~vwgt ~tolerance ~wmax g st wa total =
     let n = G.n_nodes g in
+    let offsets = G.csr_offsets g and adj = G.csr_adj g in
     let maxg = G.max_degree g in
-    let ba = Gain.create ~max_gain:maxg n in
-    let bb = Gain.create ~max_gain:maxg n in
+    let ba, bb = Domain.DLS.get gain_scratch in
+    Gain.reset ba ~max_gain:maxg n;
+    Gain.reset bb ~max_gain:maxg n;
+    let gains = State.gains_array st in
     for v = 0 to n - 1 do
-      if State.in_side st v then Gain.insert ba v (State.gain st v)
-      else Gain.insert bb v (State.gain st v)
+      if State.in_side st v then Gain.insert ba v (Array.unsafe_get gains v)
+      else Gain.insert bb v (Array.unsafe_get gains v)
     done;
     let start_cap = State.capacity st in
     let best_cap = ref start_cap in
     let best_len = ref 0 in
-    let moves = ref [] in
+    let moves = Arena.raw_ints ml_arena ~slot:7 (n + 1) in
     let n_moves = ref 0 in
     let move_bound = tolerance + (2 * wmax) in
     let feasible v =
@@ -233,11 +311,14 @@ module Refine = struct
             if Gain.mem ba v then Gain.remove ba v else Gain.remove bb v;
             wa := (if State.in_side st v then !wa - vwgt.(v) else !wa + vwgt.(v));
             State.flip st v;
+            Array.unsafe_set moves !n_moves v;
             incr n_moves;
-            moves := v :: !moves;
-            G.iter_neighbors g v (fun u ->
-                if Gain.mem ba u then Gain.update ba u (State.gain st u)
-                else if Gain.mem bb u then Gain.update bb u (State.gain st u));
+            for i = Array.unsafe_get offsets v to
+                    Array.unsafe_get offsets (v + 1) - 1 do
+              let u = Array.unsafe_get adj i in
+              if Gain.mem ba u then Gain.update ba u (Array.unsafe_get gains u)
+              else if Gain.mem bb u then Gain.update bb u (Array.unsafe_get gains u)
+            done;
             if
               State.capacity st < !best_cap
               && abs ((2 * !wa) - total) <= tolerance
@@ -247,18 +328,17 @@ module Refine = struct
             end
       end
     done;
-    let total_moves = !n_moves in
-    List.iteri
-      (fun i v ->
-        if total_moves - i > !best_len then begin
-          wa := (if State.in_side st v then !wa - vwgt.(v) else !wa + vwgt.(v));
-          State.flip st v
-        end)
-      !moves;
+    (* roll back, newest first, to the best balanced prefix *)
+    for s = !n_moves - 1 downto !best_len do
+      let v = Array.unsafe_get moves s in
+      wa := (if State.in_side st v then !wa - vwgt.(v) else !wa + vwgt.(v));
+      State.flip st v
+    done;
     Metrics.add ml_moves !best_len;
     !best_cap < start_cap
 
   let refine ?cancel ~vwgt ~tolerance g side =
+    Span.time ~name:"ml.refine" @@ fun () ->
     let st = State.create g side in
     let total = Array.fold_left ( + ) 0 vwgt in
     let wa = ref (weight_of ~vwgt side) in
@@ -284,6 +364,7 @@ let descent ~config ~cancel ~rng ?side g =
       (acc, g, vwgt, side)
     else
       match
+        Span.time ~name:"ml.coarsen" @@ fun () ->
         Coarsen.step ?side ~matching_ratio:config.matching_ratio ~rng ~vwgt g
       with
       | None -> (acc, g, vwgt, side)

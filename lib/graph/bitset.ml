@@ -7,7 +7,20 @@ let create n =
   { n; words = Array.make ((n + bits_per_word - 1) / bits_per_word + 1) 0 }
 
 let capacity s = s.n
+let word_count s = Array.length s.words
+let unsafe_words s = s.words
 let index i = (i / bits_per_word, i mod bits_per_word)
+
+(* Division by 63 as a multiply-shift: ocamlopt does not strength-reduce
+   division by a non-power-of-two constant, and the partitioner flip loops
+   pay that latency once per neighbor. With M = ceil(2^36 / 63) the excess
+   M*63 - 2^36 = 62, so floor(i*M / 2^36) = i/63 for all
+   0 <= i <= 2^36/62 > 2^30 (Granlund–Montgomery), and i*M stays well
+   under 2^62 — verified exhaustively over the low and high ten million
+   ids of the domain. Graph node ids are capped at [Graph.max_packed_n]
+   = 2^30 - 1, inside the proven range. *)
+let word_index i = (i * 1090785346) lsr 36
+let bit_index i = i - (bits_per_word * word_index i)
 
 let check s i =
   assert (i >= 0 && i < s.n)
@@ -34,24 +47,65 @@ let flip s i =
   let w, b = index i in
   s.words.(w) <- s.words.(w) lxor (1 lsl b)
 
-let popcount x =
-  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
-  go x 0
+(* SWAR popcount over one 63-bit word. Bit 62 is the native sign bit, so the
+   0x5555… mask does not fit as a literal (max_int = 0x3FFF…); it is built by
+   shifting. All steps are carry-free within their fields, and the final
+   byte-sum multiply needs only 7 product bits (count <= 63 < 128), so the
+   mod-2^63 arithmetic is exact. *)
+let m1 = (0x2AAAAAAAAAAAAAAA lsl 1) lor 1 (* 0x5555555555555555, 63-bit *)
+let m2 = 0x3333333333333333
+let m4 = 0x0F0F0F0F0F0F0F0F
+let h01 = 0x0101010101010101
 
-let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+let popcount_word x =
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * h01) lsr 56
+
+let cardinal s =
+  let words = s.words in
+  let acc = ref 0 in
+  for i = 0 to Array.length words - 1 do
+    acc := !acc + popcount_word (Array.unsafe_get words i)
+  done;
+  !acc
+
+let inter_cardinal a b =
+  assert (a.n = b.n);
+  let wa = a.words and wb = b.words in
+  let acc = ref 0 in
+  for i = 0 to Array.length wa - 1 do
+    acc := !acc + popcount_word (Array.unsafe_get wa i land Array.unsafe_get wb i)
+  done;
+  !acc
+
 let copy s = { s with words = Array.copy s.words }
 let clear s = Array.fill s.words 0 (Array.length s.words) 0
 
+(* Restore [dst] to the contents of [src] without allocating; capacities must
+   match. Used by the kernel scratch arenas. *)
+let blit ~src ~dst =
+  assert (src.n = dst.n);
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
 let fill s =
-  for i = 0 to s.n - 1 do
-    add s i
-  done
+  let wlast = s.n / bits_per_word and r = s.n mod bits_per_word in
+  Array.fill s.words 0 wlast (-1);
+  if r > 0 then s.words.(wlast) <- (1 lsl r) - 1
 
 let complement s =
   let c = create s.n in
-  for i = 0 to s.n - 1 do
-    if not (mem s i) then add c i
+  let wn = Array.length s.words in
+  for i = 0 to wn - 1 do
+    c.words.(i) <- lnot s.words.(i)
   done;
+  (* re-establish the invariant that bits >= n are zero *)
+  let wlast = s.n / bits_per_word and r = s.n mod bits_per_word in
+  for i = wlast to wn - 1 do
+    c.words.(i) <- 0
+  done;
+  if r > 0 then c.words.(wlast) <- lnot s.words.(wlast) land ((1 lsl r) - 1);
   c
 
 let zip_words op a b =
@@ -76,18 +130,20 @@ let subset a b =
 
 let is_empty s = Array.for_all (fun w -> w = 0) s.words
 
+(* Number of trailing zeros of a nonzero word: isolate the lowest set bit and
+   popcount the run of ones below it. Branch-free; works for bit 62 because
+   [min_int - 1] wraps to [max_int]. *)
+let ntz x = popcount_word ((x land -x) - 1)
+
 let iter s f =
-  for w = 0 to Array.length s.words - 1 do
-    let word = ref s.words.(w) in
+  let words = s.words in
+  for w = 0 to Array.length words - 1 do
+    let word = ref (Array.unsafe_get words w) in
+    let base = w * bits_per_word in
     while !word <> 0 do
-      let low = !word land - !word in
-      let b =
-        (* index of the single set bit in [low] *)
-        let rec go b x = if x = 1 then b else go (b + 1) (x lsr 1) in
-        go 0 low
-      in
-      f ((w * bits_per_word) + b);
-      word := !word land lnot low
+      let x = !word in
+      f (base + ntz x);
+      word := x land (x - 1)
     done
   done
 

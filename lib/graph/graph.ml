@@ -3,18 +3,41 @@ type t = {
   offsets : int array; (* length n+1 *)
   adj : int array; (* length 2m; adj.(offsets.(u)..offsets.(u+1)-1) = nbrs of u *)
   edge_list : (int * int) array; (* normalized u <= v, with multiplicity *)
+  ep_u : int array; (* per edge: (word lsl 6) lor bit of the u endpoint *)
+  ep_v : int array; (* per edge: same packing for the v endpoint *)
 }
 
-let of_edges ~n edges =
-  if n < 0 then invalid_arg "Graph.of_edges: negative node count";
-  let check (u, v) =
-    if u < 0 || u >= n || v < 0 || v >= n then
-      invalid_arg "Graph.of_edges: endpoint out of range";
-    if u = v then invalid_arg "Graph.of_edges: self-loop"
-  in
-  Array.iter check edges;
-  let edge_list = Array.map (fun (u, v) -> if u <= v then (u, v) else (v, u)) edges in
-  Array.sort compare edge_list;
+let bpw = Bitset.bits_per_word
+let pack_pos i = ((i / bpw) lsl 6) lor (i mod bpw)
+
+(* Largest n for which the packed edge key u*n + v stays within a native int
+   (n^2 - 1 <= max_int). Above it we fall back to the tuple sort. *)
+let max_packed_n = 0x3FFFFFFF
+
+(* Sort normalized (u <= v) edges lexicographically. Packing each edge as the
+   int key u*n + v gives exactly the order of polymorphic compare on the
+   tuples (v < n, so key order is lexicographic order) while sorting with the
+   monomorphic int comparison — no polymorphic-compare calls, no per-element
+   indirection. *)
+let sort_edges ~n edge_list =
+  if n > 1 && n <= max_packed_n then begin
+    let m = Array.length edge_list in
+    let keys = Array.make m 0 in
+    for i = 0 to m - 1 do
+      let u, v = Array.unsafe_get edge_list i in
+      Array.unsafe_set keys i ((u * n) + v)
+    done;
+    Array.sort (fun (a : int) b -> compare a b) keys;
+    for i = 0 to m - 1 do
+      let k = Array.unsafe_get keys i in
+      Array.unsafe_set edge_list i (k / n, k mod n)
+    done
+  end
+  else Array.sort compare edge_list
+
+(* Build the CSR structure and packed endpoint arrays from an already
+   normalized and sorted edge list (ownership of the array is taken). *)
+let of_sorted_edge_list ~n edge_list =
   let deg = Array.make n 0 in
   Array.iter
     (fun (u, v) ->
@@ -34,9 +57,53 @@ let of_edges ~n edges =
       adj.(cursor.(v)) <- u;
       cursor.(v) <- cursor.(v) + 1)
     edge_list;
-  { n; offsets; adj; edge_list }
+  let m = Array.length edge_list in
+  let ep_u = Array.make m 0 and ep_v = Array.make m 0 in
+  Array.iteri
+    (fun e (u, v) ->
+      ep_u.(e) <- pack_pos u;
+      ep_v.(e) <- pack_pos v)
+    edge_list;
+  { n; offsets; adj; edge_list; ep_u; ep_v }
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative node count";
+  let check (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.of_edges: endpoint out of range";
+    if u = v then invalid_arg "Graph.of_edges: self-loop"
+  in
+  Array.iter check edges;
+  let edge_list = Array.map (fun (u, v) -> if u <= v then (u, v) else (v, u)) edges in
+  sort_edges ~n edge_list;
+  of_sorted_edge_list ~n edge_list
 
 let of_edge_list ~n edges = of_edges ~n (Array.of_list edges)
+
+(* Endpoint-array constructor: same graph as [of_edges] on the zipped pairs,
+   but skips the intermediate tuple array until after the (int-keyed) sort.
+   Used by the multilevel coarsener, which accumulates coarse edges in two
+   flat int stacks. *)
+let of_endpoints ~n ~m us vs =
+  if n < 0 then invalid_arg "Graph.of_endpoints: negative node count";
+  if m < 0 || m > Array.length us || m > Array.length vs then
+    invalid_arg "Graph.of_endpoints: bad edge count";
+  if n > 1 && n <= max_packed_n then begin
+    let keys = Array.make m 0 in
+    for i = 0 to m - 1 do
+      let u = us.(i) and v = vs.(i) in
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_endpoints: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_endpoints: self-loop";
+      let u, v = if u <= v then (u, v) else (v, u) in
+      Array.unsafe_set keys i ((u * n) + v)
+    done;
+    Array.sort (fun (a : int) b -> compare a b) keys;
+    let edge_list = Array.map (fun k -> (k / n, k mod n)) keys in
+    of_sorted_edge_list ~n edge_list
+  end
+  else of_edges ~n (Array.init m (fun i -> (us.(i), vs.(i))))
+
 let n_nodes g = g.n
 let n_edges g = Array.length g.edge_list
 let degree g u = g.offsets.(u + 1) - g.offsets.(u)
@@ -47,6 +114,9 @@ let max_degree g =
     m := max !m (degree g u)
   done;
   !m
+
+let csr_offsets g = g.offsets
+let csr_adj g = g.adj
 
 let iter_neighbors g u f =
   for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
@@ -63,6 +133,23 @@ let neighbors g u =
 
 let iter_edges g f = Array.iter (fun (u, v) -> f u v) g.edge_list
 let edges g = Array.copy g.edge_list
+
+(* Word-indexed cut capacity: one branch-free test per edge against the
+   side's backing words. The packed endpoint arrays cache each endpoint's
+   (word, bit) so the loop is two loads, two shifts and an xor per edge. *)
+let cut_size g side =
+  if Bitset.capacity side <> g.n then
+    invalid_arg "Graph.cut_size: side capacity mismatch";
+  let w = Bitset.unsafe_words side in
+  let eu = g.ep_u and ev = g.ep_v in
+  let acc = ref 0 in
+  for e = 0 to Array.length eu - 1 do
+    let pu = Array.unsafe_get eu e and pv = Array.unsafe_get ev e in
+    let bu = Array.unsafe_get w (pu lsr 6) lsr (pu land 63) in
+    let bv = Array.unsafe_get w (pv lsr 6) lsr (pv land 63) in
+    acc := !acc + ((bu lxor bv) land 1)
+  done;
+  !acc
 
 let mem_edge g u v =
   (* adjacency slices are sorted by construction (edge list sorted, then

@@ -15,6 +15,13 @@ val of_edges : n:int -> (int * int) array -> t
 (** [of_edge_list ~n edges] is {!of_edges} on a list. *)
 val of_edge_list : n:int -> (int * int) list -> t
 
+(** [of_endpoints ~n ~m us vs] is {!of_edges} on the [m] edges
+    [(us.(i), vs.(i))], without materializing the tuple array before the
+    sort. The coarsener's fast path: endpoints accumulate in two flat int
+    stacks and are packed straight into sort keys. Only the first [m] cells
+    of each array are read. *)
+val of_endpoints : n:int -> m:int -> int array -> int array -> t
+
 (** Number of nodes. *)
 val n_nodes : t -> int
 
@@ -26,6 +33,22 @@ val degree : t -> int -> int
 
 (** Largest degree over all nodes (0 for the empty graph). *)
 val max_degree : t -> int
+
+(** The CSR offset array itself (length [n + 1]) — not a copy. Neighbors of
+    [u] occupy [csr_adj g].(o.(u) .. o.(u+1) - 1). Borrowed and read-only:
+    mutating it corrupts the graph. Escape hatch for the partitioner inner
+    loops, which cannot afford a closure per neighbor. *)
+val csr_offsets : t -> int array
+
+(** The CSR adjacency array itself (length [2 * n_edges g]) — not a copy.
+    Same borrowing contract as {!csr_offsets}. *)
+val csr_adj : t -> int array
+
+(** [cut_size g side] is the number of edges (with multiplicity) with exactly
+    one endpoint in [side]: the capacity of the cut [(side, V - side)].
+    Branch-free word-indexed test per edge against the bitset's backing
+    words; equals the naive {!iter_edges} membership count exactly. O(m). *)
+val cut_size : t -> Bitset.t -> int
 
 (** [iter_neighbors g u f] applies [f] to each neighbor of [u], with
     multiplicity, in unspecified order. *)

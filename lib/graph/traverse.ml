@@ -98,8 +98,8 @@ let neighbors_of_set g s =
       Graph.iter_neighbors g u (fun v -> if not (Bitset.mem s v) then Bitset.add out v));
   out
 
+let c_recounts = Bfly_obs.Metrics.counter "cuts.kernel.recounts"
+
 let boundary_edges g s =
-  let c = ref 0 in
-  Graph.iter_edges g (fun u v ->
-      if Bitset.mem s u <> Bitset.mem s v then incr c);
-  !c
+  Bfly_obs.Metrics.incr c_recounts;
+  Graph.cut_size g s

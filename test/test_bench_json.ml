@@ -89,7 +89,7 @@ let test_metrics_json_carries_gate_fields () =
 let baseline_path =
   (* materialized in the build tree by the (deps ...) of test/dune; the
      test action runs in _build/default/test *)
-  "../BENCH_2026-08-06.json"
+  "../BENCH_2026-08-08.json"
 
 let load_baseline () =
   let text = In_channel.with_open_text baseline_path In_channel.input_all in

@@ -1,0 +1,349 @@
+(* Differential tests for the word-parallel cut kernels: every fast path
+   (SWAR popcounts, packed-endpoint cut counting, Bigarray gain buckets,
+   arena reuse) is checked bit-for-bit against a naive per-edge / per-bit
+   reference, with explicit coverage of the 63-bit word boundaries (the
+   last partial word, capacities of exactly 1/63/64/126 bits, and bit 62 —
+   the native sign bit). *)
+
+open Tu
+module Cut = Bfly_cuts.Cut
+module Gain = Bfly_cuts.Gain
+module Arena = Bfly_cuts.Arena
+module Traverse = Bfly_graph.Traverse
+
+(* the reference the kernels must reproduce exactly: one membership test
+   per edge endpoint, straight off the public bitset API *)
+let naive_cut g side =
+  let c = ref 0 in
+  G.iter_edges g (fun u v ->
+      if Bitset.mem side u <> Bitset.mem side v then incr c);
+  !c
+
+let naive_cardinal s =
+  let c = ref 0 in
+  for i = 0 to Bitset.capacity s - 1 do
+    if Bitset.mem s i then incr c
+  done;
+  !c
+
+(* capacities that straddle the 63-bit word layout *)
+let boundary_sizes = [ 1; 2; 62; 63; 64; 125; 126; 127; 189 ]
+
+let test_popcount_word_exhaustive_bits () =
+  (* every single-bit word, including bit 62 = the sign bit *)
+  for b = 0 to 62 do
+    check (Printf.sprintf "popcount of bit %d" b) 1
+      (Bitset.popcount_word (1 lsl b))
+  done;
+  check "popcount 0" 0 (Bitset.popcount_word 0);
+  (* all 63 bits of a native int set: the word is -1, and bit 62 makes
+     the word negative without perturbing the count *)
+  check "popcount of all 63 bits" 63 (Bitset.popcount_word (-1));
+  check "popcount max_int" 62 (Bitset.popcount_word max_int)
+
+let prop_popcount_word =
+  qcheck ~count:500 "SWAR popcount matches bit loop"
+    (seeded QCheck2.Gen.unit)
+    (fun ((), seed) ->
+      let rng = rng seed in
+      (* random 63-bit word, bias toward dense and sparse extremes *)
+      let w =
+        match Random.State.int rng 3 with
+        | 0 -> Int64.to_int (Random.State.bits64 rng)
+        | 1 -> (1 lsl Random.State.int rng 63) lor (1 lsl Random.State.int rng 63)
+        | _ -> lnot (1 lsl Random.State.int rng 63)
+      in
+      let naive = ref 0 in
+      for b = 0 to 62 do
+        if (w lsr b) land 1 = 1 then incr naive
+      done;
+      Bitset.popcount_word w = !naive)
+
+let prop_cardinal_and_boundaries =
+  qcheck ~count:300 "word-wise cardinal/fill/complement respect the tail"
+    (seeded QCheck2.Gen.(pair (int_range 1 200) (list (int_bound 199))))
+    (fun ((n, elts), seed) ->
+      ignore seed;
+      let s = Bitset.create n in
+      List.iter (fun e -> if e < n then Bitset.add s e) elts;
+      let ok1 = Bitset.cardinal s = naive_cardinal s in
+      let c = Bitset.complement s in
+      let ok2 = Bitset.cardinal c = n - Bitset.cardinal s in
+      Bitset.fill s;
+      let ok3 = Bitset.cardinal s = n in
+      (* tail bits must stay zero after word-wise fill/complement, or the
+         popcount kernels overcount: re-derive via the naive reference *)
+      ok1 && ok2 && ok3 && naive_cardinal s = n && naive_cardinal c = Bitset.cardinal c)
+
+let test_cardinal_boundary_sizes () =
+  List.iter
+    (fun n ->
+      let s = Bitset.create n in
+      Bitset.fill s;
+      check (Printf.sprintf "fill cardinal n=%d" n) n (Bitset.cardinal s);
+      let e = Bitset.complement s in
+      check (Printf.sprintf "complement of full n=%d" n) 0 (Bitset.cardinal e);
+      let f = Bitset.complement e in
+      check (Printf.sprintf "double complement n=%d" n) n (Bitset.cardinal f);
+      if n > 1 then begin
+        Bitset.remove s (n - 1);
+        check
+          (Printf.sprintf "last-bit remove n=%d" n)
+          (n - 1) (Bitset.cardinal s)
+      end)
+    boundary_sizes
+
+let prop_inter_cardinal =
+  qcheck ~count:300 "inter_cardinal equals naive intersection count"
+    (seeded QCheck2.Gen.(pair (int_range 1 200) (pair (list (int_bound 199)) (list (int_bound 199)))))
+    (fun ((n, (ea, eb)), seed) ->
+      ignore seed;
+      let a = Bitset.create n and b = Bitset.create n in
+      List.iter (fun e -> if e < n then Bitset.add a e) ea;
+      List.iter (fun e -> if e < n then Bitset.add b e) eb;
+      let naive = ref 0 in
+      for i = 0 to n - 1 do
+        if Bitset.mem a i && Bitset.mem b i then incr naive
+      done;
+      Bitset.inter_cardinal a b = !naive)
+
+let prop_iter_ascending =
+  qcheck ~count:300 "ntz-based iter yields members ascending, exactly once"
+    (seeded QCheck2.Gen.(pair (int_range 1 200) (list (int_bound 199))))
+    (fun ((n, elts), seed) ->
+      ignore seed;
+      let s = Bitset.create n in
+      List.iter (fun e -> if e < n then Bitset.add s e) elts;
+      let seen = ref [] in
+      Bitset.iter s (fun i -> seen := i :: !seen);
+      let got = List.rev !seen in
+      let expect = ref [] in
+      for i = n - 1 downto 0 do
+        if Bitset.mem s i then expect := i :: !expect
+      done;
+      got = !expect)
+
+let prop_cut_size_matches_naive =
+  qcheck ~count:300 "packed-endpoint cut_size equals per-edge reference"
+    (seeded QCheck2.Gen.(pair (int_range 2 200) (list (int_bound 199))))
+    (fun ((n, elts), seed) ->
+      let rng = rng seed in
+      let g = random_graph ~rng n ~extra_edges:(2 * n) in
+      let side = Bitset.create n in
+      List.iter (fun e -> if e < n then Bitset.add side e) elts;
+      G.cut_size g side = naive_cut g side)
+
+let test_cut_size_boundary_sizes () =
+  (* paths across word boundaries: the cut of a prefix side of a path is
+     exactly the number of side borders, easy to enumerate *)
+  List.iter
+    (fun n ->
+      if n >= 2 then begin
+        let g =
+          G.of_edge_list ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+        in
+        for k = 0 to min n 4 do
+          let side = Bitset.create n in
+          for i = 0 to k - 1 do
+            Bitset.add side i
+          done;
+          let expected = if k = 0 || k = n then 0 else 1 in
+          check
+            (Printf.sprintf "path prefix cut n=%d k=%d" n k)
+            expected (G.cut_size g side)
+        done;
+        (* alternating side: every edge is cut *)
+        let alt = Bitset.create n in
+        for i = 0 to n - 1 do
+          if i land 1 = 0 then Bitset.add alt i
+        done;
+        check
+          (Printf.sprintf "alternating cut n=%d" n)
+          (n - 1) (G.cut_size g alt)
+      end)
+    boundary_sizes
+
+let prop_state_flip_sequences =
+  qcheck ~count:300 "incremental flips track the word-parallel recount"
+    (seeded QCheck2.Gen.(pair (int_range 2 150) (list (int_bound 149))))
+    (fun ((n, flips), seed) ->
+      let rng = rng seed in
+      let g = random_graph ~rng n ~extra_edges:(3 * n) in
+      let side = random_subset ~rng n (n / 2) in
+      let st = Cut.State.create g side in
+      List.for_all
+        (fun v ->
+          let v = v mod n in
+          Cut.State.flip st v;
+          Cut.State.capacity st
+          = Traverse.boundary_edges g (Cut.State.side st))
+        flips)
+
+(* ------------------------------------------------------------------ *)
+(* Gain buckets: Bigarray structure vs a naive recency-list model      *)
+(* ------------------------------------------------------------------ *)
+
+(* Model: newest-first list of (node, gain). Bucket LIFO order means the
+   peek winner is the newest element among those of maximal gain. *)
+module Model = struct
+  type t = (int * int) list ref
+
+  let create () : t = ref []
+  let mem (m : t) v = List.mem_assoc v !m
+  let insert (m : t) v g = m := (v, g) :: !m
+  let remove (m : t) v = m := List.filter (fun (u, _) -> u <> v) !m
+
+  let update (m : t) v g =
+    (* the structure relinks only when the gain changes, which keeps the
+       node's recency position otherwise *)
+    if List.assoc v !m <> g then begin
+      remove m v;
+      insert m v g
+    end
+
+  let peek (m : t) =
+    match !m with
+    | [] -> None
+    | l ->
+        let gmax = List.fold_left (fun acc (_, g) -> max acc g) min_int l in
+        Some (fst (List.find (fun (_, g) -> g = gmax) l), gmax)
+
+  let cardinal (m : t) = List.length !m
+end
+
+(* one random op applied to both structure and model; ops are encoded as
+   ints so qcheck can shrink the sequence *)
+let apply_op gain model ~n ~max_gain op =
+  let v = op mod n and kind = (op / n) mod 4 in
+  let g = (op mod ((2 * max_gain) + 1)) - max_gain in
+  match kind with
+  | 0 ->
+      if not (Gain.mem gain v) then begin
+        Gain.insert gain v g;
+        Model.insert model v g
+      end
+  | 1 ->
+      if Gain.mem gain v then begin
+        Gain.remove gain v;
+        Model.remove model v
+      end
+  | 2 ->
+      if Gain.mem gain v then begin
+        Gain.update gain v g;
+        Model.update model v g
+      end
+  | _ -> (
+      match (Gain.pop gain, Model.peek model) with
+      | None, None -> ()
+      | Some (pv, pg), Some (mv, mg) when pv = mv && pg = mg ->
+          Model.remove model pv
+      | _ -> failwith "pop mismatch")
+
+let run_ops gain model ~n ~max_gain ops =
+  List.iter (fun op -> apply_op gain model ~n ~max_gain (abs op)) ops;
+  (* final agreement: membership, gains, cardinal, and drain order *)
+  let ok = ref (Gain.cardinal gain = Model.cardinal model) in
+  for v = 0 to n - 1 do
+    if Gain.mem gain v <> Model.mem model v then ok := false
+    else if Gain.mem gain v && Gain.gain gain v <> List.assoc v !model then
+      ok := false
+  done;
+  let continue = ref true in
+  while !continue do
+    match (Gain.pop gain, Model.peek model) with
+    | None, None -> continue := false
+    | Some (pv, pg), Some (mv, mg) when pv = mv && pg = mg ->
+        Model.remove model pv
+    | _ ->
+        ok := false;
+        continue := false
+  done;
+  !ok
+
+let prop_gain_matches_model =
+  qcheck ~count:300 "Bigarray gain buckets match the recency-list model"
+    (seeded QCheck2.Gen.(pair (int_range 1 40) (list (int_bound 100000))))
+    (fun ((n, ops), seed) ->
+      ignore seed;
+      let max_gain = 6 in
+      let gain = Gain.create ~max_gain n in
+      let model = Model.create () in
+      run_ops gain model ~n ~max_gain ops)
+
+let prop_gain_reset_is_fresh =
+  qcheck ~count:200 "a reset gain structure behaves like a fresh create"
+    (seeded
+       QCheck2.Gen.(
+         pair
+           (pair (int_range 1 40) (list (int_bound 100000)))
+           (pair (int_range 1 70) (list (int_bound 100000)))))
+    (fun (((n1, ops1), (n2, ops2)), seed) ->
+      ignore seed;
+      (* dirty the structure with one workload, reset to different
+         dimensions, then require model agreement on a second workload *)
+      let gain = Gain.create ~max_gain:5 n1 in
+      let model1 = Model.create () in
+      ignore (run_ops gain model1 ~n:n1 ~max_gain:5 ops1);
+      Gain.reset gain ~max_gain:8 n2;
+      let model2 = Model.create () in
+      run_ops gain model2 ~n:n2 ~max_gain:8 ops2)
+
+let test_gain_invalid_args_preserved () =
+  let g = Gain.create ~max_gain:2 4 in
+  Alcotest.check_raises "out-of-range gain"
+    (Invalid_argument "Gain.insert: gain out of range") (fun () ->
+      Gain.insert g 0 3);
+  Gain.insert g 0 1;
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Gain.insert: node already enqueued") (fun () ->
+      Gain.insert g 0 0);
+  Alcotest.check_raises "remove of absent"
+    (Invalid_argument "Gain.remove: node not enqueued") (fun () ->
+      Gain.remove g 1)
+
+(* ------------------------------------------------------------------ *)
+(* Arena: acquisition must be observationally fresh                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_arena_reuse_is_clean () =
+  let arena = Arena.create () in
+  let a = Arena.ints arena ~slot:0 10 in
+  Array.fill a 0 (Array.length a) 7;
+  let b = Arena.ints arena ~slot:0 10 in
+  checkb "same buffer reused" true (a == b);
+  checkb "zeroed on reacquisition" true (Array.for_all (fun x -> x = 0) b);
+  let s = Arena.set arena ~slot:0 100 in
+  Bitset.add s 42;
+  let s' = Arena.set arena ~slot:0 100 in
+  checkb "same bitset reused" true (s == s');
+  checkb "cleared on reacquisition" true (Bitset.is_empty s');
+  (* distinct slots and capacities are distinct buffers *)
+  let t = Arena.set arena ~slot:1 100 in
+  checkb "slots are independent" true (not (t == s'));
+  let u = Arena.set arena ~slot:0 101 in
+  checkb "capacities are independent" true (not (u == s'))
+
+let test_arena_growth_keeps_contents_disjoint () =
+  let arena = Arena.create () in
+  let a = Arena.raw_ints arena ~slot:3 4 in
+  checkb "raw buffer at least requested" true (Array.length a >= 4);
+  let b = Arena.raw_ints arena ~slot:3 4096 in
+  checkb "grown buffer at least requested" true (Array.length b >= 4096)
+
+let suite =
+  [
+    case "popcount single bits" test_popcount_word_exhaustive_bits;
+    prop_popcount_word;
+    prop_cardinal_and_boundaries;
+    case "boundary capacities" test_cardinal_boundary_sizes;
+    prop_inter_cardinal;
+    prop_iter_ascending;
+    prop_cut_size_matches_naive;
+    case "path cuts at word boundaries" test_cut_size_boundary_sizes;
+    prop_state_flip_sequences;
+    prop_gain_matches_model;
+    prop_gain_reset_is_fresh;
+    case "gain invalid arguments" test_gain_invalid_args_preserved;
+    case "arena reuse is clean" test_arena_reuse_is_clean;
+    case "arena growth" test_arena_growth_keeps_contents_disjoint;
+  ]

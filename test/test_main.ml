@@ -12,6 +12,7 @@ let () =
       ("multibutterfly", Test_multibutterfly.suite);
       ("cuts", Test_cuts.suite);
       ("multilevel", Test_multilevel.suite);
+      ("kernels", Test_kernels.suite);
       ("cache", Test_cache.suite);
       ("resil", Test_resil.suite);
       ("flow-and-layout", Test_flow_layout.suite);
