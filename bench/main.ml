@@ -138,7 +138,7 @@ let ( json_file,
     !serve_workers )
 
 (* experiments cheap enough to gate every CI run on *)
-let smoke_experiments = [ "E2"; "E4"; "E10"; "E14"; "F1" ]
+let smoke_experiments = [ "E2"; "E4"; "E10"; "E14"; "F1"; "D1" ]
 
 let run_experiments () =
   print_endline "==============================================================";
@@ -193,7 +193,10 @@ let run_check () =
 (* Counter totals the CI gates key on; must be read before the Bechamel
    stage, whose timing-dependent iteration counts keep ticking cache.hit. *)
 let gate_counters =
-  [ "exact.bb.nodes"; "cache.hit"; "cache.miss"; "ml.levels"; "ml.refine.moves" ]
+  [
+    "exact.bb.nodes"; "cache.hit"; "cache.miss"; "ml.levels"; "ml.refine.moves";
+    "fabric.builds"; "constructions.dimension.cuts"; "product.sandwich.checks";
+  ]
 
 let gate_snapshot () =
   List.map

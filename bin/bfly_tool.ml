@@ -3,6 +3,8 @@
    bfly_tool info      <network> <n>       structural summary
    bfly_tool bisect    <network> <n>       bisection-width bracket
    bfly_tool bw        <solver> ...        individual bisection solvers
+                       (accepts --graph SPEC for mesh:/torus:/torus3d:/
+                        bcube:/product: data-center fabrics)
    bfly_tool expansion <network> <n> -k K  expansion values
    bfly_tool render    <network> <n>       ASCII / DOT rendering
    bfly_tool route     <n>                 greedy routing simulation
@@ -37,6 +39,51 @@ let net_arg =
   Arg.(required & pos 0 (some network_conv) None & info [] ~docv:"NETWORK")
 
 let n_arg = Arg.(required & pos 1 (some int) None & info [] ~docv:"N")
+
+(* ---- --graph (product-network fabrics) ---- *)
+
+(* The bw subcommands accept either the classic positional pair
+   (NETWORK N) or [--graph SPEC] naming a data-center fabric whose spec
+   already fixes the size; [n] is pinned to 0 for fabrics so their job
+   fingerprints are canonical. A fabric spec is also accepted positionally
+   (with N omitted). *)
+
+let fabric_conv =
+  let parse s =
+    match Bfly_networks.Fabric.spec_of_string s with
+    | Ok spec -> Ok (Job.Fabric spec)
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf net = Format.pp_print_string ppf (Job.net_name net) in
+  Arg.conv (parse, print)
+
+let graph_arg =
+  Arg.(
+    value
+    & opt (some fabric_conv) None
+    & info [ "graph" ] ~docv:"SPEC"
+        ~doc:
+          "Solve on a product-network fabric instead of a butterfly family: \
+           $(b,mesh:2x4x8), $(b,torus:4x4x4) (alias $(b,torus3d:)), \
+           $(b,bcube:PORTSxLEVELS), or $(b,product:path2xring3xk4). \
+           Replaces the positional NETWORK and N arguments.")
+
+let net_opt_arg =
+  Arg.(value & pos 0 (some network_conv) None & info [] ~docv:"NETWORK")
+
+let n_opt_arg = Arg.(value & pos 1 (some int) None & info [] ~docv:"N")
+
+let resolve_instance graph net n =
+  match (graph, net, n) with
+  | Some fabric, None, None -> Ok (fabric, 0)
+  | Some _, Some _, _ | Some _, _, Some _ ->
+      Error "--graph replaces the positional NETWORK and N arguments"
+  | None, Some (Job.Fabric _ as fabric), None -> Ok (fabric, 0)
+  | None, Some (Job.Fabric _), Some _ ->
+      Error "omit N for fabric specs (the spec fixes the size)"
+  | None, Some net, Some n -> Ok (net, n)
+  | None, Some _, None -> Error "missing N (required for butterfly families)"
+  | None, None, _ -> Error "specify NETWORK N or --graph SPEC"
 
 let handle = function
   | Ok () -> 0
@@ -146,7 +193,12 @@ let bisect_run metrics no_cache deadline net n dot =
   finishing metrics @@
   handle @@
   supervised deadline @@ fun () ->
-    (match log2_exact n with
+    (if Job.is_fabric net then
+       Error
+         "bisect covers the butterfly families; use 'bw ml --graph SPEC' \
+          (heuristic) or 'bw exact --graph SPEC' for fabrics"
+     else
+     match log2_exact n with
     | None -> Error "n must be a power of two"
     | Some _ -> (
         let bracket =
@@ -155,6 +207,7 @@ let bisect_run metrics no_cache deadline net n dot =
           | Job.Wrapped -> if n >= 4 then Ok (Bfly_core.Bw.wrapped n) else Error "n >= 4"
           | Job.Ccc ->
               if n >= 4 then Ok (Bfly_core.Bw.ccc n) else Error "n >= 4"
+          | Job.Fabric _ -> assert false
         in
         match bracket with
         | Error e -> Error e
@@ -340,21 +393,24 @@ let layout_cmd =
 
 (* ---- bw ---- *)
 
-let bw_exact_run metrics no_cache net n deadline max_nodes resume =
+let bw_exact_run metrics no_cache graph net n deadline max_nodes resume =
   set_cache no_cache;
   finishing metrics @@
   handle
-    (run_job ?deadline
-       (Job.Bw
-          {
-            Job.solver = Job.Exact;
-            net;
-            n;
-            seed = 1;
-            restarts = 1;
-            max_nodes;
-            resume;
-          }))
+    (match resolve_instance graph net n with
+    | Error e -> Error e
+    | Ok (net, n) ->
+        run_job ?deadline
+          (Job.Bw
+             {
+               Job.solver = Job.Exact;
+               net;
+               n;
+               seed = 1;
+               restarts = 1;
+               max_nodes;
+               resume;
+             }))
 
 let bw_exact_cmd =
   let max_nodes =
@@ -385,8 +441,8 @@ let bw_exact_cmd =
           checkpoint that $(b,--resume) continues from. Every result is \
           re-validated before being printed.")
     Term.(
-      const bw_exact_run $ metrics_arg $ no_cache_arg $ net_arg $ n_arg
-      $ deadline_arg $ max_nodes $ resume)
+      const bw_exact_run $ metrics_arg $ no_cache_arg $ graph_arg
+      $ net_opt_arg $ n_opt_arg $ deadline_arg $ max_nodes $ resume)
 
 let seed_arg =
   Arg.(
@@ -400,28 +456,32 @@ let restarts_arg =
     & info [ "restarts" ] ~docv:"R"
         ~doc:"Independent seeded restarts; the best cut found wins.")
 
-let bw_heuristic_run solver metrics no_cache net n deadline seed restarts =
+let bw_heuristic_run solver metrics no_cache graph net n deadline seed restarts
+    =
   set_cache no_cache;
   finishing metrics @@
   handle
-    (run_job ?deadline
-       (Job.Bw
-          {
-            Job.solver;
-            net;
-            n;
-            seed;
-            restarts;
-            max_nodes = None;
-            resume = false;
-          }))
+    (match resolve_instance graph net n with
+    | Error e -> Error e
+    | Ok (net, n) ->
+        run_job ?deadline
+          (Job.Bw
+             {
+               Job.solver;
+               net;
+               n;
+               seed;
+               restarts;
+               max_nodes = None;
+               resume = false;
+             }))
 
 let bw_heuristic_cmd solver ~name ~doc =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const (bw_heuristic_run solver)
-      $ metrics_arg $ no_cache_arg $ net_arg $ n_arg $ deadline_arg $ seed_arg
-      $ restarts_arg)
+      $ metrics_arg $ no_cache_arg $ graph_arg $ net_opt_arg $ n_opt_arg
+      $ deadline_arg $ seed_arg $ restarts_arg)
 
 let bw_kl_cmd =
   bw_heuristic_cmd Job.Kl ~name:"kl"

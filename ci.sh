@@ -10,7 +10,8 @@
 #   build    dune build
 #   fmt      dune build @fmt (skipped when ocamlformat is not installed)
 #   runtest  dune runtest (alcotest/qcheck suites, bench+check smoke rules)
-#   check    differential-oracle smoke battery, fixed seed
+#   check    differential-oracle smoke battery, fixed seed, plus
+#            multilevel and product-network (torus:4x4x4) CLI smokes
 #   chaos    the same battery under fault injection — faults may cost
 #            work, never correctness
 #   doc      dune build @doc-private — the libraries are private, so the
@@ -22,9 +23,10 @@
 #            admission control, and a concurrent 4-client TCP replay
 #            byte-identical to the sequential one, drained by SIGTERM
 #   loadgen  deterministic load replay: committed-baseline gate
-#            (deterministic fields, cross-machine), self-baseline latency
-#            gate (p99/throughput within slack), and — on boxes with
-#            enough cores — a concurrency speedup check
+#            (deterministic fields, cross-machine), the data-center
+#            fabric mix against its own committed baseline, self-baseline
+#            latency gate (p99/throughput within slack), and — on boxes
+#            with enough cores — a concurrency speedup check
 #   warm     warm-cache determinism: second bench run serves from cache,
 #            values byte-identical
 #   resume   interrupted exact search resumes to the uninterrupted value
@@ -40,6 +42,8 @@ ALL_STAGES="build fmt runtest check chaos doc serve loadgen warm resume compare"
 BASELINE=BENCH_2026-08-08.json
 LOADGEN_BASELINE=LOADGEN_2026-08-08.json
 LOADGEN_TRACE=bench/loadgen_trace.ndjson
+LOADGEN_DC_BASELINE=LOADGEN_DC_2026-08-08.json
+LOADGEN_DC_TRACE=bench/loadgen_dc_trace.ndjson
 
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
@@ -82,6 +86,18 @@ stage_check() {
   # the flat kernels also handle, so regressions surface before the
   # bench-scale sweeps
   dune exec -- bin/bfly_tool.exe bw ml butterfly 64
+  # product-network smoke: the heuristic on a small 3-D torus must land
+  # exactly on the certified closed form 2N/a_max = 32 (the oracle battery
+  # above already runs the full sandwich family; this pins the CLI path)
+  out=$(dune exec -- bin/bfly_tool.exe bw ml --graph torus:4x4x4)
+  echo "$out"
+  case $out in
+  *"BW <= 32"*) ;;
+  *)
+    echo "FAIL: torus:4x4x4 heuristic drifted from the certified width 32" >&2
+    exit 1
+    ;;
+  esac
 }
 
 # Same differential suite with every fault class armed (disk I/O errors,
@@ -243,6 +259,16 @@ stage_loadgen() {
   BFLY_CACHE_DIR="$scratch/lg-cache" dune exec -- bin/bfly_tool.exe \
     loadgen --trace "$LOADGEN_TRACE" --seed 1 --clients 4 --repeat 10 \
     --compare "$LOADGEN_BASELINE" --no-timing > /dev/null
+  # data-center mix: the fabric-job trace (ml/exact/spectral on meshes,
+  # tori, bcubes, plus malformed-request probes) against its own
+  # committed baseline — deterministic fields only, cross-machine
+  [ -f "$LOADGEN_DC_BASELINE" ] || {
+    echo "FAIL: committed baseline $LOADGEN_DC_BASELINE is missing" >&2
+    exit 1
+  }
+  BFLY_CACHE_DIR="$scratch/lg-dc-cache" dune exec -- bin/bfly_tool.exe \
+    loadgen --trace "$LOADGEN_DC_TRACE" --seed 1 --clients 4 --repeat 10 \
+    --compare "$LOADGEN_DC_BASELINE" --no-timing > /dev/null
   # same-machine latency gate: record, re-run, compare with slack — this
   # is the stage that fails on an injected p99/throughput regression
   BFLY_CACHE_DIR="$scratch/lg-cache" dune exec -- bin/bfly_tool.exe \

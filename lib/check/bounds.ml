@@ -223,6 +223,128 @@ let expansion_envelopes ~smoke =
         envelope_ee_butterfly ~log_n:4 ~dim:2 ~with_exact:false;
       ]
 
+(* ------------------------------------------------------------------ *)
+(* Product networks (arXiv:1202.6291)                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Gen = Bfly_graph.Generators
+module Fabric = Bfly_networks.Fabric
+module Constructions = Bfly_cuts.Constructions
+module Multilevel = Bfly_cuts.Multilevel
+
+(* The closed-form arithmetic lives in {!Fabric} (pure spec arithmetic,
+   usable by the experiment harness below bfly_check in the dependency
+   order); the oracles here re-export and *check* it against constructed
+   cuts and solver outputs. *)
+type product_bound = Fabric.bound = {
+  lower : int;
+  exact : int option;
+  method_ : string;
+}
+
+let mesh_bounds = Fabric.mesh_bounds
+let torus_bounds = Fabric.torus_bounds
+let hamming_bounds = Fabric.hamming_bounds
+let fabric_bounds = Fabric.bounds
+
+let c_sandwich = Bfly_obs.Metrics.counter "product.sandwich.checks"
+
+let product_rng () = Random.State.make [| 0xfab; 0x5eed |]
+
+let product_sandwich ?(with_exact = false) spec =
+  let fab = Fabric.create spec in
+  let g = Fabric.graph fab in
+  let name = Fabric.name spec in
+  let b = fabric_bounds spec in
+  let axis, constructed, side =
+    Constructions.best_dimension_cut ~dims:(Fabric.dims spec) g
+  in
+  let side_inv = Invariants.bisection_cut g ~value:constructed ~witness:side in
+  let heur, hside = Multilevel.bisect ~rng:(product_rng ()) g in
+  let heur_inv = Invariants.bisection_cut g ~value:heur ~witness:hside in
+  Bfly_obs.Metrics.incr c_sandwich;
+  let closed_ok, closed_detail =
+    match b.exact with
+    | Some v -> (b.lower = v && constructed = v, Printf.sprintf "; closed form %d" v)
+    | None -> (true, "")
+  in
+  let exact_ok, exact_detail =
+    if with_exact then begin
+      let exact, _ = Bfly_cuts.Exact.bisection_width g in
+      ( b.lower <= exact && exact <= heur
+        && (match b.exact with Some v -> exact = v | None -> true),
+        Printf.sprintf "; exact %d" exact )
+    end
+    else (true, "")
+  in
+  mk
+    (Printf.sprintf "product-sandwich/%s" name)
+    (Invariants.is_pass side_inv && Invariants.is_pass heur_inv
+    && b.lower <= heur && heur <= constructed && closed_ok && exact_ok)
+    (Printf.sprintf "LB %d (%s) <= ml %d <= constructed %d (axis %d)%s%s%s"
+       b.lower b.method_ heur constructed axis closed_detail exact_detail
+       (match
+          ( Invariants.message side_inv,
+            Invariants.message heur_inv )
+        with
+       | None, None -> ""
+       | Some m, _ | _, Some m -> "; witness: " ^ m))
+
+(* BW(G × K_2) identities, checked exactly on small instances: the cut
+   between the two copies of G is always a bisection of capacity |V(G)|,
+   and when |V(G)| is even a doubled bisection of G is balanced too, so
+   BW(G × K_2) <= min(2·BW(G), |V(G)|); with odd |V(G)| only the copy cut
+   survives (the doubled cut is unbalanced — mesh 2x3x3 realizes
+   BW = |V(G)| = 9 > 2·BW(3x3) = 8). *)
+let product_k2_identity ~name g =
+  let nv = G.n_nodes g in
+  let bw_g, _ = Bfly_cuts.Exact.bisection_width g in
+  let prod = Gen.product g (Gen.complete 2) in
+  let bw_p, _ = Bfly_cuts.Exact.bisection_width prod in
+  let ub = if nv mod 2 = 0 then min (2 * bw_g) nv else nv in
+  mk
+    (Printf.sprintf "product-identity/BW(%s x K2)" name)
+    (bw_p <= ub)
+    (Printf.sprintf "BW(G x K2) = %d <= %d (BW(G) = %d, |V| = %d)" bw_p ub
+       bw_g nv)
+
+let product_networks ~smoke =
+  let base =
+    [
+      (* even closed forms: LB = construction = exact formula *)
+      product_sandwich ~with_exact:true (Fabric.Mesh [ 4; 4 ]);
+      product_sandwich ~with_exact:true (Fabric.Torus [ 4; 4 ]);
+      (* all-odd closed form *)
+      product_sandwich ~with_exact:true (Fabric.Mesh [ 3; 3 ]);
+      (* BCube-style: H(3,2) is the hypercube Q_3 *)
+      product_sandwich ~with_exact:true
+        (Fabric.Bcube { ports = 2; levels = 3 });
+      (* 3-D all-odd torus, heuristic + construction only (27 nodes) *)
+      product_sandwich (Fabric.Torus [ 3; 3; 3 ]);
+      (* mixed product: certified spanning-mesh LB only *)
+      product_sandwich ~with_exact:true
+        (Fabric.Product [ Fabric.Fpath 2; Fabric.Fclique 4 ]);
+      product_k2_identity ~name:"P5" (Gen.path 5);
+    ]
+  in
+  if smoke then base
+  else
+    base
+    @ [
+        product_sandwich ~with_exact:true (Fabric.Mesh [ 3; 5 ]);
+        product_sandwich ~with_exact:true (Fabric.Mesh [ 2; 3; 3 ]);
+        product_sandwich ~with_exact:true (Fabric.Torus [ 3; 5 ]);
+        product_sandwich ~with_exact:true
+          (Fabric.Bcube { ports = 4; levels = 2 });
+        product_sandwich (Fabric.Mesh [ 2; 4; 8 ]);
+        product_sandwich (Fabric.Torus [ 4; 4; 4 ]);
+        product_sandwich (Fabric.Bcube { ports = 4; levels = 3 });
+        product_sandwich
+          (Fabric.Product [ Fabric.Fring 4; Fabric.Fclique 3; Fabric.Fpath 2 ]);
+        product_k2_identity ~name:"grid3x3" (Gen.grid ~rows:3 ~cols:3);
+        product_k2_identity ~name:"C6" (Gen.cycle 6);
+      ]
+
 let all ~smoke =
   Bfly_obs.Span.time ~name:"check.bounds" @@ fun () ->
   let laws =
@@ -234,4 +356,4 @@ let all ~smoke =
       @ butterfly_sandwich ~log_n:2
       @ butterfly_sandwich ~log_n:3
   in
-  laws @ expansion_envelopes ~smoke
+  laws @ expansion_envelopes ~smoke @ product_networks ~smoke

@@ -91,7 +91,7 @@ let connected_random ~rng n ~extra_edges =
 
 let gen_instance ~rng =
   let n = 4 + Random.State.int rng 11 in
-  match Random.State.int rng 6 with
+  match Random.State.int rng 7 with
   | 0 ->
       let extra = Random.State.int rng (2 * n) in
       instance_of_graph
@@ -101,7 +101,7 @@ let gen_instance ~rng =
       let n = if n mod 2 = 1 then n + 1 else n in
       instance_of_graph
         (Printf.sprintf "random-3-regular n=%d" n)
-        (Gen.random_regular ~rng ~n ~degree:3)
+        (Gen.random_regular ~simple:true ~rng ~n ~degree:3)
   | 2 ->
       instance_of_graph
         (Printf.sprintf "gnp n=%d p=0.3" n)
@@ -113,11 +113,17 @@ let gen_instance ~rng =
       instance_of_graph
         (Printf.sprintf "grid %dx%d" rows cols)
         (Gen.grid ~rows ~cols)
-  | _ ->
+  | 5 ->
       let depth = 2 + Random.State.int rng 2 in
       instance_of_graph
         (Printf.sprintf "binary-tree depth=%d" depth)
         (Gen.binary_tree depth)
+  | _ ->
+      let a = 2 + Random.State.int rng 3 in
+      let b = 3 + Random.State.int rng 2 in
+      instance_of_graph
+        (Printf.sprintf "product path%d x cycle%d" a b)
+        (Gen.product (Gen.path a) (Gen.cycle b))
 
 (* ---- shrinking ---- *)
 

@@ -3,6 +3,7 @@ module Bitset = Bfly_graph.Bitset
 module Traverse = Bfly_graph.Traverse
 module Perm = Bfly_graph.Perm
 module Butterfly = Bfly_networks.Butterfly
+module Fabric = Bfly_networks.Fabric
 module Wrapped = Bfly_networks.Wrapped
 module Ccc = Bfly_networks.Ccc
 module Benes = Bfly_networks.Benes
@@ -748,6 +749,61 @@ let a4_branch_and_bound_pruning () =
          ("Q_4", Bfly_networks.Hypercube.graph (Bfly_networks.Hypercube.create ~dim:4));
        ])
 
+let d1_datacenter_fabrics () =
+  (* the sandwich on each fabric: certified LB (Fabric.bounds, the
+     arXiv:1202.6291 closed forms) <= multilevel heuristic <= best
+     dimension-aligned planar cut; where a theorem covers the instance the
+     three collapse to equality *)
+  let row spec =
+    let fab = Fabric.create spec in
+    let g = Fabric.graph fab in
+    let b = Fabric.bounds spec in
+    let _axis, cut, _side =
+      Constructions.best_dimension_cut ~dims:(Fabric.dims spec) g
+    in
+    let heur, _ =
+      Multilevel.bisect ~rng:(Random.State.make [| 0xfab; 0x5eed |]) g
+    in
+    let ok =
+      b.Fabric.lower <= heur && heur <= cut
+      && (match b.Fabric.exact with
+         | Some v -> v = b.Fabric.lower && v = cut
+         | None -> true)
+    in
+    [
+      Fabric.name spec;
+      fi (Fabric.size fab);
+      fi b.Fabric.lower;
+      fi heur;
+      fi cut;
+      Report.fopt fi b.Fabric.exact;
+      Report.fbool ok;
+      b.Fabric.method_;
+    ]
+  in
+  Report.table
+    ~title:
+      "D1 (arXiv:1202.6291): data-center fabrics — certified LB <= \
+       multilevel <= dimension cut, with equality where a closed form \
+       applies"
+    ~header:
+      [ "fabric"; "N"; "cert.LB"; "ml"; "dim-cut"; "exact"; "sandwich"; "method" ]
+    (List.map row
+       [
+         Fabric.Mesh [ 4; 4 ];
+         Fabric.Mesh [ 3; 3 ];
+         Fabric.Mesh [ 3; 5 ];
+         Fabric.Mesh [ 2; 3; 3 ];
+         Fabric.Mesh [ 2; 4; 8 ];
+         Fabric.Torus [ 4; 4 ];
+         Fabric.Torus [ 3; 3; 3 ];
+         Fabric.Torus [ 4; 4; 4 ];
+         Fabric.Bcube { ports = 2; levels = 3 };
+         Fabric.Bcube { ports = 4; levels = 2 };
+         Fabric.Product [ Fabric.Fpath 2; Fabric.Fclique 4 ];
+         Fabric.Product [ Fabric.Fring 4; Fabric.Fclique 3; Fabric.Fpath 2 ];
+       ])
+
 let f1_figure_1 () = Bfly_networks.Render.figure_1 ()
 
 let f2_figure_2 () =
@@ -800,4 +856,5 @@ let all =
     ("E18", e18_lower_bound_techniques);
     ("A4", a4_branch_and_bound_pruning);
     ("F2", f2_figure_2);
+    ("D1", d1_datacenter_fabrics);
   ]

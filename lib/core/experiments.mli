@@ -87,6 +87,13 @@ val a4_branch_and_bound_pruning : unit -> string
 (** Ablation: search nodes visited by the exact solver with and without
     its per-node degree lower bound. *)
 
+val d1_datacenter_fabrics : unit -> string
+(** Data-center capacity planning (arXiv:1202.6291): for each named
+    fabric (meshes, tori, BCube-style Hamming graphs, mixed products),
+    the sandwich [certified LB ≤ multilevel heuristic ≤ best
+    dimension-aligned cut], with all three equal where a parity theorem
+    covers the instance. *)
+
 val f1_figure_1 : unit -> string
 (** Figure 1: the 32-node butterfly [B_8]. *)
 

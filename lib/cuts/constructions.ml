@@ -193,6 +193,62 @@ let mos_pullback_cut b params =
       assert (Bitset.cardinal side = geo.target);
       side
 
+(* ------------------------------------------------------------------ *)
+(* Dimension-aligned planar cuts for product networks                  *)
+(* ------------------------------------------------------------------ *)
+
+let c_dimension_cuts = Bfly_obs.Metrics.counter "constructions.dimension.cuts"
+
+let dims_geometry ~dims ~axis =
+  let dims = Array.of_list dims in
+  let d = Array.length dims in
+  if d = 0 then invalid_arg "Constructions.dimension_cut: empty dims";
+  Array.iter
+    (fun a -> if a < 1 then invalid_arg "Constructions.dimension_cut: dims >= 1")
+    dims;
+  if axis < 0 || axis >= d then
+    invalid_arg "Constructions.dimension_cut: axis out of range";
+  let n = Array.fold_left ( * ) 1 dims in
+  let stride = ref 1 in
+  for i = axis + 1 to d - 1 do
+    stride := !stride * dims.(i)
+  done;
+  (n, dims.(axis), !stride)
+
+let dimension_cut ~dims ~axis =
+  let n, a, stride = dims_geometry ~dims ~axis in
+  if n < 2 then invalid_arg "Constructions.dimension_cut: need >= 2 nodes";
+  let layer = n / a in
+  let target = n / 2 in
+  let full = target / layer and rem = target mod layer in
+  let side = Bitset.create n in
+  let taken_mid = ref 0 in
+  for v = 0 to n - 1 do
+    let c = v / stride mod a in
+    if c < full then Bitset.add side v
+    else if c = full && !taken_mid < rem then begin
+      Bitset.add side v;
+      incr taken_mid
+    end
+  done;
+  Bfly_obs.Metrics.incr c_dimension_cuts;
+  side
+
+let best_dimension_cut ~dims g =
+  let d = List.length dims in
+  let n = List.fold_left ( * ) 1 dims in
+  if n <> G.n_nodes g then
+    invalid_arg "Constructions.best_dimension_cut: dims do not match the graph";
+  let best = ref None in
+  for axis = 0 to d - 1 do
+    let side = dimension_cut ~dims ~axis in
+    let cap = G.cut_size g side in
+    match !best with
+    | Some (_, c, _) when c <= cap -> ()
+    | _ -> best := Some (axis, cap, side)
+  done;
+  match !best with Some r -> r | None -> assert false
+
 let c_candidates = Bfly_obs.Metrics.counter "constructions.mos.candidates"
 
 (* ---- result cache for the pullback sweep ----

@@ -19,7 +19,17 @@
     levels [t1..log n − t3] form [2^(t1+t3)] middle blocks. [r1] input
     classes and [r3] output classes are placed in [S]; middle blocks follow
     Lemma 2.17's optimal placement. The capacity is computed in closed form
-    ({!mos_predicted_cost}) and realized exactly by {!mos_pullback_cut}. *)
+    ({!mos_predicted_cost}) and realized exactly by {!mos_pullback_cut}.
+
+    {2 Dimension-aligned planar cuts}
+
+    For Cartesian product networks built by
+    {!Bfly_graph.Generators.product_all} (row-major node numbering, the
+    last factor varying fastest), slicing perpendicular to one coordinate
+    axis gives the canonical upper-bound constructions of arXiv:1202.6291:
+    on even axes the cut is the half-space between two layers, on odd
+    axes the middle layer is split deterministically to restore exact
+    balance. *)
 
 type mos_params = { t1 : int; t3 : int; r1 : int; r3 : int }
 
@@ -36,6 +46,29 @@ val ccc_dimension_cut : Bfly_networks.Ccc.t -> Bfly_graph.Bitset.t
 
 (** Split on the top address bit. Capacity [2^(d-1)]. *)
 val hypercube_cut : Bfly_networks.Hypercube.t -> Bfly_graph.Bitset.t
+
+(** [dimension_cut ~dims ~axis] — the planar cut perpendicular to
+    coordinate [axis] (0-based) of the product network with factor sizes
+    [dims] (row-major numbering per {!Bfly_graph.Generators.product_all}):
+    the side holds the [⌊N/2⌋] nodes with the smallest [axis]-coordinate,
+    ties within the boundary layer broken by node id. On an even axis this
+    is exactly the half-space between layers [a/2 - 1] and [a/2]; on an
+    odd axis the middle layer is split, so the cut additionally pays the
+    layer's internal boundary. Always an exact bisection of the [N]
+    nodes. Records the [constructions.dimension.cuts] counter.
+    @raise Invalid_argument on empty/invalid [dims], a bad [axis], or a
+    single-node product. *)
+val dimension_cut : dims:int list -> axis:int -> Bfly_graph.Bitset.t
+
+(** [best_dimension_cut ~dims g] materializes the cut of every axis,
+    counts capacities on [g], and returns the cheapest
+    [(axis, capacity, side)] (ties toward the lowest axis). This is the
+    constructed upper bound bracketing the certified lower bounds of
+    {!Bfly_check.Bounds} — tight on even-sided meshes and tori.
+    @raise Invalid_argument when the product of [dims] is not
+    [n_nodes g]. *)
+val best_dimension_cut :
+  dims:int list -> Bfly_graph.Graph.t -> int * int * Bfly_graph.Bitset.t
 
 (** Closed-form capacity of the pullback cut for the given parameters, or
     [None] when the parameters cannot be balanced (converting every middle

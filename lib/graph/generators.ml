@@ -30,7 +30,52 @@ let torus ~rows ~cols =
   done;
   Graph.of_edge_list ~n:(rows * cols) !edges
 
-let random_regular ~rng ~n ~degree =
+let complete n =
+  if n < 1 then invalid_arg "Generators.complete: n >= 1";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edge_list ~n !edges
+
+let product g h =
+  let ng = Graph.n_nodes g and nh = Graph.n_nodes h in
+  if ng = 0 || nh = 0 then invalid_arg "Generators.product: factors must be non-empty";
+  let node a b = (a * nh) + b in
+  let m = (Graph.n_edges g * nh) + (ng * Graph.n_edges h) in
+  let edges = Array.make (max m 1) (0, 1) in
+  let k = ref 0 in
+  Graph.iter_edges g (fun a a' ->
+      for b = 0 to nh - 1 do
+        edges.(!k) <- (node a b, node a' b);
+        incr k
+      done);
+  Graph.iter_edges h (fun b b' ->
+      for a = 0 to ng - 1 do
+        edges.(!k) <- (node a b, node a b');
+        incr k
+      done);
+  Graph.of_edges ~n:(ng * nh) (Array.sub edges 0 m)
+
+let product_all = function
+  | [] -> invalid_arg "Generators.product_all: need at least one factor"
+  | g :: gs -> List.fold_left product g gs
+
+let mesh ~dims =
+  if dims = [] then invalid_arg "Generators.mesh: need at least one dimension";
+  product_all (List.map path dims)
+
+let torus_nd ~dims =
+  if dims = [] then invalid_arg "Generators.torus_nd: need at least one dimension";
+  product_all (List.map cycle dims)
+
+let hamming ~dims ~alphabet =
+  if dims < 1 then invalid_arg "Generators.hamming: dims >= 1";
+  product_all (List.init dims (fun _ -> complete alphabet))
+
+let random_regular ~simple ~rng ~n ~degree =
   if n * degree mod 2 <> 0 then
     invalid_arg "Generators.random_regular: n*degree must be even";
   if degree >= n then invalid_arg "Generators.random_regular: degree < n required";
@@ -50,29 +95,46 @@ let random_regular ~rng ~n ~degree =
     let rec go i = i < m && (stubs.(2 * i) = stubs.((2 * i) + 1) || go (i + 1)) in
     go 0
   in
-  shuffle ();
-  let attempts = ref 0 in
-  while has_self_loop () && !attempts < 50 do
+  let draw () =
     shuffle ();
-    incr attempts
-  done;
-  (* patch remaining self-loops by swapping with a random other endpoint *)
-  for i = 0 to m - 1 do
-    if stubs.(2 * i) = stubs.((2 * i) + 1) then begin
-      let rec try_swap () =
-        let j = Random.State.int rng m in
-        if j <> i && stubs.(2 * j) <> stubs.(2 * i) && stubs.((2 * j) + 1) <> stubs.(2 * i)
-        then begin
-          let t = stubs.((2 * i) + 1) in
-          stubs.((2 * i) + 1) <- stubs.(2 * j);
-          stubs.(2 * j) <- t
-        end
-        else try_swap ()
-      in
-      try_swap ()
-    end
-  done;
-  Graph.of_edges ~n (Array.init m (fun i -> (stubs.(2 * i), stubs.((2 * i) + 1))))
+    let attempts = ref 0 in
+    while has_self_loop () && !attempts < 50 do
+      shuffle ();
+      incr attempts
+    done;
+    (* patch remaining self-loops by swapping with a random other endpoint *)
+    for i = 0 to m - 1 do
+      if stubs.(2 * i) = stubs.((2 * i) + 1) then begin
+        let rec try_swap () =
+          let j = Random.State.int rng m in
+          if
+            j <> i
+            && stubs.(2 * j) <> stubs.(2 * i)
+            && stubs.((2 * j) + 1) <> stubs.(2 * i)
+          then begin
+            let t = stubs.((2 * i) + 1) in
+            stubs.((2 * i) + 1) <- stubs.(2 * j);
+            stubs.(2 * j) <- t
+          end
+          else try_swap ()
+        in
+        try_swap ()
+      end
+    done;
+    Graph.of_edges ~n (Array.init m (fun i -> (stubs.(2 * i), stubs.((2 * i) + 1))))
+  in
+  if not simple then draw ()
+  else
+    (* rejection sampling: redraw until the pairing is a simple graph. The
+       success probability per draw tends to exp(-(d^2-1)/4) > 0, so the cap
+       is a safety net, not a realistic exit. *)
+    let rec go k =
+      if k >= 10_000 then
+        invalid_arg "Generators.random_regular: failed to sample a simple graph";
+      let g = draw () in
+      if Graph.is_simple g then g else go (k + 1)
+    in
+    go 0
 
 let gnp ~rng ~n ~p =
   if p < 0. || p > 1. then invalid_arg "Generators.gnp: p in [0,1]";

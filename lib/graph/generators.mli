@@ -10,19 +10,64 @@ val cycle : int -> Graph.t
 (** [path n] — the n-path; bisection width 1. *)
 val path : int -> Graph.t
 
-(** [grid ~rows ~cols] — the rows×cols mesh; [BW = min rows cols] (for even
-    splits along the shorter side). *)
+(** [grid ~rows ~cols] — the rows×cols mesh. [BW = min rows cols] holds
+    only when the {e larger} dimension is even (the optimal cut runs across
+    it); with both sides odd the bisection is strictly wider — e.g. the
+    n×n grid with n odd has [BW = n + 1], not [n]
+    (Azizoğlu–Eğecioğlu; see arXiv:1202.6291). Use
+    {!Bfly_check.Bounds.mesh_bounds} rather than assuming the even-side
+    formula. *)
 val grid : rows:int -> cols:int -> Graph.t
 
-(** [torus ~rows ~cols] — the wraparound mesh; [BW = 2·min rows cols] for
-    even dimensions. Requires [rows, cols >= 3] (smaller wraps degenerate
-    to parallel edges, which are produced faithfully). *)
+(** [torus ~rows ~cols] — the wraparound mesh. [BW = 2·min rows cols] holds
+    only when the larger dimension is even; odd×odd tori exceed it (e.g.
+    the 3×3 torus has BW 8, not 6). Requires [rows, cols >= 3] (smaller
+    wraps degenerate to parallel edges, which are produced faithfully). *)
 val torus : rows:int -> cols:int -> Graph.t
 
-(** [random_regular ~rng ~n ~degree] — a random [degree]-regular multigraph
-    by the configuration model ([n·degree] even). Self-loops are re-drawn;
-    parallel edges may remain (they are legal in {!Graph}). *)
-val random_regular : rng:Random.State.t -> n:int -> degree:int -> Graph.t
+(** [complete n] — the complete graph [K_n];
+    [BW = ⌈n/2⌉·⌊n/2⌋]. *)
+val complete : int -> Graph.t
+
+(** [product g h] — the Cartesian product [g × h]. Node [(a, b)] (with
+    [a] in [g], [b] in [h]) is numbered [a·|V(h)| + b]; edges are
+    [(a,a')×{b}] for each edge of [g] and [{a}×(b,b')] for each edge of
+    [h]. Hence [|V| = |V(g)|·|V(h)|],
+    [|E| = |E(g)|·|V(h)| + |V(g)|·|E(h)|], and degrees add:
+    [deg (a,b) = deg_g a + deg_h b]. Parallel edges in a factor are
+    preserved with multiplicity. *)
+val product : Graph.t -> Graph.t -> Graph.t
+
+(** [product_all gs] — left fold of {!product} over a non-empty list. With
+    factor sizes [a_1 … a_d], node [(c_1, …, c_d)] gets the row-major
+    index [Σ c_i · Π_{j>i} a_j] (the last factor varies fastest). *)
+val product_all : Graph.t list -> Graph.t
+
+(** [mesh ~dims] — the d-dimensional mesh [P_{a_1} × … × P_{a_d}]
+    (product of paths), row-major numbering per {!product_all}.
+    [mesh ~dims:[r; c]] equals [grid ~rows:r ~cols:c]. *)
+val mesh : dims:int list -> Graph.t
+
+(** [torus_nd ~dims] — the d-dimensional torus [C_{a_1} × … × C_{a_d}]
+    (product of cycles); every dimension must be ≥ 3. *)
+val torus_nd : dims:int list -> Graph.t
+
+(** [hamming ~dims ~alphabet] — the Hamming graph [H(d, q)], the d-fold
+    product of [K_q]: nodes are length-[d] strings over [q] symbols,
+    adjacent iff they differ in exactly one position. [H(d, 2)] is the
+    hypercube [Q_d]; [H(d, q)] is the BCube-style switchless core of a
+    q-port, d-level data-center fabric. *)
+val hamming : dims:int -> alphabet:int -> Graph.t
+
+(** [random_regular ~simple ~rng ~n ~degree] — a random [degree]-regular
+    graph by the configuration model ([n·degree] even, [degree < n]).
+    Self-loops are always re-drawn. With [~simple:false] parallel edges
+    may remain (they are legal in {!Graph}), so the result can be a
+    multigraph. With [~simple:true] the whole pairing is rejection-sampled
+    until it is a simple graph, so the degree histogram is exactly
+    [degree] on every node {e and} adjacency is honest. *)
+val random_regular :
+  simple:bool -> rng:Random.State.t -> n:int -> degree:int -> Graph.t
 
 (** [gnp ~rng ~n ~p] — Erdős–Rényi G(n,p). *)
 val gnp : rng:Random.State.t -> n:int -> p:float -> Graph.t

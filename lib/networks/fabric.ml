@@ -1,0 +1,254 @@
+module G = Bfly_graph.Graph
+module Gen = Bfly_graph.Generators
+
+type factor = Fpath of int | Fring of int | Fclique of int
+
+type spec =
+  | Mesh of int list
+  | Torus of int list
+  | Bcube of { ports : int; levels : int }
+  | Product of factor list
+
+type t = { spec : spec; dims : int list; graph : G.t }
+
+let c_builds = Bfly_obs.Metrics.counter "fabric.builds"
+
+(* Serve accepts fabric specs from the wire; cap the node count so a single
+   request cannot ask for a multi-gigabyte CSR. *)
+let max_nodes = 1 lsl 22
+
+let factor_size = function Fpath a | Fring a | Fclique a -> a
+
+let dims = function
+  | Mesh ds | Torus ds -> ds
+  | Bcube { ports; levels } -> List.init levels (fun _ -> ports)
+  | Product fs -> List.map factor_size fs
+
+let validate spec =
+  let ds = dims spec in
+  if ds = [] then invalid_arg "Fabric: need at least one dimension";
+  if List.length ds > 16 then invalid_arg "Fabric: too many dimensions (> 16)";
+  let check_ring a =
+    if a < 3 then invalid_arg "Fabric: ring dimensions must be >= 3"
+  in
+  (match spec with
+  | Mesh ds -> List.iter (fun a -> if a < 1 then invalid_arg "Fabric: mesh dimensions must be >= 1") ds
+  | Torus ds -> List.iter check_ring ds
+  | Bcube { ports; levels } ->
+      if ports < 2 then invalid_arg "Fabric: bcube needs ports >= 2";
+      if levels < 1 then invalid_arg "Fabric: bcube needs levels >= 1"
+  | Product fs ->
+      List.iter
+        (function
+          | Fpath a -> if a < 1 then invalid_arg "Fabric: path factors must be >= 1"
+          | Fring a -> check_ring a
+          | Fclique a -> if a < 2 then invalid_arg "Fabric: clique factors must be >= 2")
+        fs);
+  let n =
+    List.fold_left
+      (fun acc a ->
+        if acc > max_nodes / a then invalid_arg "Fabric: too many nodes (> 2^22)"
+        else acc * a)
+      1 ds
+  in
+  if n < 2 then invalid_arg "Fabric: need at least two nodes"
+
+let name spec =
+  let join ds = String.concat "x" (List.map string_of_int ds) in
+  match spec with
+  | Mesh ds -> "mesh:" ^ join ds
+  | Torus ds -> "torus:" ^ join ds
+  | Bcube { ports; levels } -> Printf.sprintf "bcube:%dx%d" ports levels
+  | Product fs ->
+      "product:"
+      ^ String.concat "x"
+          (List.map
+             (function
+               | Fpath a -> Printf.sprintf "path%d" a
+               | Fring a -> Printf.sprintf "ring%d" a
+               | Fclique a -> Printf.sprintf "k%d" a)
+             fs)
+
+let graph_of_factor = function
+  | Fpath a -> Gen.path a
+  | Fring a -> Gen.cycle a
+  | Fclique a -> Gen.complete a
+
+let create spec =
+  validate spec;
+  Bfly_obs.Metrics.incr c_builds;
+  let graph =
+    match spec with
+    | Mesh ds -> Gen.mesh ~dims:ds
+    | Torus ds -> Gen.torus_nd ~dims:ds
+    | Bcube { ports; levels } -> Gen.hamming ~dims:levels ~alphabet:ports
+    | Product fs -> Gen.product_all (List.map graph_of_factor fs)
+  in
+  { spec; dims = dims spec; graph }
+
+let spec t = t.spec
+let dims_of t = t.dims
+
+(* ---- certified bisection bounds (arXiv:1202.6291) ---- *)
+
+type bound = { lower : int; exact : int option; method_ : string }
+
+(* dims ascending, all odd: Σ_{i=1..d} Π_{j<i} a_j — the all-odd mesh
+   closed form (Azizoğlu–Eğecioğlu; arXiv:1202.6291). *)
+let odd_prefix_sum dims =
+  fst
+    (List.fold_left
+       (fun (acc, prefix) a -> (acc + prefix, prefix * a))
+       (0, 1) dims)
+
+let check_dims ~who ~floor dims =
+  if dims = [] then invalid_arg (who ^ ": empty dims");
+  List.iter
+    (fun a ->
+      if a < floor then
+        invalid_arg (Printf.sprintf "%s: dims >= %d required" who floor))
+    dims
+
+let mesh_bounds ~dims =
+  check_dims ~who:"Fabric.mesh_bounds" ~floor:1 dims;
+  let ds = List.sort compare dims in
+  let n = List.fold_left ( * ) 1 ds in
+  let amax = List.nth ds (List.length ds - 1) in
+  let r = n / amax in
+  if amax mod 2 = 0 then
+    { lower = r; exact = Some r; method_ = "even-side planar cut" }
+  else if List.for_all (fun a -> a mod 2 = 1) ds then begin
+    let v = odd_prefix_sum ds in
+    { lower = v; exact = Some v; method_ = "all-odd mesh closed form" }
+  end
+  else { lower = r; exact = None; method_ = "longest-side layer bound" }
+
+let torus_bounds ~dims =
+  check_dims ~who:"Fabric.torus_bounds" ~floor:3 dims;
+  let m = mesh_bounds ~dims in
+  {
+    lower = 2 * m.lower;
+    exact = Option.map (fun v -> 2 * v) m.exact;
+    method_ = "torus " ^ m.method_;
+  }
+
+let hamming_bounds ~ports ~levels =
+  if ports < 2 || levels < 1 then
+    invalid_arg "Fabric.hamming_bounds: ports >= 2, levels >= 1";
+  let q = ports and d = levels in
+  let pow b e =
+    let r = ref 1 in
+    for _ = 1 to e do
+      r := !r * b
+    done;
+    !r
+  in
+  if q mod 2 = 0 then
+    let v = q * q / 4 * pow q (d - 1) in
+    { lower = v; exact = Some v; method_ = "even-alphabet Hamming closed form" }
+  else if q = 3 then
+    (* K_3 = C_3, so H(d,3) is the all-odd torus C_3^d: BW = 3^d - 1 *)
+    let v = pow 3 d - 1 in
+    { lower = v; exact = Some v; method_ = "H(d,3) = all-odd torus closed form" }
+  else
+    (* K_q contains a spanning Hamiltonian cycle, so C_q^d is a spanning
+       subgraph of H(d,q) and the all-odd torus bound transfers as a lower
+       bound. *)
+    {
+      lower = 2 * ((pow q d - 1) / (q - 1));
+      exact = None;
+      method_ = "spanning-torus lower bound";
+    }
+
+let bounds = function
+  | Mesh ds -> mesh_bounds ~dims:ds
+  | Torus ds -> torus_bounds ~dims:ds
+  | Bcube { ports; levels } -> hamming_bounds ~ports ~levels
+  | Product fs as spec ->
+      let ds = dims spec in
+      if List.for_all (function Fpath _ -> true | _ -> false) fs then
+        mesh_bounds ~dims:ds
+      else if List.for_all (function Fring _ -> true | _ -> false) fs then
+        torus_bounds ~dims:ds
+      else
+        (* every factor (path, ring, clique) has a Hamiltonian path, so the
+           same-size mesh is a spanning subgraph and its lower bound
+           transfers *)
+        {
+          lower = (mesh_bounds ~dims:ds).lower;
+          exact = None;
+          method_ = "spanning-mesh lower bound";
+        }
+let graph t = t.graph
+let size t = G.n_nodes t.graph
+let name_of t = name t.spec
+
+(* ---- parsing ---- *)
+
+let parse_dims s =
+  let parts = String.split_on_char 'x' s in
+  if parts = [] || List.exists (fun p -> p = "") parts then None
+  else
+    try Some (List.map int_of_string parts) with Failure _ -> None
+
+let parse_factor s =
+  let strip prefix =
+    let lp = String.length prefix and ls = String.length s in
+    if ls > lp && String.sub s 0 lp = prefix then
+      match int_of_string_opt (String.sub s lp (ls - lp)) with
+      | Some a -> Some a
+      | None -> None
+    else None
+  in
+  match strip "path" with
+  | Some a -> Some (Fpath a)
+  | None -> (
+      match strip "ring" with
+      | Some a -> Some (Fring a)
+      | None -> (
+          match strip "k" with Some a -> Some (Fclique a) | None -> None))
+
+let spec_of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad fabric spec %S (expected mesh:AxBx.., torus:AxBx.., \
+          torus3d:AxBxC, bcube:PORTSxLEVELS, or product:path2xring3xk4)"
+         s)
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let checked spec =
+        match validate spec with () -> Ok spec | exception Invalid_argument m -> Error m
+      in
+      match kind with
+      | "mesh" -> (
+          match parse_dims rest with Some ds -> checked (Mesh ds) | None -> fail ())
+      | "torus" -> (
+          match parse_dims rest with Some ds -> checked (Torus ds) | None -> fail ())
+      | "torus3d" -> (
+          match parse_dims rest with
+          | Some [ a; b; c ] -> checked (Torus [ a; b; c ])
+          | Some _ -> Error "torus3d: expected exactly three dimensions"
+          | None -> fail ())
+      | "bcube" -> (
+          match parse_dims rest with
+          | Some [ ports; levels ] -> checked (Bcube { ports; levels })
+          | Some _ -> Error "bcube: expected PORTSxLEVELS"
+          | None -> fail ())
+      | "product" -> (
+          let parts = String.split_on_char 'x' rest in
+          let factors = List.filter_map parse_factor parts in
+          if List.length factors = List.length parts && parts <> [] then
+            checked (Product factors)
+          else fail ())
+      | _ -> fail ())
+
+let is_spec s =
+  match String.index_opt s ':' with
+  | None -> false
+  | Some i ->
+      List.mem (String.sub s 0 i) [ "mesh"; "torus"; "torus3d"; "bcube"; "product" ]

@@ -1,0 +1,101 @@
+(** Named data-center fabrics as Cartesian product networks.
+
+    The capacity-planning families of arXiv:1202.6291 ("Bisection
+    (Band)Width of Product Networks with Application to Data Centers"),
+    realized over {!Bfly_graph.Generators.product_all}:
+
+    - [mesh:AxBx..] — d-dimensional mesh, the product of paths;
+    - [torus:AxBx..] (alias [torus3d:AxBxC]) — d-dimensional torus, the
+      product of rings (every side ≥ 3);
+    - [bcube:PORTSxLEVELS] — BCube-style switchless core: the Hamming
+      graph [H(levels, ports)], a product of complete graphs [K_ports];
+    - [product:path2xring3xk4] — an arbitrary product of path/ring/clique
+      factors.
+
+    Node numbering is row-major (last factor fastest), matching the
+    dimension-aligned cuts of [Bfly_cuts.Constructions.dimension_cut];
+    certified bisection bounds are the {!bound} functions below, checked
+    end-to-end by the [Bfly_check.Bounds] oracle battery. *)
+
+type factor = Fpath of int | Fring of int | Fclique of int
+
+type spec =
+  | Mesh of int list
+  | Torus of int list
+  | Bcube of { ports : int; levels : int }
+  | Product of factor list
+
+type t
+
+(** Node-count cap enforced by {!validate} ([2^22]): fabric specs arrive
+    over the serve wire, and a single request must not allocate a
+    multi-gigabyte CSR. *)
+val max_nodes : int
+
+(** Factor sizes of the spec, in product order — the [~dims] argument for
+    {!Bfly_cuts.Constructions.dimension_cut}. *)
+val dims : spec -> int list
+
+(** Validate a spec without building it: dimension ranges (paths ≥ 1,
+    rings ≥ 3, cliques ≥ 2, bcube ports ≥ 2 / levels ≥ 1), at most 16
+    dimensions, at least 2 and at most {!max_nodes} total nodes.
+    @raise Invalid_argument when violated. *)
+val validate : spec -> unit
+
+(** Canonical name, parseable back by {!spec_of_string} — e.g.
+    [mesh:2x4x8], [torus:4x4x4], [bcube:4x2], [product:path2xring3].
+    Used verbatim in job fingerprints and CLI output. *)
+val name : spec -> string
+
+(** Build the fabric ({!validate} first). Records the [fabric.builds]
+    counter in {!Bfly_obs.Metrics}. *)
+val create : spec -> t
+
+val spec : t -> spec
+val dims_of : t -> int list
+val graph : t -> Bfly_graph.Graph.t
+val size : t -> int
+val name_of : t -> string
+
+(** {2 Certified bisection bounds}
+
+    The closed forms and transfer bounds of arXiv:1202.6291, as pure
+    arithmetic on the spec. [lower] is always a certified lower bound on
+    [BW]; [exact = Some v] when the formula is known tight (then
+    [lower = v]); [method_] names the theorem used. The differential
+    oracles in [Bfly_check.Bounds] re-export these and check them against
+    constructed cuts and solver outputs. *)
+
+type bound = { lower : int; exact : int option; method_ : string }
+
+(** Mesh (product of paths), dims sorted internally. Largest side even:
+    [BW = N/amax] exactly (planar mid-cut). All sides odd:
+    [BW = Σ_i Π_{j<i} a_j] exactly (dims ascending). Mixed parity with odd
+    largest side: [N/amax] is only a lower bound (e.g. the 2×3×3 mesh has
+    [BW = 9 > 6]). @raise Invalid_argument on empty or non-positive dims. *)
+val mesh_bounds : dims:int list -> bound
+
+(** Torus (product of rings, sides ≥ 3): exactly twice {!mesh_bounds} in
+    both certified parities, and twice the mesh lower bound otherwise. *)
+val torus_bounds : dims:int list -> bound
+
+(** Hamming graph [H(levels, ports)] = [K_ports^levels] (BCube core).
+    Even [ports]: [BW = (q²/4)·q^(d−1)] exactly. [ports = 3]: [K_3 = C_3],
+    so the all-odd torus form gives [BW = 3^d − 1] exactly. Odd
+    [ports > 3]: the spanning-torus transfer [2(q^d−1)/(q−1)] is a lower
+    bound only. *)
+val hamming_bounds : ports:int -> levels:int -> bound
+
+(** Bounds for any spec: meshes/tori/bcubes dispatch to the closed forms
+    above; mixed products fall back to the spanning-mesh transfer bound
+    (every factor has a Hamiltonian path). *)
+val bounds : spec -> bound
+
+(** Parse a spec string ([mesh:..], [torus:..], [torus3d:..], [bcube:..],
+    [product:..]); validation errors are reported as [Error]. *)
+val spec_of_string : string -> (spec, string) result
+
+(** [true] when the string has the shape of a fabric spec (a known kind
+    before a colon) — used to route CLI/serve network arguments between
+    the classic butterfly families and fabrics without guessing. *)
+val is_spec : string -> bool

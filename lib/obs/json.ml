@@ -306,3 +306,21 @@ let to_float_opt = function
 let to_string_opt = function Str s -> Some s | _ -> None
 let to_bool_opt = function Bool b -> Some b | _ -> None
 let to_list_opt = function List l -> Some l | _ -> None
+
+let rec duplicate_key t =
+  let first f xs =
+    List.fold_left
+      (fun acc x -> match acc with Some _ -> acc | None -> f x)
+      None xs
+  in
+  match t with
+  | Obj fields ->
+      let rec dup seen = function
+        | [] -> None
+        | (k, _) :: rest -> if List.mem k seen then Some k else dup (k :: seen) rest
+      in
+      (match dup [] fields with
+      | Some k -> Some k
+      | None -> first (fun (_, v) -> duplicate_key v) fields)
+  | List xs -> first duplicate_key xs
+  | _ -> None

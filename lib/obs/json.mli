@@ -39,7 +39,9 @@ val to_string : t -> string
 val of_string : string -> (t, string) result
 (** [of_string s] parses one JSON value (surrounding whitespace allowed;
     anything after the value is an error). Objects keep their field order;
-    duplicate keys are kept as-is (lookups see the first). [\uXXXX] escapes
+    duplicate keys are kept as-is (lookups see the first — callers that
+    must not silently drop the later values screen with {!duplicate_key}
+    and reject). [\uXXXX] escapes
     decode to UTF-8, surrogate pairs included. Errors carry a byte offset,
     e.g. ["trailing garbage at byte 12"]. Nesting is capped (512 levels) so
     hostile request lines cannot overflow the stack. *)
@@ -50,7 +52,17 @@ val of_string : string -> (t, string) result
     [None] on shape mismatch, never an exception. *)
 
 val member : string -> t -> t option
-(** [member k v] is the first [k] field of object [v]. *)
+(** [member k v] is the first [k] field of object [v]. Note the parser
+    {e keeps} duplicate keys ({!of_string}), so on a malformed document
+    this silently ignores every later duplicate — consumers that must not
+    do that (the serve request protocol) screen with {!duplicate_key}
+    first. *)
+
+val duplicate_key : t -> string option
+(** [duplicate_key v] is the first object key that occurs more than once
+    in the same object anywhere inside [v] (depth-first), or [None] when
+    every object has distinct keys. Used to {e reject} ambiguous request
+    documents instead of resolving them first-key-wins. *)
 
 val to_int_opt : t -> int option
 (** [Int n] (and integral [Float]) as [Some n]. *)

@@ -6,7 +6,9 @@ module Budget = Bfly_resil.Budget
 module Cancel = Bfly_resil.Cancel
 module Invariants = Bfly_check.Invariants
 
-type net = Butterfly | Wrapped | Ccc
+module Fabric = Bfly_networks.Fabric
+
+type net = Butterfly | Wrapped | Ccc | Fabric of Fabric.spec
 
 type solver = Exact | Kl | Fm | Sa | Spectral | Ml
 
@@ -39,13 +41,23 @@ let net_name = function
   | Butterfly -> "butterfly"
   | Wrapped -> "wrapped"
   | Ccc -> "ccc"
+  | Fabric spec -> Fabric.name spec
 
-let net_of_string = function
+let is_fabric = function Fabric _ -> true | _ -> false
+
+let net_of_string s =
+  match s with
   | "butterfly" | "b" | "bn" -> Ok Butterfly
   | "wrapped" | "w" | "wn" -> Ok Wrapped
   | "ccc" -> Ok Ccc
+  | s when Fabric.is_spec s ->
+      Result.map (fun spec -> Fabric spec) (Fabric.spec_of_string s)
   | s ->
-      Error (Printf.sprintf "unknown network %S (butterfly|wrapped|ccc)" s)
+      Error
+        (Printf.sprintf
+           "unknown network %S (butterfly|wrapped|ccc, or a fabric spec \
+            mesh:|torus:|torus3d:|bcube:|product:)"
+           s)
 
 let solver_name = function
   | Exact -> "exact"
@@ -72,18 +84,28 @@ let log2_exact n =
   if n < 1 then None else go 0 1
 
 let graph_of net n =
-  match log2_exact n with
-  | None -> Error "n must be a power of two"
-  | Some log_n -> (
-      match net with
-      | Butterfly -> Ok (B.graph (B.create ~log_n), Printf.sprintf "B_%d" n)
-      | Wrapped ->
-          if log_n < 2 then Error "wrapped butterfly needs n >= 4"
-          else Ok (W.graph (W.create ~log_n), Printf.sprintf "W_%d" n)
-      | Ccc ->
-          if log_n < 2 then Error "CCC needs n >= 4"
-          else
-            Ok (Ccc_net.graph (Ccc_net.create ~log_n), Printf.sprintf "CCC_%d" n))
+  match net with
+  | Fabric spec -> (
+      (* the spec fixes the size; [n] is pinned to 0 by the parsers so the
+         fingerprint stays canonical *)
+      match Fabric.create spec with
+      | fab -> Ok (Fabric.graph fab, Fabric.name_of fab)
+      | exception Invalid_argument m -> Error m)
+  | _ -> (
+      match log2_exact n with
+      | None -> Error "n must be a power of two"
+      | Some log_n -> (
+          match net with
+          | Fabric _ -> assert false
+          | Butterfly -> Ok (B.graph (B.create ~log_n), Printf.sprintf "B_%d" n)
+          | Wrapped ->
+              if log_n < 2 then Error "wrapped butterfly needs n >= 4"
+              else Ok (W.graph (W.create ~log_n), Printf.sprintf "W_%d" n)
+          | Ccc ->
+              if log_n < 2 then Error "CCC needs n >= 4"
+              else
+                Ok
+                  (Ccc_net.graph (Ccc_net.create ~log_n), Printf.sprintf "CCC_%d" n)))
 
 (* ---- fingerprints ---- *)
 

@@ -18,7 +18,13 @@
     Every solver underneath already persists through {!Bfly_cache.Store},
     so warm fingerprints never re-search. *)
 
-type net = Butterfly | Wrapped | Ccc
+type net =
+  | Butterfly
+  | Wrapped
+  | Ccc
+  | Fabric of Bfly_networks.Fabric.spec
+      (** A data-center product network; the spec fixes the instance size,
+          so the [n] field of jobs on fabrics is pinned to [0]. *)
 
 type solver = Exact | Kl | Fm | Sa | Spectral | Ml
 
@@ -57,7 +63,12 @@ val net_name : net -> string
 
 val net_of_string : string -> (net, string) result
 (** Accepts the same spellings as the CLI ([butterfly|b|bn], [wrapped|w|wn],
-    [ccc]). *)
+    [ccc]) plus the {!Bfly_networks.Fabric} specs ([mesh:2x4x8],
+    [torus:4x4x4], [torus3d:4x4x4], [bcube:4x2],
+    [product:path2xring3xk4]); fabric validation errors are reported
+    here. *)
+
+val is_fabric : net -> bool
 
 val solver_name : solver -> string
 
@@ -66,8 +77,10 @@ val solver_of_string : string -> (solver, string) result
     [multilevel] for [ml]). *)
 
 val graph_of : net -> int -> (Bfly_graph.Graph.t * string, string) result
-(** The instance graph and its display name ([B_16], [W_16], [CCC_16]);
-    errors match the CLI's ("n must be a power of two", …). *)
+(** The instance graph and its display name ([B_16], [W_16], [CCC_16], or
+    the canonical fabric spec such as [mesh:2x4x8]); errors match the
+    CLI's ("n must be a power of two", …). Fabric nets ignore [n] — the
+    spec already fixes the size. *)
 
 val fingerprint : ?deadline:Bfly_resil.Budget.t -> spec -> string
 (** Canonical one-line identity of a [(spec, deadline)] pair. Equal

@@ -51,13 +51,26 @@ let required_int obj k =
       | Some i -> Ok i
       | None -> Error (Printf.sprintf "field %S must be an integer" k))
 
+(* Fabric specs fix the instance size themselves; [n] is pinned to 0 so
+   equal jobs coalesce under one fingerprint, and a contradictory explicit
+   [n] is rejected rather than ignored. *)
+let n_for_net obj net =
+  if Job.is_fabric net then
+    match field obj "n" with
+    | None -> Ok 0
+    | Some _ ->
+        Error
+          "field \"n\" must be omitted for fabric networks (the spec fixes \
+           the size)"
+  else required_int obj "n"
+
 let parse_bw obj =
   let* solver =
     let* s = string_field obj "solver" in
     Job.solver_of_string (Option.value s ~default:"exact")
   in
   let* net = net_field obj in
-  let* n = required_int obj "n" in
+  let* n = n_for_net obj net in
   let* seed = int_field obj "seed" ~default:1 in
   let* restarts = int_field obj "restarts" ~default:4 in
   let* max_nodes =
@@ -73,7 +86,7 @@ let parse_bw obj =
 
 let parse_expansion kind obj =
   let* net = net_field obj in
-  let* n = required_int obj "n" in
+  let* n = n_for_net obj net in
   let* k = required_int obj "k" in
   let* exact = bool_field obj "exact" ~default:false in
   let* seed = int_field obj "seed" ~default:1 in
@@ -100,6 +113,11 @@ let parse_spec job obj =
 let parse_request ~default_id line =
   match Json.of_string line with
   | Error m -> Error ("request is not valid JSON: " ^ m, default_id)
+  | Ok obj when Json.duplicate_key obj <> None ->
+      (* first-key-wins lookup would silently ignore the later value; an
+         ambiguous request is malformed, not a preference *)
+      let k = Option.get (Json.duplicate_key obj) in
+      Error (Printf.sprintf "duplicate key %S in request object" k, default_id)
   | Ok (Json.Obj _ as obj) -> (
       let id =
         match field obj "id" with

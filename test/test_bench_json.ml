@@ -22,7 +22,10 @@ open Tu
 
 (* every counter ci.sh's extract() greps and bench --compare diffs *)
 let gate_fields =
-  [ "exact.bb.nodes"; "cache.hit"; "cache.miss"; "ml.levels"; "ml.refine.moves" ]
+  [
+    "exact.bb.nodes"; "cache.hit"; "cache.miss"; "ml.levels"; "ml.refine.moves";
+    "fabric.builds"; "constructions.dimension.cuts"; "product.sandwich.checks";
+  ]
 
 let counter name = Metrics.counter_value (Metrics.counter name)
 
@@ -231,15 +234,26 @@ let test_loadgen_baseline_schema () =
         | Some (Json.Int i) -> i > 0
         | _ -> false)
 
+(* the data-center fabric mix rides the same schema and gate; its trace
+   exercises serve with product-network jobs (ml/exact/spectral on
+   meshes, tori, bcubes) plus the malformed-request rejection paths *)
+let dc_baseline_path = "../LOADGEN_DC_2026-08-08.json"
+let dc_trace_path = "../bench/loadgen_dc_trace.ndjson"
+
 (* the committed trace and the committed baseline describe the same
    replay: regenerating the document from the trace cannot drift its
    schedule unnoticed *)
-let test_loadgen_baseline_matches_trace () =
-  let doc = load_loadgen_baseline () in
+let baseline_matches_trace ~baseline_path ~trace_path =
+  let doc =
+    let text = In_channel.with_open_text baseline_path In_channel.input_all in
+    match Json.of_string text with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "loadgen baseline is not valid JSON: %s" e
+  in
   let lines =
     List.filter
       (fun l -> String.trim l <> "")
-      (In_channel.with_open_text loadgen_trace_path In_channel.input_lines)
+      (In_channel.with_open_text trace_path In_channel.input_lines)
   in
   Alcotest.(check (option string))
     "trace fingerprint matches committed trace"
@@ -259,6 +273,46 @@ let test_loadgen_baseline_matches_trace () =
     "request count is the schedule's length"
     (Some (Array.length events))
     (int_ doc "requests")
+
+let test_loadgen_baseline_matches_trace () =
+  baseline_matches_trace ~baseline_path:loadgen_baseline_path
+    ~trace_path:loadgen_trace_path
+
+let test_loadgen_dc_baseline_matches_trace () =
+  baseline_matches_trace ~baseline_path:dc_baseline_path
+    ~trace_path:dc_trace_path
+
+(* the DC trace must actually contain fabric jobs and the malformed lines
+   the serve protocol rejects — otherwise the gate stops covering the
+   product-network serving path *)
+let test_loadgen_dc_trace_mix () =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (In_channel.with_open_text dc_trace_path In_channel.input_lines)
+  in
+  let count p = List.length (List.filter p lines) in
+  checkb "has torus jobs" true (count (fun l -> contains l "torus:") >= 2);
+  checkb "has mesh jobs" true (count (fun l -> contains l "mesh:") >= 2);
+  checkb "has a bcube job" true (count (fun l -> contains l "bcube:") >= 1);
+  checkb "has a mixed product job" true
+    (count (fun l -> contains l "product:") >= 1);
+  checkb "has exact solves" true (count (fun l -> contains l "exact") >= 2);
+  (* every line must at least parse as JSON except the duplicate-key
+     probe, which of_string accepts but the protocol screens out *)
+  List.iter
+    (fun l ->
+      match Json.of_string l with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "unparseable trace line %s: %s" l e)
+    lines;
+  checkb "has a duplicate-key probe the protocol rejects" true
+    (count
+       (fun l ->
+         match Json.of_string l with
+         | Ok doc -> Json.duplicate_key doc <> None
+         | Error _ -> false)
+     >= 1)
 
 (* the gate actually fires on an injected regression against the
    committed baseline — the end-to-end property ci.sh's loadgen stage
@@ -326,6 +380,10 @@ let suite =
     case "loadgen baseline: schema and field names" test_loadgen_baseline_schema;
     case "loadgen baseline: reproducible from the committed trace"
       test_loadgen_baseline_matches_trace;
+    case "loadgen DC baseline: reproducible from the committed trace"
+      test_loadgen_dc_baseline_matches_trace;
+    case "loadgen DC trace: fabric mix and malformed probes"
+      test_loadgen_dc_trace_mix;
     case "loadgen baseline: injected regressions fail the gate"
       test_loadgen_baseline_gates_regression;
     case "loadgen baseline: JSON round-trips byte-stably"

@@ -5,7 +5,7 @@ open Tu
 
 let test_experiment_registry () =
   let ids = List.map fst Bfly_core.Experiments.all in
-  check "24 experiments (E1-E18, A1-A4, F1-F2)" 24 (List.length ids);
+  check "25 experiments (E1-E18, A1-A4, F1-F2, D1)" 25 (List.length ids);
   check "unique ids" (List.length ids)
     (List.length (List.sort_uniq compare ids));
   List.iter
@@ -15,7 +15,8 @@ let test_experiment_registry () =
       "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "A1"; "A2"; "A3"; "A4";
     ];
   checkb "F1 present" true (List.mem "F1" ids);
-  checkb "F2 present" true (List.mem "F2" ids)
+  checkb "F2 present" true (List.mem "F2" ids);
+  checkb "D1 present" true (List.mem "D1" ids)
 
 let test_benes_dim0 () =
   let b = Bfly_networks.Benes.create ~dim:0 in

@@ -49,7 +49,7 @@ let prop_random_regular =
     (fun ((n, degree), seed) ->
       let n = max n (degree + 1) in
       let n = if n * degree mod 2 = 1 then n + 1 else n in
-      let g = Gen.random_regular ~rng:(rng seed) ~n ~degree in
+      let g = Gen.random_regular ~simple:false ~rng:(rng seed) ~n ~degree in
       let ok = ref true in
       for v = 0 to n - 1 do
         if G.degree g v <> degree then ok := false

@@ -17,6 +17,7 @@ let () =
       ("resil", Test_resil.suite);
       ("flow-and-layout", Test_flow_layout.suite);
       ("generators", Test_generators.suite);
+      ("product-networks", Test_product.suite);
       ("level-cut", Test_level_cut.suite);
       ("constructions", Test_constructions.suite);
       ("mos-analysis", Test_mos_analysis.suite);

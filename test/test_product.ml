@@ -1,0 +1,332 @@
+(* The Cartesian product combinator and everything stacked on it: the
+   qcheck product laws, the fabric specs, the parity-aware closed-form
+   bounds (values pinned against the exact solver), the dimension-aligned
+   cut construction, and the G x K_2 identity oracles.
+
+   Every pinned BW value below was computed with the repo's own exact
+   branch-and-bound solver; the mixed-parity cases (mesh 2x3x3 = 9 > 6)
+   are the regression guard for the parity audit — the even-side formula
+   must never be asserted on an odd largest side. *)
+
+module Gen = Bfly_graph.Generators
+module G = Bfly_graph.Graph
+module Perm = Bfly_graph.Perm
+module Fabric = Bfly_networks.Fabric
+module Constructions = Bfly_cuts.Constructions
+module Exact = Bfly_cuts.Exact
+module Bounds = Bfly_check.Bounds
+open Tu
+
+let bw g = fst (Exact.bisection_width g)
+
+(* ---- the combinator's laws (qcheck over random connected factors) ---- *)
+
+let factor_gen = seeded QCheck2.Gen.(pair (int_range 2 7) (int_range 2 7))
+
+let random_factors ((ng, nh), seed) =
+  let rng = rng seed in
+  ( random_graph ~rng ng ~extra_edges:2,
+    random_graph ~rng nh ~extra_edges:2 )
+
+let prop_product_counts =
+  qcheck ~count:60 "product: |V| multiplies, |E| = |E(G)||V(H)| + |V(G)||E(H)|"
+    factor_gen
+    (fun inst ->
+      let g, h = random_factors inst in
+      let p = Gen.product g h in
+      G.n_nodes p = G.n_nodes g * G.n_nodes h
+      && G.n_edges p
+         = (G.n_edges g * G.n_nodes h) + (G.n_nodes g * G.n_edges h))
+
+let prop_product_degrees =
+  qcheck ~count:60 "product: degrees add, deg(a,b) = deg(a) + deg(b)"
+    factor_gen
+    (fun inst ->
+      let g, h = random_factors inst in
+      let p = Gen.product g h in
+      let nh = G.n_nodes h in
+      let ok = ref true in
+      for a = 0 to G.n_nodes g - 1 do
+        for b = 0 to nh - 1 do
+          if G.degree p ((a * nh) + b) <> G.degree g a + G.degree h b then
+            ok := false
+        done
+      done;
+      !ok)
+
+let prop_product_commutes =
+  qcheck ~count:60 "product: G x H isomorphic to H x G via (a,b) -> (b,a)"
+    factor_gen
+    (fun inst ->
+      let g, h = random_factors inst in
+      let ng = G.n_nodes g and nh = G.n_nodes h in
+      let gh = Gen.product g h in
+      let hg = Gen.product h g in
+      (* node a*nh + b of G x H is node b*ng + a of H x G *)
+      let p =
+        Perm.of_array
+          (Array.init (ng * nh) (fun v -> ((v mod nh) * ng) + (v / nh)))
+      in
+      G.equal (G.relabel gh p) hg)
+
+let test_mesh_is_grid () =
+  (* the 2-D special case must agree with the historical generator *)
+  List.iter
+    (fun (r, c) ->
+      checkb
+        (Printf.sprintf "mesh [%d;%d] = grid %dx%d" r c r c)
+        true
+        (G.equal (Gen.mesh ~dims:[ r; c ]) (Gen.grid ~rows:r ~cols:c)))
+    [ (1, 1); (2, 3); (3, 3); (4, 5) ];
+  List.iter
+    (fun (r, c) ->
+      checkb
+        (Printf.sprintf "torus_nd [%d;%d] = torus %dx%d" r c r c)
+        true
+        (G.equal (Gen.torus_nd ~dims:[ r; c ]) (Gen.torus ~rows:r ~cols:c)))
+    [ (3, 3); (3, 4); (4, 4) ]
+
+let test_hamming () =
+  (* H(1,q) = K_q; H(2,2) = C_4 *)
+  checkb "H(1,5) = K5" true
+    (G.equal (Gen.hamming ~dims:1 ~alphabet:5) (Gen.complete 5));
+  checkb "H(2,2) = C4" true
+    (let h = Gen.hamming ~dims:2 ~alphabet:2 in
+     G.n_nodes h = 4 && G.n_edges h = 4 && G.max_degree h = 2);
+  let h = Gen.hamming ~dims:3 ~alphabet:3 in
+  check "H(3,3) nodes" 27 (G.n_nodes h);
+  check "H(3,3) is 6-regular" 6 (G.max_degree h);
+  check "H(3,3) edges" (27 * 6 / 2) (G.n_edges h)
+
+(* ---- parity pins: exact values on both sides of every formula ---- *)
+
+let test_mesh_parity_pins () =
+  List.iter
+    (fun (dims, expect) ->
+      check
+        (Printf.sprintf "BW(mesh %s) = %d"
+           (String.concat "x" (List.map string_of_int dims))
+           expect)
+        expect
+        (bw (Gen.mesh ~dims)))
+    [
+      (* even largest side: N/amax *)
+      ([ 3; 4 ], 3);
+      ([ 4; 4 ], 4);
+      ([ 2; 2; 3 ], 6);
+      (* all odd: prefix-sum closed form, NOT N/amax *)
+      ([ 3; 3 ], 4);
+      ([ 3; 5 ], 4);
+      (* mixed parity, odd largest side: strictly above N/amax = 6 *)
+      ([ 2; 3; 3 ], 9);
+    ]
+
+let test_torus_parity_pins () =
+  List.iter
+    (fun (dims, expect) ->
+      check
+        (Printf.sprintf "BW(torus %s) = %d"
+           (String.concat "x" (List.map string_of_int dims))
+           expect)
+        expect
+        (bw (Gen.torus_nd ~dims)))
+    [ ([ 3; 4 ], 6); ([ 4; 4 ], 8); ([ 3; 3 ], 8); ([ 3; 5 ], 8) ]
+
+let test_hamming_pin () =
+  (* H(2,3) = C3 x C3, the all-odd torus: BW = 3^2 - 1 *)
+  check "BW(H(2,3)) = 8" 8 (bw (Gen.hamming ~dims:2 ~alphabet:3))
+
+let test_bounds_parity () =
+  let pb lower exact = { Fabric.lower; exact; method_ = "" } in
+  let same name (want : Fabric.bound) (got : Fabric.bound) =
+    check (name ^ " lower") want.Fabric.lower got.Fabric.lower;
+    Alcotest.(check (option int))
+      (name ^ " exact") want.Fabric.exact got.Fabric.exact
+  in
+  same "mesh 4x4" (pb 4 (Some 4)) (Bounds.mesh_bounds ~dims:[ 4; 4 ]);
+  same "mesh 3x3" (pb 4 (Some 4)) (Bounds.mesh_bounds ~dims:[ 3; 3 ]);
+  same "mesh 3x5" (pb 4 (Some 4)) (Bounds.mesh_bounds ~dims:[ 3; 5 ]);
+  same "mesh 3x3x3" (pb 13 (Some 13)) (Bounds.mesh_bounds ~dims:[ 3; 3; 3 ]);
+  (* the parity audit: odd largest side with an even side somewhere must
+     NOT be asserted exact (the true value 9 exceeds N/amax = 6) *)
+  same "mesh 2x3x3" (pb 6 None) (Bounds.mesh_bounds ~dims:[ 2; 3; 3 ]);
+  same "mesh 2x4x8" (pb 8 (Some 8)) (Bounds.mesh_bounds ~dims:[ 2; 4; 8 ]);
+  (* dims order must not matter: the formulas sort internally *)
+  same "mesh 8x2x4" (pb 8 (Some 8)) (Bounds.mesh_bounds ~dims:[ 8; 2; 4 ]);
+  same "torus 3x3x3" (pb 26 (Some 26)) (Bounds.torus_bounds ~dims:[ 3; 3; 3 ]);
+  same "torus 3x4" (pb 6 (Some 6)) (Bounds.torus_bounds ~dims:[ 3; 4 ]);
+  same "bcube 2x3" (pb 4 (Some 4)) (Bounds.hamming_bounds ~ports:2 ~levels:3);
+  same "bcube 4x2" (pb 16 (Some 16)) (Bounds.hamming_bounds ~ports:4 ~levels:2);
+  same "bcube 3x2" (pb 8 (Some 8)) (Bounds.hamming_bounds ~ports:3 ~levels:2);
+  (* odd alphabet > 3: lower bound only *)
+  same "bcube 5x2" (pb 12 None) (Bounds.hamming_bounds ~ports:5 ~levels:2)
+
+let test_bounds_are_lower_bounds () =
+  (* on every small instance the certified bound really sits below the
+     exact width, and equals it when claimed exact *)
+  List.iter
+    (fun spec ->
+      let b = Bounds.fabric_bounds spec in
+      let v = bw (Fabric.graph (Fabric.create spec)) in
+      checkb
+        (Fabric.name spec ^ ": certified LB <= exact")
+        true
+        (b.Fabric.lower <= v);
+      match b.Fabric.exact with
+      | Some e -> check (Fabric.name spec ^ ": formula exact") e v
+      | None -> ())
+    [
+      Fabric.Mesh [ 3; 3 ];
+      Fabric.Mesh [ 2; 3; 3 ];
+      Fabric.Mesh [ 4; 4 ];
+      Fabric.Torus [ 3; 4 ];
+      Fabric.Bcube { ports = 2; levels = 3 };
+      Fabric.Product [ Fabric.Fpath 2; Fabric.Fclique 4 ];
+    ]
+
+(* ---- dimension-aligned cuts ---- *)
+
+let test_dimension_cut_balance () =
+  List.iter
+    (fun dims ->
+      let n = List.fold_left ( * ) 1 dims in
+      List.iteri
+        (fun axis _ ->
+          let side = Constructions.dimension_cut ~dims ~axis in
+          let size = Bfly_graph.Bitset.cardinal side in
+          check
+            (Printf.sprintf "axis %d of %s: |side| = n/2" axis
+               (String.concat "x" (List.map string_of_int dims)))
+            (n / 2) size)
+        dims)
+    [ [ 4; 4 ]; [ 3; 3 ]; [ 2; 3; 3 ]; [ 3; 4; 5 ]; [ 7 ] ]
+
+let test_dimension_cut_capacity () =
+  (* on even-sided fabrics the best dimension cut achieves the closed
+     form — the committed equality the sandwich oracle asserts *)
+  List.iter
+    (fun (spec, expect) ->
+      let fab = Fabric.create spec in
+      let _, cut, side =
+        Constructions.best_dimension_cut ~dims:(Fabric.dims_of fab)
+          (Fabric.graph fab)
+      in
+      check (Fabric.name spec ^ ": best dimension cut") expect cut;
+      check
+        (Fabric.name spec ^ ": capacity matches witness")
+        expect
+        (Bfly_graph.Traverse.boundary_edges (Fabric.graph fab) side))
+    [
+      (Fabric.Mesh [ 4; 4 ], 4);
+      (Fabric.Mesh [ 2; 4; 8 ], 8);
+      (Fabric.Torus [ 4; 4; 4 ], 32);
+      (Fabric.Mesh [ 3; 3 ], 4);
+      (Fabric.Torus [ 3; 3 ], 8);
+    ]
+
+let test_dimension_cut_errors () =
+  let raises f =
+    match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  checkb "axis out of range" true
+    (raises (fun () -> Constructions.dimension_cut ~dims:[ 4; 4 ] ~axis:2));
+  checkb "empty dims" true
+    (raises (fun () -> Constructions.dimension_cut ~dims:[] ~axis:0));
+  checkb "dims mismatch vs graph" true
+    (raises (fun () ->
+         Constructions.best_dimension_cut ~dims:[ 4; 4 ] (Gen.path 15)))
+
+(* ---- fabric specs ---- *)
+
+let test_fabric_spec_roundtrip () =
+  List.iter
+    (fun s ->
+      match Fabric.spec_of_string s with
+      | Error e -> Alcotest.failf "spec %s did not parse: %s" s e
+      | Ok spec -> Alcotest.(check string) ("roundtrip " ^ s) s (Fabric.name spec))
+    [ "mesh:2x4x8"; "torus:4x4x4"; "bcube:4x2"; "product:path2xring3xk4" ]
+
+let test_fabric_spec_rejects () =
+  List.iter
+    (fun s ->
+      match Fabric.spec_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "spec %s should not parse" s)
+    [
+      "mesh:"; "mesh:0x4"; "torus:2x2"; "torus3d:4x4"; "bcube:1x2";
+      "product:zig3"; "ring:3"; "mesh:4096x4096"; "mesh:1"; "torus:3x-3";
+    ];
+  checkb "torus3d accepts exactly three dims" true
+    (Result.is_ok (Fabric.spec_of_string "torus3d:3x4x5"));
+  checkb "is_spec routes fabrics" true (Fabric.is_spec "mesh:4x4");
+  checkb "is_spec ignores classics" false (Fabric.is_spec "butterfly")
+
+(* ---- simple random regular graphs (satellite bugfix) ---- *)
+
+let is_simple g =
+  let n = G.n_nodes g in
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  G.iter_edges g (fun u v ->
+      if u = v then ok := false
+      else begin
+        let key = (min u v * n) + max u v in
+        if Hashtbl.mem seen key then ok := false;
+        Hashtbl.add seen key ()
+      end);
+  !ok
+
+let prop_random_regular_simple =
+  qcheck ~count:50 "simple:true yields exact degrees with no loop/parallel"
+    (seeded QCheck2.Gen.(pair (int_range 6 20) (int_range 2 4)))
+    (fun ((n, degree), seed) ->
+      let n = if n * degree mod 2 = 1 then n + 1 else n in
+      let g = Gen.random_regular ~simple:true ~rng:(rng seed) ~n ~degree in
+      let degrees_ok = ref true in
+      for v = 0 to n - 1 do
+        if G.degree g v <> degree then degrees_ok := false
+      done;
+      !degrees_ok && is_simple g && G.n_edges g = n * degree / 2)
+
+(* ---- the oracle entries themselves ---- *)
+
+let test_sandwich_entries () =
+  List.iter
+    (fun (c : Bounds.check) ->
+      checkb (c.Bounds.name ^ ": " ^ c.Bounds.detail) true c.Bounds.ok)
+    (Bounds.product_networks ~smoke:true)
+
+let test_k2_identity () =
+  let c = Bounds.product_k2_identity ~name:"P5" (Gen.path 5) in
+  checkb ("P5 x K2: " ^ c.Bounds.detail) true c.Bounds.ok;
+  (* the odd-|V| guard is live: BW(P5 x K2) = 3 exceeds 2*BW(P5) = 2, so
+     the identity must NOT claim the even-|V| bound *)
+  check "BW(P5 x K2) = 3 > 2*BW(P5)" 3
+    (bw (Gen.product (Gen.path 5) (Gen.complete 2)))
+
+let suite =
+  [
+    prop_product_counts;
+    prop_product_degrees;
+    prop_product_commutes;
+    case "mesh/torus agree with the 2-D generators" test_mesh_is_grid;
+    case "hamming structure" test_hamming;
+    case "mesh parity pins (exact solver)" test_mesh_parity_pins;
+    case "torus parity pins (exact solver)" test_torus_parity_pins;
+    case "H(2,3) pin (exact solver)" test_hamming_pin;
+    case "closed-form bounds honour parity" test_bounds_parity;
+    case "certified bounds bracket the exact widths"
+      test_bounds_are_lower_bounds;
+    case "dimension cuts are balanced" test_dimension_cut_balance;
+    case "best dimension cut achieves the closed forms"
+      test_dimension_cut_capacity;
+    case "dimension cut input validation" test_dimension_cut_errors;
+    case "fabric specs round-trip through their names"
+      test_fabric_spec_roundtrip;
+    case "fabric spec rejection" test_fabric_spec_rejects;
+    prop_random_regular_simple;
+    case "product sandwich oracle battery (smoke)" test_sandwich_entries;
+    case "G x K2 identity honours odd |V|" test_k2_identity;
+  ]

@@ -378,6 +378,78 @@ let test_solver_errors () =
       Alcotest.(check string) "CLI error text" want (str_field obj "error"))
     cases
 
+(* Ambiguous request documents must be rejected outright: Json.member is
+   first-key-wins, so a duplicate key would silently drop the later value
+   — a malformed request, not a preference (bugfix for json.mli's
+   documented first-wins lookup). *)
+let test_duplicate_key_rejected () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create () in
+  List.iter
+    (fun (line, key) ->
+      let obj = parse_response (List.hd (replay server [ line ])) in
+      checkb (Printf.sprintf "rejected %s" line) false (bool_field obj "ok");
+      Alcotest.(check string)
+        "names the duplicated key"
+        (Printf.sprintf "duplicate key %S in request object" key)
+        (str_field obj "error"))
+    [
+      ({|{"id":"d1","job":"bw","solver":"ml","network":"mesh:4x4","seed":1,"seed":2}|},
+       "seed");
+      ({|{"id":"d2","id":"d2b","job":"mos","j":2}|}, "id");
+      (* nested duplicates are screened too: the scan is depth-first *)
+      ({|{"id":"d3","job":"mos","j":2,"extra":{"a":1,"a":2}}|}, "a");
+    ];
+  (* same fields without duplication still parse *)
+  let ok_line = {|{"id":"d4","job":"mos","j":2}|} in
+  let obj = parse_response (List.hd (replay server [ ok_line ])) in
+  checkb "distinct keys accepted" true (bool_field obj "ok")
+
+(* Fabric jobs ride the same byte-identity contract as the classic
+   families: the served output equals Job.run's text, and the [n] field
+   is rejected rather than silently ignored (the spec fixes the size). *)
+let test_fabric_jobs () =
+  with_fresh_cache @@ fun () ->
+  let server = Server.create () in
+  let line =
+    {|{"id":"f1","job":"bw","solver":"ml","network":"mesh:4x4","seed":1}|}
+  in
+  let spec =
+    Job.Bw
+      {
+        Job.solver = Job.Ml;
+        net = Job.Fabric (Bfly_networks.Fabric.Mesh [ 4; 4 ]);
+        n = 0;
+        seed = 1;
+        restarts = 4;
+        max_nodes = None;
+        resume = false;
+      }
+  in
+  let obj = parse_response (List.hd (replay server [ line ])) in
+  checkb "fabric job ok" true (bool_field obj "ok");
+  (match Job.run spec with
+  | Ok text ->
+      Alcotest.(check string)
+        "served bytes = one-shot bytes" text (str_field obj "output")
+  | Error e -> Alcotest.failf "one-shot run failed: %s" e);
+  let with_n =
+    {|{"id":"f2","job":"bw","solver":"ml","network":"mesh:4x4","n":16}|}
+  in
+  let obj = parse_response (List.hd (replay server [ with_n ])) in
+  checkb "explicit n rejected" false (bool_field obj "ok");
+  Alcotest.(check string)
+    "n-rejection message"
+    "field \"n\" must be omitted for fabric networks (the spec fixes the size)"
+    (str_field obj "error");
+  (* expansion jobs accept fabric specs through the same parser *)
+  let exp_line = {|{"id":"f3","job":"ee","network":"mesh:3x3","k":4,"exact":true}|} in
+  let obj = parse_response (List.hd (replay server [ exp_line ])) in
+  checkb "fabric expansion ok" true (bool_field obj "ok");
+  checkb "output names the canonical spec" true
+    (let out = str_field obj "output" in
+     String.length out >= 8 && String.sub out 0 8 = "mesh:3x3")
+
 (* ---- concurrency: real transports, real client threads ---- *)
 
 module Transport = Bfly_serve.Transport
@@ -787,6 +859,9 @@ let suite =
     case "deadline is part of the coalescing key" test_deadline_in_fingerprint;
     case "drain rejects new work, serves stats, finishes queue" test_drain;
     case "parse errors are per-request, server survives" test_parse_errors;
+    case "duplicate keys reject the request" test_duplicate_key_rejected;
+    case "fabric jobs: byte-identity, n rejected, expansion"
+      test_fabric_jobs;
     case "solver errors match the one-shot CLI" test_solver_errors;
     case "latency reservoir quantiles" test_latency_quantiles;
     slow_case "concurrent clients over unix socket: ordered, byte-identical"
