@@ -1,0 +1,16 @@
+let () =
+  let open Bfly_networks in
+  let b = Fabric.mesh_bounds ~dims:[1;3] in
+  Printf.printf "mesh 1x3: lower=%d exact=%s method=%s\n" b.Fabric.lower
+    (match b.Fabric.exact with Some v -> string_of_int v | None -> "-") b.Fabric.method_;
+  let g = Bfly_graph.Generators.mesh ~dims:[1;3] in
+  let bw, _ = Bfly_cuts.Exact.bisection_width g in
+  Printf.printf "true BW(mesh 1x3) = %d\n" bw;
+  (match Fabric.spec_of_string "mesh:1x3" with
+   | Ok _ -> print_endline "spec mesh:1x3 validates OK"
+   | Error m -> print_endline ("spec rejected: " ^ m));
+  let b2 = Fabric.mesh_bounds ~dims:[1;3;3] in
+  let g2 = Bfly_graph.Generators.mesh ~dims:[1;3;3] in
+  let bw2, _ = Bfly_cuts.Exact.bisection_width g2 in
+  Printf.printf "mesh 1x3x3: lower=%d exact=%s trueBW=%d\n" b2.Fabric.lower
+    (match b2.Fabric.exact with Some v -> string_of_int v | None -> "-") bw2
