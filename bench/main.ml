@@ -140,6 +140,11 @@ let ( json_file,
 (* experiments cheap enough to gate every CI run on *)
 let smoke_experiments = [ "E2"; "E4"; "E10"; "E14"; "F1"; "D1" ]
 
+(* C1 lives in bfly_check (which depends on bfly_core, not vice versa),
+   so the registry rows are appended here rather than in Experiments.all *)
+let all_experiments () =
+  Bfly_core.Experiments.all @ [ ("C1", Bfly_check.Campaign.c1) ]
+
 let run_experiments () =
   print_endline "==============================================================";
   print_endline " Reproduction tables (per-experiment index in DESIGN.md)";
@@ -148,8 +153,8 @@ let run_experiments () =
     if smoke then
       List.filter
         (fun (name, _) -> List.mem name smoke_experiments)
-        Bfly_core.Experiments.all
-    else Bfly_core.Experiments.all
+        (all_experiments ())
+    else all_experiments ()
   in
   let c_hit = Metrics.counter "cache.hit" in
   let c_miss = Metrics.counter "cache.miss" in
@@ -196,6 +201,7 @@ let gate_counters =
   [
     "exact.bb.nodes"; "cache.hit"; "cache.miss"; "ml.levels"; "ml.refine.moves";
     "fabric.builds"; "constructions.dimension.cuts"; "product.sandwich.checks";
+    "campaign.instances"; "campaign.oracle.checks";
   ]
 
 let gate_snapshot () =

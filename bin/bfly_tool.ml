@@ -564,6 +564,114 @@ let check_cmd =
       const check_run $ metrics_arg $ no_cache_arg $ seed $ rounds $ smoke
       $ chaos)
 
+(* ---- campaign ---- *)
+
+let campaign_run metrics no_cache deadline degree sizes seeds restarts
+    json_file compare_file =
+  set_cache no_cache;
+  finishing metrics @@
+  handle
+    (let ( let* ) = Result.bind in
+     let* () =
+       (* a deadline can cancel the sweep mid-grid; diffing a run that may
+          abort against a committed baseline would report phantom drift *)
+       if compare_file <> None && deadline <> None then
+         Error "--compare cannot be combined with --deadline"
+       else Ok ()
+     in
+     supervised deadline @@ fun () ->
+     let* t = Bfly_check.Campaign.run ~restarts ~degree ~sizes ~seeds () in
+     print_string (Bfly_check.Campaign.render t);
+     let doc = Bfly_check.Campaign.to_json t in
+     let* () =
+       match json_file with
+       | None -> Ok ()
+       | Some file -> (
+           try
+             Ok
+               (Out_channel.with_open_text file (fun oc ->
+                    Printf.fprintf oc "%s\n" (Bfly_obs.Json.to_string doc)))
+           with Sys_error e -> Error e)
+     in
+     let* () =
+       match compare_file with
+       | None -> Ok ()
+       | Some file -> (
+           let* baseline =
+             try
+               Bfly_obs.Json.of_string
+                 (In_channel.with_open_text file In_channel.input_all)
+             with Sys_error e -> Error e
+           in
+           match Bfly_check.Campaign.compare_docs ~baseline doc with
+           | [] ->
+               Printf.eprintf "campaign: no drift against %s\n" file;
+               Ok ()
+           | drifts ->
+               Error
+                 (Printf.sprintf "campaign drift against %s:\n  %s" file
+                    (String.concat "\n  " drifts)))
+     in
+     if t.Bfly_check.Campaign.ok then Ok ()
+     else Error "campaign statistical oracle failed")
+
+let campaign_cmd =
+  let degree =
+    Arg.(
+      value & opt int 3
+      & info [ "degree" ] ~docv:"D"
+          ~doc:
+            "Degree of the random-regular family (default 3, the only \
+             degree with pinned statistical windows).")
+  in
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) Bfly_check.Campaign.default_sizes
+      & info [ "sizes" ] ~docv:"N,N,..."
+          ~doc:"Comma-separated instance sizes (default 64..4096).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int Bfly_check.Campaign.default_seeds
+      & info [ "seeds" ] ~docv:"K"
+          ~doc:"Seeds 1..K per size (default 20).")
+  in
+  let restarts =
+    Arg.(
+      value & opt int Bfly_check.Campaign.default_restarts
+      & info [ "restarts" ] ~docv:"R"
+          ~doc:"Multilevel V-cycle restarts per instance (default 4).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the bfly-campaign/1 document to $(docv).")
+  in
+  let compare_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"FILE"
+          ~doc:
+            "Diff this run against a committed bfly-campaign/1 document; \
+             any per-instance drift (the run may cover a sub-grid of the \
+             baseline) exits non-zero.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Seeded random-regular bisection campaign: sweep a size x seed \
+          grid, record [certified LB, multilevel, spectral] per instance, \
+          aggregate cut/n convergence ratios, and judge them against the \
+          literature windows (arXiv:2009.00598); exit non-zero on oracle \
+          failure or baseline drift")
+    Term.(
+      const campaign_run $ metrics_arg $ no_cache_arg $ deadline_arg $ degree
+      $ sizes $ seeds $ restarts $ json_out $ compare_file)
+
 (* ---- cache ---- *)
 
 let cache_stats_run metrics =
@@ -979,20 +1087,25 @@ let loadgen_cmd =
 
 (* ---- experiments ---- *)
 
+(* C1 is registered here (and in bench/main.ml) rather than in
+   Experiments.all: it lives in bfly_check, which depends on bfly_core *)
+let all_experiments () =
+  Bfly_core.Experiments.all @ [ ("C1", Bfly_check.Campaign.c1) ]
+
 let experiments_run metrics no_cache ids =
   set_cache no_cache;
   finishing metrics @@
   let selected =
     match ids with
-    | [] -> Bfly_core.Experiments.all
+    | [] -> all_experiments ()
     | ids ->
         List.filter
           (fun (name, _) -> List.mem (String.lowercase_ascii name) (List.map String.lowercase_ascii ids))
-          Bfly_core.Experiments.all
+          (all_experiments ())
   in
   if selected = [] then begin
     Printf.eprintf "no matching experiments; available: %s\n"
-      (String.concat ", " (List.map fst Bfly_core.Experiments.all));
+      (String.concat ", " (List.map fst (all_experiments ())));
     1
   end
   else begin
@@ -1017,5 +1130,5 @@ let () =
           [
             info_cmd; bisect_cmd; bw_cmd; expansion_cmd; render_cmd;
             route_cmd; mos_cmd; iosep_cmd; layout_cmd; check_cmd;
-            serve_cmd; loadgen_cmd; experiments_cmd; cache_cmd;
+            campaign_cmd; serve_cmd; loadgen_cmd; experiments_cmd; cache_cmd;
           ]))

@@ -27,19 +27,26 @@
 #            fabric mix against its own committed baseline, self-baseline
 #            latency gate (p99/throughput within slack), and — on boxes
 #            with enough cores — a concurrency speedup check
+#   campaign random-regular bisection campaign smoke: a small seed x size
+#            sub-grid at one domain, zero per-instance drift against the
+#            committed CAMPAIGN_*.json full run, statistical oracle green
 #   warm     warm-cache determinism: second bench run serves from cache,
 #            values byte-identical
 #   resume   interrupted exact search resumes to the uninterrupted value
 #   compare  bench --compare against the committed baseline: experiment
 #            outputs, gate counters and oracle summary must not drift
 #
-# Every run ends with a per-stage wall-clock summary.
+# Every run ends with a per-stage wall-clock summary; under GitHub
+# Actions the same rows are appended to $GITHUB_STEP_SUMMARY as a
+# markdown table (one row per stage, accumulated across the per-stage
+# workflow steps).
 set -eu
 
 cd "$(dirname "$0")"
 
-ALL_STAGES="build fmt runtest check chaos doc serve loadgen warm resume compare"
+ALL_STAGES="build fmt runtest check chaos doc serve loadgen campaign warm resume compare"
 BASELINE=BENCH_2026-08-08.json
+CAMPAIGN_BASELINE=CAMPAIGN_2026-08-08.json
 LOADGEN_BASELINE=LOADGEN_2026-08-08.json
 LOADGEN_TRACE=bench/loadgen_trace.ndjson
 LOADGEN_DC_BASELINE=LOADGEN_DC_2026-08-08.json
@@ -301,6 +308,24 @@ stage_loadgen() {
   echo "loadgen: deterministic replay and latency gate OK"
 }
 
+# Campaign smoke: replay a small sub-grid of the committed full campaign
+# at one domain with a fresh cache. The determinism contract makes the
+# sub-grid's per-instance [edges, certified LB, ml, spectral] rows
+# byte-comparable against the committed document (--compare exits
+# non-zero on any drift), and the per-instance statistical oracle must
+# stay green. The JSON lands in _build/ so the workflow can upload it as
+# a per-compiler artifact.
+stage_campaign() {
+  [ -f "$CAMPAIGN_BASELINE" ] || {
+    echo "FAIL: committed baseline $CAMPAIGN_BASELINE is missing" >&2
+    exit 1
+  }
+  mkdir -p _build
+  BFLY_DOMAINS=1 BFLY_CACHE_DIR="$scratch/campaign-cache" dune exec -- \
+    bin/bfly_tool.exe campaign --degree 3 --sizes 64,128 --seeds 3 \
+    --json _build/campaign_smoke.json --compare "$CAMPAIGN_BASELINE"
+}
+
 # Warm-cache determinism: run the bench smoke suite twice against a fresh
 # result-cache directory. The second (warm) run must serve from the cache
 # — nonzero cache.hit, zero exact B&B search nodes in the gate snapshot —
@@ -419,6 +444,17 @@ for s in $stages; do
   t1=$(date +%s)
   summary="$summary$(printf '  %-8s %4ds' "$s" $((t1 - t0)))
 "
+  # Under GitHub Actions, accumulate the same timings as one markdown
+  # table in the job summary. The workflow runs one stage per step, each
+  # a fresh ci.sh process, so the header is written only when the
+  # summary file is still empty — later steps append bare rows and the
+  # table joins up across steps.
+  if [ -n "${GITHUB_STEP_SUMMARY-}" ]; then
+    if [ ! -s "$GITHUB_STEP_SUMMARY" ]; then
+      printf '| stage | wall |\n| --- | ---: |\n' >> "$GITHUB_STEP_SUMMARY"
+    fi
+    printf '| %s | %ss |\n' "$s" $((t1 - t0)) >> "$GITHUB_STEP_SUMMARY"
+  fi
 done
 
 echo "---- stage timings ----"

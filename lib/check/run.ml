@@ -95,11 +95,28 @@ let family_agreement ~smoke ~seed =
   in
   agreements @ embeddings
 
+(* A miniature random-regular campaign folded into the battery: its
+   grid is tiny and fixed (the battery must stay cheap and its check
+   count stable), and at these sizes only the sanity oracle fires, so
+   this contributes exactly one check — but that one check exercises the
+   whole sweep → certificate → multilevel → spectral → invariants
+   pipeline on every [bfly_tool check] and bench run. *)
+let campaign_family ~smoke =
+  let sizes = if smoke then [ 16 ] else [ 16; 32 ] in
+  match
+    Campaign.run ~degree:3 ~sizes ~seeds:2 ~restarts:2 ()
+  with
+  | Ok t -> t.Campaign.checks
+  | Error e ->
+      [ { Bounds.name = "campaign/sanity"; ok = false; detail = e } ]
+
 let execute ?(chaos = false) ~seed ~rounds ~smoke () =
   let rounds = if smoke then min rounds 5 else rounds in
   (* the family/bound checks always run fault-free: they are exactness
      claims about the paper, not resilience claims about the machinery *)
-  let families = Bounds.all ~smoke @ family_agreement ~smoke ~seed in
+  let families =
+    Bounds.all ~smoke @ family_agreement ~smoke ~seed @ campaign_family ~smoke
+  in
   let fuzz =
     if chaos then
       Bfly_resil.Fault.scope ~rate:0.05 ~seed Bfly_resil.Fault.all (fun () ->

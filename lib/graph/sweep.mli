@@ -1,0 +1,38 @@
+(** Seeded size × seed grid sweeps over the domain pool.
+
+    The campaign driver under [bfly_tool campaign]: a grid point is one
+    seeded instance of a parameterized family ([n = 64, seed 7], …), and
+    a sweep evaluates a user function on every point, fanned out through
+    {!Parallel.run_tasks}. The grid order — size-major, seeds ascending
+    from 1 — is part of the contract: results come back indexed exactly
+    like {!points}, whatever the domain count, so a sweep whose point
+    function is deterministic is deterministic end to end (the
+    {!Parallel} determinism contract, lifted to grids).
+
+    Cancellation follows {!Parallel.run_tasks}: when the token fires,
+    points that have not started are skipped and
+    [Bfly_resil.Cancel.Cancelled] is raised after the batch drains — a
+    sweep never returns a partially-filled grid. Point functions may
+    themselves fan out through the pool (nested submissions are safe);
+    they must not rely on an ambient cancel token, which is domain-local
+    — pass the resolved token into the closure instead.
+
+    Metrics: counter [sweep.points] (completed points), timer span
+    [graph.sweep]. *)
+
+type point = { n : int; seed : int }
+
+val points : sizes:int list -> seeds:int -> point list
+(** [points ~sizes ~seeds] — the grid, size-major, seeds [1 … seeds]
+    within each size, in the order [run] returns results. *)
+
+val run :
+  ?cancel:Bfly_resil.Cancel.t ->
+  sizes:int list ->
+  seeds:int ->
+  (n:int -> seed:int -> 'a) ->
+  'a array
+(** [run ?cancel ~sizes ~seeds f] evaluates [f] on every grid point on
+    the domain pool and returns the results in {!points} order.
+    @raise Invalid_argument when [seeds < 0].
+    @raise Bfly_resil.Cancel.Cancelled when [cancel] fires mid-sweep. *)

@@ -36,6 +36,7 @@ type spec =
       seed : int;
     }
   | Check of { seed : int; rounds : int }
+  | Campaign of { degree : int; sizes : int list; seeds : int }
 
 let net_name = function
   | Butterfly -> "butterfly"
@@ -125,6 +126,10 @@ let fingerprint ?deadline spec =
           (net_name net) n k exact seed
     | Check { seed; rounds } ->
         Printf.sprintf "check?seed=%d&rounds=%d" seed rounds
+    | Campaign { degree; sizes; seeds } ->
+        Printf.sprintf "campaign/%d?sizes=%s&seeds=%d" degree
+          (String.concat "," (List.map string_of_int sizes))
+          seeds
   in
   match deadline with
   | None -> body
@@ -252,6 +257,10 @@ let run_expansion ~kind ~net ~n ~k ~exact ~seed =
                  rel ne)
       end
 
+let run_campaign ~degree ~sizes ~seeds =
+  Result.map Bfly_check.Campaign.render
+    (Bfly_check.Campaign.run ~degree ~sizes ~seeds ())
+
 let run_check ~seed ~rounds =
   if rounds < 1 then Error "rounds must be >= 1"
   else
@@ -271,6 +280,8 @@ let run ?deadline spec =
         | Expansion { kind; net; n; k; exact; seed } ->
             run_expansion ~kind ~net ~n ~k ~exact ~seed
         | Check { seed; rounds } -> run_check ~seed ~rounds
+        | Campaign { degree; sizes; seeds } ->
+            run_campaign ~degree ~sizes ~seeds
       in
       match deadline with
       | None -> f ()

@@ -57,6 +57,10 @@ type spec =
       seed : int;
     }
   | Check of { seed : int; rounds : int }
+  | Campaign of { degree : int; sizes : int list; seeds : int }
+      (** A random-regular bisection sweep rendered through
+          {!Bfly_check.Campaign.render}; deterministic for a given grid,
+          so equal grids coalesce like any other fingerprint. *)
 
 val net_name : net -> string
 (** ["butterfly"] | ["wrapped"] | ["ccc"]. *)

@@ -105,10 +105,37 @@ let parse_spec job obj =
       let* seed = int_field obj "seed" ~default:42 in
       let* rounds = int_field obj "rounds" ~default:5 in
       Ok (Job.Check { seed; rounds })
+  | "campaign" ->
+      let* degree = int_field obj "degree" ~default:3 in
+      let* seeds = int_field obj "seeds" ~default:3 in
+      let* sizes =
+        match field obj "sizes" with
+        | None -> Ok [ 32; 64 ]
+        | Some (Json.List l) -> (
+            match
+              List.fold_right
+                (fun v acc ->
+                  Option.bind acc (fun tl ->
+                      Option.map (fun i -> i :: tl) (Json.to_int_opt v)))
+                l (Some [])
+            with
+            | Some sizes -> Ok sizes
+            | None -> Error "field \"sizes\" must be a list of integers")
+        | Some _ -> Error "field \"sizes\" must be a list of integers"
+      in
+      (* serve-side grid caps: a campaign is the most expensive job in
+         the vocabulary, and a shared endpoint must bound what one
+         request can pin the pool with (Campaign.run validates the rest) *)
+      if seeds > 16 then Error "field \"seeds\" is capped at 16 when serving"
+      else if List.length sizes > 8 then
+        Error "field \"sizes\" is capped at 8 sizes when serving"
+      else if List.exists (fun n -> n > 1024) sizes then
+        Error "served campaign sizes are capped at n <= 1024"
+      else Ok (Job.Campaign { degree; sizes; seeds })
   | s ->
       Error
         (Printf.sprintf
-           "unknown job %S (bw|mos|ee|ne|expansion|check|stats)" s)
+           "unknown job %S (bw|mos|ee|ne|expansion|check|campaign|stats)" s)
 
 let parse_request ~default_id line =
   match Json.of_string line with

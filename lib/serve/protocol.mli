@@ -9,13 +9,16 @@
     {"id":"r2","job":"mos","j":64}
     {"id":"r3","job":"ee","network":"wrapped","n":8,"k":6,"exact":true}
     {"id":"r4","job":"check","seed":42,"rounds":2}
-    {"id":"r5","job":"stats"}
+    {"id":"r5","job":"campaign","degree":3,"sizes":[32,64],"seeds":3}
+    {"id":"r6","job":"stats"}
     v}
 
     [job] selects the solver family: [bw] (with [solver] one of
     [exact|kl|fm|sa|spectral], plus [max_nodes]/[resume] for [exact]),
-    [mos], [ee]/[ne]/[expansion], [check], or [stats] (live server
-    introspection, answered immediately, never queued). [id] is any string
+    [mos], [ee]/[ne]/[expansion], [check], [campaign] (a random-regular
+    bisection sweep; served grids are capped at 16 seeds, 8 sizes and
+    [n <= 1024] so one request cannot pin the pool), or [stats] (live
+    server introspection, answered immediately, never queued). [id] is any string
     (echoed verbatim in the response; assigned [r<N>] when omitted);
     [deadline] is a per-request budget in [Bfly_resil.Budget.of_string]
     syntax (["250ms"], ["1.5s"]). Unknown fields are ignored.

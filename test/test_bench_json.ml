@@ -25,6 +25,7 @@ let gate_fields =
   [
     "exact.bb.nodes"; "cache.hit"; "cache.miss"; "ml.levels"; "ml.refine.moves";
     "fabric.builds"; "constructions.dimension.cuts"; "product.sandwich.checks";
+    "campaign.instances"; "campaign.oracle.checks";
   ]
 
 let counter name = Metrics.counter_value (Metrics.counter name)

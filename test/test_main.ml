@@ -26,6 +26,7 @@ let () =
       ("expansion", Test_expansion.suite);
       ("routing", Test_routing.suite);
       ("check", Test_check.suite);
+      ("campaign", Test_campaign.suite);
       ("serve", Test_serve.suite);
       ("loadgen", Test_loadgen.suite);
       ("bench-json", Test_bench_json.suite);
